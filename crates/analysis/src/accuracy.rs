@@ -1,0 +1,168 @@
+//! Accuracy of profiled dependences (Section VI-A, Table I).
+//!
+//! "To measure the false positive rate (FPR) and the false negative rate
+//! (FNR) of the profiled dependences, we implemented a 'perfect
+//! signature' ... We use the perfect signature as the baseline."
+//!
+//! A dependence is identified by `(type, sink, source, variable)`; INIT
+//! markers are not dependences and are excluded. FPR is the fraction of
+//! profiled dependences that are not in the baseline; FNR is the fraction
+//! of baseline dependences the profiler missed.
+
+use dp_core::ProfileResult;
+use dp_types::{DepType, FxHashSet, SourceLoc, ThreadId, VarId};
+
+type Ident = (DepType, SourceLoc, ThreadId, SourceLoc, ThreadId, VarId);
+
+/// FPR/FNR comparison outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Distinct dependences in the baseline (the "# dependences" column).
+    pub baseline: usize,
+    /// Distinct dependences reported by the profiler under test.
+    pub profiled: usize,
+    /// Reported but not real.
+    pub false_positives: usize,
+    /// Real but not reported.
+    pub false_negatives: usize,
+}
+
+impl Accuracy {
+    /// False positive rate in percent (of reported dependences), as in
+    /// Table I.
+    pub fn fpr(&self) -> f64 {
+        if self.profiled == 0 {
+            0.0
+        } else {
+            100.0 * self.false_positives as f64 / self.profiled as f64
+        }
+    }
+
+    /// False negative rate in percent (of baseline dependences).
+    pub fn fnr(&self) -> f64 {
+        if self.baseline == 0 {
+            0.0
+        } else {
+            100.0 * self.false_negatives as f64 / self.baseline as f64
+        }
+    }
+}
+
+fn ident_set(r: &ProfileResult) -> FxHashSet<Ident> {
+    r.deps
+        .dependences()
+        .filter(|(d, _)| d.edge.dtype != DepType::Init)
+        .map(|(d, _)| d.identity())
+        .collect()
+}
+
+/// Compares a profiled result against the perfect-signature baseline.
+pub fn compare(baseline: &ProfileResult, profiled: &ProfileResult) -> Accuracy {
+    let base = ident_set(baseline);
+    let prof = ident_set(profiled);
+    let false_positives = prof.difference(&base).count();
+    let false_negatives = base.difference(&prof).count();
+    Accuracy {
+        baseline: base.len(),
+        profiled: prof.len(),
+        false_positives,
+        false_negatives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::SequentialProfiler;
+    use dp_sig::{ExtendedSlot, Signature};
+    use dp_types::{loc::loc, MemAccess, TraceEvent};
+
+    /// Write every address, then read every address: collisions in a
+    /// small signature corrupt the remembered write lines, producing both
+    /// false positives (wrong source) and false negatives (true pair
+    /// missing).
+    fn stream(n: u64) -> Vec<TraceEvent> {
+        let mut evs = Vec::new();
+        let mut ts = 0;
+        for i in 0..n {
+            ts += 1;
+            evs.push(TraceEvent::Access(MemAccess::write(
+                0x1000 + i * 8,
+                ts,
+                loc(1, i as u32 + 1),
+                1,
+                0,
+            )));
+        }
+        for i in 0..n {
+            ts += 1;
+            evs.push(TraceEvent::Access(MemAccess::read(
+                0x1000 + i * 8,
+                ts,
+                loc(1, i as u32 + 10_000),
+                1,
+                0,
+            )));
+        }
+        evs
+    }
+
+    fn run<S: dp_sig::AccessStore>(mut p: SequentialProfiler<S>, evs: &[TraceEvent]) -> ProfileResult {
+        for e in evs {
+            p.on_event(e);
+        }
+        p.finish()
+    }
+
+    #[test]
+    fn perfect_vs_perfect_is_exact() {
+        let evs = stream(500);
+        let a = run(SequentialProfiler::perfect(), &evs);
+        let b = run(SequentialProfiler::perfect(), &evs);
+        let acc = compare(&a, &b);
+        assert_eq!(acc.fpr(), 0.0);
+        assert_eq!(acc.fnr(), 0.0);
+        assert!(acc.baseline > 0);
+    }
+
+    #[test]
+    fn large_signature_is_near_exact_small_is_not() {
+        let evs = stream(2000);
+        let base = run(SequentialProfiler::perfect(), &evs);
+        let big = run(
+            SequentialProfiler::with_stores(
+                Signature::<ExtendedSlot>::new(1 << 20),
+                Signature::<ExtendedSlot>::new(1 << 20),
+            ),
+            &evs,
+        );
+        let small = run(
+            SequentialProfiler::with_stores(
+                Signature::<ExtendedSlot>::new(64),
+                Signature::<ExtendedSlot>::new(64),
+            ),
+            &evs,
+        );
+        let acc_big = compare(&base, &big);
+        let acc_small = compare(&base, &small);
+        assert!(acc_big.fpr() < 1.0, "big fpr {}", acc_big.fpr());
+        assert!(acc_big.fnr() < 1.0, "big fnr {}", acc_big.fnr());
+        assert!(
+            acc_small.fpr() > acc_big.fpr() && acc_small.fnr() > acc_big.fnr(),
+            "small {} {} vs big {} {}",
+            acc_small.fpr(),
+            acc_small.fnr(),
+            acc_big.fpr(),
+            acc_big.fnr()
+        );
+    }
+
+    #[test]
+    fn init_records_do_not_count() {
+        let mut p = SequentialProfiler::perfect();
+        p.on_event(&TraceEvent::Access(MemAccess::write(0x8, 1, loc(1, 1), 1, 0)));
+        let r = p.finish();
+        let acc = compare(&r, &r);
+        assert_eq!(acc.baseline, 0);
+    }
+}

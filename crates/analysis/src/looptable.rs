@@ -1,0 +1,188 @@
+//! The loop table representation (Section VIII's framework: "loop table").
+//!
+//! One row per static loop: runtime statistics (instances, iterations)
+//! joined with the dependence-test verdict and the dependences carried by
+//! the loop — the digest a parallelization assistant shows its user.
+
+use crate::parallelism::{classify_loops, LoopClass, LoopMeta, LoopVerdict};
+use dp_core::ProfileResult;
+use dp_types::Interner;
+
+/// One row of the loop table.
+#[derive(Debug, Clone)]
+pub struct LoopRow {
+    /// Verdict (includes meta, class, blockers).
+    pub verdict: LoopVerdict,
+    /// Dynamic instances observed.
+    pub instances: u64,
+    /// Average iterations per instance (0 if never run).
+    pub avg_iters: f64,
+}
+
+impl LoopRow {
+    /// Crude upper bound on the speedup parallelizing this loop could
+    /// yield — the kind of guidance Kremlin-style tools derive from
+    /// dependence profiles: a DOALL loop parallelizes across its
+    /// iterations, a reduction is limited by the combining tree, a
+    /// sequential loop by its dependence chain.
+    pub fn estimated_speedup(&self) -> f64 {
+        let n = self.avg_iters.max(1.0);
+        match self.verdict.class {
+            LoopClass::Doall => n,
+            LoopClass::Reduction => n / (1.0 + n.log2().max(0.0)),
+            LoopClass::Sequential | LoopClass::NotExecuted => 1.0,
+        }
+    }
+}
+
+/// The loop table.
+#[derive(Debug, Clone, Default)]
+pub struct LoopTable {
+    /// Rows, in loop-id order.
+    pub rows: Vec<LoopRow>,
+}
+
+impl LoopTable {
+    /// Builds the table for `loops` from a profiling result.
+    pub fn build(result: &ProfileResult, loops: &[LoopMeta]) -> Self {
+        let verdicts = classify_loops(result, loops);
+        let rows = verdicts
+            .into_iter()
+            .map(|verdict| {
+                let rec = result.deps.loop_record(verdict.meta.id);
+                let instances = rec.map_or(0, |r| r.instances);
+                let avg_iters = rec.map_or(0.0, |r| {
+                    if r.instances == 0 {
+                        0.0
+                    } else {
+                        r.total_iters as f64 / r.instances as f64
+                    }
+                });
+                LoopRow { verdict, instances, avg_iters }
+            })
+            .collect();
+        LoopTable { rows }
+    }
+
+    /// Loops the dependence test accepts as parallelizable.
+    pub fn parallelizable(&self) -> impl Iterator<Item = &LoopRow> {
+        self.rows.iter().filter(|r| r.verdict.identified())
+    }
+
+    /// Loops blocked only by accumulator self-dependences (reduction
+    /// candidates a smarter tool could still parallelize).
+    pub fn reduction_candidates(&self) -> impl Iterator<Item = &LoopRow> {
+        self.rows.iter().filter(|r| r.verdict.class == LoopClass::Reduction)
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self, _interner: &Interner) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>5} {:>11} {:>10} {:>10}  blocker\n",
+            "loop", "OMP", "class", "instances", "avg iters"
+        ));
+        for r in &self.rows {
+            let class = match r.verdict.class {
+                LoopClass::Doall => "DOALL",
+                LoopClass::Reduction => "reduction",
+                LoopClass::Sequential => "sequential",
+                LoopClass::NotExecuted => "not-run",
+            };
+            let blocker = r
+                .verdict
+                .blockers
+                .first()
+                .map(|(sink, src)| format!("{src} -> {sink}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{:<24} {:>5} {:>11} {:>10} {:>10.1}  {}\n",
+                r.verdict.meta.name,
+                if r.verdict.meta.omp { "yes" } else { "no" },
+                class,
+                r.instances,
+                r.avg_iters,
+                blocker
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::SequentialProfiler;
+    use dp_types::{loc::loc, MemAccess, TraceEvent, Tracer};
+
+    fn result_with_loop() -> ProfileResult {
+        let mut p = SequentialProfiler::perfect();
+        p.event(TraceEvent::LoopBegin { loop_id: 0, loc: loc(1, 1), thread: 0, ts: 1 });
+        for it in 0..4u64 {
+            p.event(TraceEvent::LoopIter { loop_id: 0, iter: it, thread: 0, ts: 2 + it * 10 });
+            let a = 0x100 + it * 8;
+            p.event(TraceEvent::Access(MemAccess::write(a, 3 + it * 10, loc(1, 2), 1, 0)));
+        }
+        p.event(TraceEvent::LoopEnd { loop_id: 0, loc: loc(1, 3), iters: 4, thread: 0, ts: 99 });
+        p.finish()
+    }
+
+    fn meta() -> Vec<LoopMeta> {
+        vec![
+            LoopMeta { id: 0, name: "init".into(), omp: true },
+            LoopMeta { id: 7, name: "ghost".into(), omp: false },
+        ]
+    }
+
+    #[test]
+    fn table_rows_join_stats_and_verdicts() {
+        let r = result_with_loop();
+        let t = LoopTable::build(&r, &meta());
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0].instances, 1);
+        assert!((t.rows[0].avg_iters - 4.0).abs() < 1e-9);
+        assert_eq!(t.rows[0].verdict.class, LoopClass::Doall);
+        assert_eq!(t.rows[1].verdict.class, LoopClass::NotExecuted);
+        assert_eq!(t.parallelizable().count(), 1);
+        assert_eq!(t.reduction_candidates().count(), 0);
+    }
+
+    #[test]
+    fn render_mentions_loops() {
+        let r = result_with_loop();
+        let t = LoopTable::build(&r, &meta());
+        let s = t.render(&Interner::new());
+        assert!(s.contains("init"));
+        assert!(s.contains("DOALL"));
+        assert!(s.contains("not-run"));
+    }
+}
+
+#[cfg(test)]
+mod speedup_tests {
+    use super::*;
+    use crate::parallelism::LoopVerdict;
+
+    fn row(class: LoopClass, iters: f64) -> LoopRow {
+        LoopRow {
+            verdict: LoopVerdict {
+                meta: LoopMeta { id: 0, name: "l".into(), omp: true },
+                class,
+                blockers: Vec::new(),
+                iterations: iters as u64,
+            },
+            instances: 1,
+            avg_iters: iters,
+        }
+    }
+
+    #[test]
+    fn speedup_ordering() {
+        let doall = row(LoopClass::Doall, 1024.0).estimated_speedup();
+        let red = row(LoopClass::Reduction, 1024.0).estimated_speedup();
+        let seq = row(LoopClass::Sequential, 1024.0).estimated_speedup();
+        assert_eq!(doall, 1024.0);
+        assert!(red > 1.0 && red < doall, "{red}");
+        assert_eq!(seq, 1.0);
+    }
+}

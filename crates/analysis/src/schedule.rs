@@ -1,0 +1,184 @@
+//! Task-level scheduling from section dependences.
+//!
+//! The paper's introduction names "runtime scheduling frameworks \[that\]
+//! add more parallelism to programs by dispatching code sections in a
+//! more effective way" as a third consumer of dependence profiles. This
+//! module provides that consumer: given code sections (e.g. the loops of
+//! a program, with their source ranges), it builds the section-level task
+//! graph from RAW dependences and layers it into *waves* — sections in
+//! the same wave have no dataflow between them and could be dispatched
+//! concurrently.
+//!
+//! Only forward dependences (producer section textually before the
+//! consumer) are used: a backward RAW implies iteration of an enclosing
+//! loop, i.e. the next *instance* of the task graph, not an edge inside
+//! one instance.
+
+use dp_core::ProfileResult;
+use dp_types::{DepType, SourceLoc};
+
+/// A schedulable code section (typically a loop; build from
+/// `Program::loops`).
+#[derive(Debug, Clone)]
+pub struct SectionMeta {
+    /// Stable id (any dense numbering).
+    pub id: u32,
+    /// Human-readable name.
+    pub name: String,
+    /// First source line of the section.
+    pub begin: SourceLoc,
+    /// Last source line of the section (inclusive).
+    pub end: SourceLoc,
+}
+
+impl SectionMeta {
+    fn contains(&self, l: SourceLoc) -> bool {
+        l.file == self.begin.file && l.line >= self.begin.line && l.line <= self.end.line
+    }
+}
+
+/// The section task graph: `edges[i]` lists the sections that consume
+/// data produced by section `i` (forward RAW only).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SectionDag {
+    /// Adjacency: producer index -> consumer indices (into the meta
+    /// slice given to [`section_dag`]).
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Builds the section-level dataflow graph from a profiling result.
+pub fn section_dag(result: &ProfileResult, sections: &[SectionMeta]) -> SectionDag {
+    let find = |l: SourceLoc| sections.iter().position(|s| s.contains(l));
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); sections.len()];
+    for (d, _) in result.deps.dependences() {
+        if d.edge.dtype != DepType::Raw {
+            continue;
+        }
+        let (Some(src), Some(snk)) = (find(d.edge.source_loc), find(d.sink.loc)) else {
+            continue;
+        };
+        // Forward edges only; self-edges are intra-section.
+        if src != snk
+            && sections[src].begin.line < sections[snk].begin.line
+            && !edges[src].contains(&snk)
+        {
+            edges[src].push(snk);
+        }
+    }
+    for e in &mut edges {
+        e.sort_unstable();
+    }
+    SectionDag { edges }
+}
+
+/// Layers the DAG into waves: wave k holds every section whose producers
+/// all sit in waves `< k`. Sections in one wave are mutually independent
+/// and could be dispatched concurrently by a runtime scheduler.
+pub fn schedule_waves(dag: &SectionDag) -> Vec<Vec<usize>> {
+    let n = dag.edges.len();
+    let mut indeg = vec![0usize; n];
+    for outs in &dag.edges {
+        for &c in outs {
+            indeg[c] += 1;
+        }
+    }
+    let mut assigned = vec![false; n];
+    let mut waves = Vec::new();
+    let mut remaining = n;
+    while remaining > 0 {
+        let wave: Vec<usize> =
+            (0..n).filter(|&i| !assigned[i] && indeg[i] == 0).collect();
+        if wave.is_empty() {
+            // Cycle through an enclosing loop: emit the rest as one final
+            // (sequentialized) wave rather than looping forever.
+            waves.push((0..n).filter(|&i| !assigned[i]).collect());
+            break;
+        }
+        for &i in &wave {
+            assigned[i] = true;
+            remaining -= 1;
+            for &c in &dag.edges[i] {
+                indeg[c] -= 1;
+            }
+        }
+        waves.push(wave);
+    }
+    waves
+}
+
+/// Available task parallelism: the maximum wave width.
+pub fn max_wave_width(waves: &[Vec<usize>]) -> usize {
+    waves.iter().map(Vec::len).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::SequentialProfiler;
+    use dp_types::{loc::loc, MemAccess, TraceEvent, Tracer};
+
+    fn sec(id: u32, b: u32, e: u32) -> SectionMeta {
+        SectionMeta { id, name: format!("s{id}"), begin: loc(1, b), end: loc(1, e) }
+    }
+
+    /// A: writes X (lines 1-3); B: writes Y (4-6, independent of A);
+    /// C: reads X and Y (7-9).
+    fn diamond() -> ProfileResult {
+        let mut p = SequentialProfiler::perfect();
+        p.event(TraceEvent::Access(MemAccess::write(0x10, 1, loc(1, 2), 1, 0)));
+        p.event(TraceEvent::Access(MemAccess::write(0x20, 2, loc(1, 5), 2, 0)));
+        p.event(TraceEvent::Access(MemAccess::read(0x10, 3, loc(1, 8), 1, 0)));
+        p.event(TraceEvent::Access(MemAccess::read(0x20, 4, loc(1, 8), 2, 0)));
+        p.finish()
+    }
+
+    #[test]
+    fn independent_sections_share_a_wave() {
+        let secs = [sec(0, 1, 3), sec(1, 4, 6), sec(2, 7, 9)];
+        let dag = section_dag(&diamond(), &secs);
+        assert_eq!(dag.edges[0], vec![2]);
+        assert_eq!(dag.edges[1], vec![2]);
+        assert!(dag.edges[2].is_empty());
+        let waves = schedule_waves(&dag);
+        assert_eq!(waves, vec![vec![0, 1], vec![2]]);
+        assert_eq!(max_wave_width(&waves), 2);
+    }
+
+    #[test]
+    fn chain_serializes() {
+        // A -> B -> C via RAW chains.
+        let mut p = SequentialProfiler::perfect();
+        p.event(TraceEvent::Access(MemAccess::write(0x10, 1, loc(1, 2), 1, 0)));
+        p.event(TraceEvent::Access(MemAccess::read(0x10, 2, loc(1, 5), 1, 0)));
+        p.event(TraceEvent::Access(MemAccess::write(0x20, 3, loc(1, 5), 2, 0)));
+        p.event(TraceEvent::Access(MemAccess::read(0x20, 4, loc(1, 8), 2, 0)));
+        let r = p.finish();
+        let secs = [sec(0, 1, 3), sec(1, 4, 6), sec(2, 7, 9)];
+        let waves = schedule_waves(&section_dag(&r, &secs));
+        assert_eq!(waves, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(max_wave_width(&waves), 1);
+    }
+
+    #[test]
+    fn backward_raw_is_not_an_edge() {
+        // A reads what C wrote (previous instance of an enclosing loop):
+        // must not create a C -> A edge that would deadlock the layering.
+        let mut p = SequentialProfiler::perfect();
+        p.event(TraceEvent::Access(MemAccess::write(0x10, 1, loc(1, 8), 1, 0)));
+        p.event(TraceEvent::Access(MemAccess::read(0x10, 2, loc(1, 2), 1, 0)));
+        let r = p.finish();
+        let secs = [sec(0, 1, 3), sec(2, 7, 9)];
+        let dag = section_dag(&r, &secs);
+        assert!(dag.edges.iter().all(Vec::is_empty));
+        let waves = schedule_waves(&dag);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let dag = section_dag(&diamond(), &[]);
+        assert!(schedule_waves(&dag).is_empty());
+        assert_eq!(max_wave_width(&[]), 0);
+    }
+}

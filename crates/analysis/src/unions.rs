@@ -1,0 +1,95 @@
+//! Input-sensitivity mitigation by unioning runs.
+//!
+//! "Although dependence profiling is inherently input sensitive, the
+//! results are still useful in many situations ... input sensitivity can
+//! be addressed by running the target program with changing inputs and
+//! computing the union of all collected dependences." (Section I)
+//!
+//! [`union_runs`] merges the dependence stores of several profiling runs
+//! into one result; [`stability`] reports how much each additional run
+//! contributed — when new runs stop adding dependences, the union has
+//! (empirically) converged for the input distribution at hand.
+
+use dp_core::{DepStore, ProfileResult};
+
+/// Unions the dependences (and loop records, stats) of several runs of
+/// the same program under different inputs.
+pub fn union_runs<I: IntoIterator<Item = ProfileResult>>(runs: I) -> ProfileResult {
+    let mut out = ProfileResult::default();
+    let mut store = DepStore::new();
+    for r in runs {
+        store.merge(r.deps);
+        out.stats.events += r.stats.events;
+        out.stats.accesses += r.stats.accesses;
+        out.stats.reads += r.stats.reads;
+        out.stats.writes += r.stats.writes;
+        out.stats.reversed += r.stats.reversed;
+        out.workers = out.workers.max(r.workers);
+    }
+    out.stats.deps_built = store.deps_built();
+    out.stats.deps_merged = store.merged_len();
+    out.deps = store;
+    out
+}
+
+/// Per-run contribution curve: `(run index, cumulative distinct deps,
+/// newly added)`. A tail of zeros suggests the union has stabilized.
+pub fn stability(runs: &[ProfileResult]) -> Vec<(usize, u64, u64)> {
+    let mut cum = DepStore::new();
+    let mut out = Vec::with_capacity(runs.len());
+    for (i, r) in runs.iter().enumerate() {
+        let before = cum.merged_len();
+        cum.merge(r.deps.clone());
+        let after = cum.merged_len();
+        out.push((i, after, after - before));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::SequentialProfiler;
+    use dp_types::{loc::loc, MemAccess, TraceEvent, Tracer};
+
+    fn run(addrs: &[u64]) -> ProfileResult {
+        let mut p = SequentialProfiler::perfect();
+        let mut ts = 0;
+        for &a in addrs {
+            ts += 1;
+            p.event(TraceEvent::Access(MemAccess::write(a, ts, loc(1, (a % 97) as u32 + 1), 1, 0)));
+            ts += 1;
+            p.event(TraceEvent::Access(MemAccess::read(a, ts, loc(1, (a % 89) as u32 + 200), 1, 0)));
+        }
+        p.finish()
+    }
+
+    #[test]
+    fn union_superset_of_each_run() {
+        let r1 = run(&[8, 16, 24]);
+        let r2 = run(&[24, 32]);
+        let n1 = r1.stats.deps_merged;
+        let n2 = r2.stats.deps_merged;
+        let u = union_runs([r1, r2]);
+        assert!(u.stats.deps_merged >= n1.max(n2));
+        assert!(u.stats.deps_merged <= n1 + n2);
+    }
+
+    #[test]
+    fn stability_converges_on_identical_inputs() {
+        let runs: Vec<_> = (0..4).map(|_| run(&[8, 16])).collect();
+        let s = stability(&runs);
+        assert_eq!(s.len(), 4);
+        assert!(s[0].2 > 0, "first run contributes everything");
+        assert_eq!(s[1].2, 0, "identical input adds nothing");
+        assert_eq!(s[3].1, s[0].1);
+    }
+
+    #[test]
+    fn stability_grows_with_new_inputs() {
+        let runs = vec![run(&[8]), run(&[16]), run(&[8, 16])];
+        let s = stability(&runs);
+        assert!(s[1].2 > 0);
+        assert_eq!(s[2].2, 0, "third run covered by first two");
+    }
+}

@@ -1,0 +1,82 @@
+//! Queue microbenchmarks (Section IV): per-operation cost of the
+//! lock-free rings vs. the mutex queue — the source of Figure 5's
+//! lock-free vs. lock-based gap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dp_queue::{spsc_ring, LockQueue, MpmcQueue};
+use std::hint::black_box;
+
+const OPS: u64 = 100_000;
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_pingpong_1thread");
+    g.throughput(Throughput::Elements(OPS));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    g.bench_function("spsc_ring", |b| {
+        let (p, cons) = spsc_ring::<u64>(1024);
+        b.iter(|| {
+            for i in 0..OPS {
+                p.push(i).unwrap();
+                black_box(cons.pop());
+            }
+        });
+    });
+    g.bench_function("mpmc_vyukov", |b| {
+        let q = MpmcQueue::new(1024);
+        b.iter(|| {
+            for i in 0..OPS {
+                q.push(i).unwrap();
+                black_box(q.pop());
+            }
+        });
+    });
+    g.bench_function("lock_queue", |b| {
+        let q = LockQueue::new(1024);
+        b.iter(|| {
+            for i in 0..OPS {
+                q.push(i).unwrap();
+                black_box(q.pop());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    // The pipeline amortizes queue traffic over chunk_capacity events;
+    // this measures the amortized pattern: fill 64, drain 64.
+    let mut g = c.benchmark_group("queue_batch64");
+    g.throughput(Throughput::Elements(OPS));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1500));
+
+    g.bench_function("mpmc_vyukov", |b| {
+        let q = MpmcQueue::new(1024);
+        b.iter(|| {
+            for _ in 0..OPS / 64 {
+                for i in 0..64u64 {
+                    q.push(i).unwrap();
+                }
+                while black_box(q.pop()).is_some() {}
+            }
+        });
+    });
+    g.bench_function("lock_queue", |b| {
+        let q = LockQueue::new(1024);
+        b.iter(|| {
+            for _ in 0..OPS / 64 {
+                for i in 0..64u64 {
+                    q.push(i).unwrap();
+                }
+                while black_box(q.pop()).is_some() {}
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_batched);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the access stores (Section III-B): the per-access
+//! cost of signatures vs. the exact alternatives — the mechanism behind
+//! the paper's "hash table approach is about 1.5–3.7× slower" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dp_sig::{
+    AccessStore, CompactSlot, ExtendedSlot, HashHistory, PerfectSignature, ShadowMemory,
+    SigEntry, Signature,
+};
+use dp_types::loc::loc;
+use std::hint::black_box;
+
+const N_ADDRS: u64 = 50_000;
+const OPS: u64 = 200_000;
+
+/// Mixed put/get workload over a pseudo-random address stream.
+fn drive<S: AccessStore>(store: &mut S) -> u64 {
+    let mut rng = 0x1234_5678u64;
+    let mut hits = 0u64;
+    let entry = SigEntry::new(loc(1, 42), 0, 1);
+    for _ in 0..OPS {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let addr = 0x10_0000 + ((rng >> 24) % N_ADDRS) * 8;
+        if rng & 1 == 0 {
+            store.put(addr, entry);
+        } else if store.get(addr).is_some() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut g = c.benchmark_group("access_store");
+    g.throughput(Throughput::Elements(OPS));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    g.bench_function(BenchmarkId::new("signature", "extended16B"), |b| {
+        let mut s = Signature::<ExtendedSlot>::new(N_ADDRS as usize * 4);
+        b.iter(|| black_box(drive(&mut s)));
+    });
+    g.bench_function(BenchmarkId::new("signature", "compact4B"), |b| {
+        let mut s = Signature::<CompactSlot>::new(N_ADDRS as usize * 4);
+        b.iter(|| black_box(drive(&mut s)));
+    });
+    g.bench_function(BenchmarkId::new("perfect", "fx-map"), |b| {
+        let mut s = PerfectSignature::with_capacity(N_ADDRS as usize);
+        b.iter(|| black_box(drive(&mut s)));
+    });
+    g.bench_function(BenchmarkId::new("hash-history", "chained"), |b| {
+        let mut s = HashHistory::new(N_ADDRS as usize / 4);
+        b.iter(|| black_box(drive(&mut s)));
+    });
+    g.bench_function(BenchmarkId::new("shadow", "two-level"), |b| {
+        let mut s = ShadowMemory::new();
+        b.iter(|| black_box(drive(&mut s)));
+    });
+    g.finish();
+}
+
+fn bench_lifetime_removal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lifetime_removal");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1000));
+    g.bench_function("signature_range_remove_4k", |b| {
+        let mut s = Signature::<ExtendedSlot>::new(1 << 18);
+        let entry = SigEntry::new(loc(1, 1), 0, 1);
+        b.iter(|| {
+            for i in 0..4096u64 {
+                s.put(0x1000 + i * 8, entry);
+            }
+            for i in 0..4096u64 {
+                s.remove(0x1000 + i * 8);
+            }
+            black_box(s.occupied())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stores, bench_lifetime_removal);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p dp-bench --release --bin experiments -- <experiment> [--scale F]
+//! ```
+//!
+//! Experiments: `table1 formula2 fig5 fig6 fig7 fig8 table2 fig9 merge
+//! ablate-hash races ablate-chunk ablate-redist ablate-slots ablate-sections all`.
+//! `--scale` multiplies workload sizes (default 0.25; EXPERIMENTS.md
+//! records runs at the default).
+
+use dp_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = String::from("all");
+    let mut cfg = exp::ExpConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs a float argument");
+            }
+            name => which = name.to_string(),
+        }
+        i += 1;
+    }
+    let out = match which.as_str() {
+        "table1" => exp::table1(cfg),
+        "formula2" => exp::formula2(cfg),
+        "fig5" => exp::fig5(cfg),
+        "fig6" => exp::fig6(cfg),
+        "fig7" => exp::fig7(cfg),
+        "fig8" => exp::fig8(cfg),
+        "table2" => exp::table2(cfg),
+        "fig9" => exp::fig9(cfg),
+        "comm-suite" => exp::comm_suite(cfg),
+        "merge" => exp::merge(cfg),
+        "ablate-hash" => exp::ablate_hash(cfg),
+        "races" => exp::races(cfg),
+        "ablate-chunk" => exp::ablate_chunk(cfg),
+        "ablate-redist" => exp::ablate_redist(cfg),
+        "ablate-slots" => exp::ablate_slots(cfg),
+        "ablate-sections" => exp::ablate_sections(cfg),
+        "ablate-sd3" => exp::ablate_sd3(cfg),
+        "all" => exp::all(cfg),
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; choose from: table1 formula2 fig5 fig6 fig7 \
+                 fig8 table2 fig9 merge ablate-hash races ablate-chunk ablate-redist \
+                 ablate-slots ablate-sections all"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

@@ -1,0 +1,16 @@
+//! `dp-bench` — experiment harness and shared measurement helpers.
+//!
+//! The `experiments` binary (`src/bin/experiments.rs`) regenerates every
+//! table and figure of the paper; Criterion microbenchmarks live under
+//! `benches/`. This library holds the pieces both share: timing helpers,
+//! table formatting, and the canonical experiment configurations
+//! (signature sizes, worker counts, workload scales) so that the numbers
+//! in EXPERIMENTS.md are reproducible from one place.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fmt;
+pub mod measure;
+
+pub use measure::{time, Timed};

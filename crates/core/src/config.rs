@@ -1,0 +1,105 @@
+//! Profiler configuration.
+
+/// Tunables shared by all engines. Defaults follow the paper's evaluation
+/// setup where one exists.
+#[derive(Debug, Clone)]
+pub struct ProfilerConfig {
+    /// Total signature slots, split evenly among workers (the paper uses
+    /// 6.25·10⁶ per thread × 16 threads = 10⁸ total; scaled workloads use
+    /// proportionally scaled totals).
+    pub total_slots: usize,
+    /// Number of profiling worker threads (the paper evaluates 8 and 16).
+    pub workers: usize,
+    /// Events per chunk ("whose size can be configured in the interest of
+    /// scalability").
+    pub chunk_capacity: usize,
+    /// Chunks each worker queue can buffer before the producer backs off.
+    pub queue_chunks: usize,
+    /// Enable loop-carried classification (requires timestamped slots;
+    /// duplicates loop events to all workers in the parallel engine).
+    pub track_carried: bool,
+    /// Enable hot-address redistribution (Section IV-A).
+    pub redistribution: bool,
+    /// Redistribution check interval in chunks ("we check whether
+    /// redistribution is needed after every 50,000 chunks").
+    pub redistribute_every: u64,
+    /// How many hottest addresses to keep balanced ("the top ten most
+    /// heavily accessed addresses").
+    pub top_k: usize,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            total_slots: 1 << 20,
+            workers: 8,
+            chunk_capacity: 1024,
+            queue_chunks: 32,
+            track_carried: true,
+            redistribution: true,
+            redistribute_every: 50_000,
+            top_k: 10,
+        }
+    }
+}
+
+impl ProfilerConfig {
+    /// Slots per worker (ceiling division so the total is never under).
+    pub fn slots_per_worker(&self) -> usize {
+        self.total_slots.div_ceil(self.workers.max(1)).max(1)
+    }
+
+    /// Builder-style setter for the worker count.
+    pub fn with_workers(mut self, w: usize) -> Self {
+        self.workers = w.max(1);
+        self
+    }
+
+    /// Builder-style setter for total slots.
+    pub fn with_slots(mut self, s: usize) -> Self {
+        self.total_slots = s.max(1);
+        self
+    }
+
+    /// Builder-style setter for chunk capacity.
+    pub fn with_chunk_capacity(mut self, c: usize) -> Self {
+        self.chunk_capacity = c.max(1);
+        self
+    }
+
+    /// Builder-style toggle for redistribution.
+    pub fn with_redistribution(mut self, on: bool) -> Self {
+        self.redistribution = on;
+        self
+    }
+
+    /// Builder-style toggle for loop-carried tracking.
+    pub fn with_carried(mut self, on: bool) -> Self {
+        self.track_carried = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_slot_split() {
+        let cfg = ProfilerConfig::default().with_workers(16).with_slots(100_000_000);
+        assert_eq!(cfg.slots_per_worker(), 6_250_000);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = ProfilerConfig::default()
+            .with_workers(0)
+            .with_chunk_capacity(0)
+            .with_redistribution(false)
+            .with_carried(false);
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.chunk_capacity, 1);
+        assert!(!cfg.redistribution);
+        assert!(!cfg.track_carried);
+    }
+}

@@ -1,0 +1,246 @@
+//! The dynamic execution tree (Section VIII: "the framework reorganizes
+//! profiled data into multiple representations, including dynamic
+//! execution tree, call tree, ...").
+//!
+//! Nodes are dynamic nesting contexts — function calls and loop
+//! instances — with entry counts; children are keyed by what was entered,
+//! so repeated entries of the same construct merge into one node with a
+//! count, keeping the tree finite regardless of run length. Per-thread
+//! roots give parallel targets one tree per target thread.
+//!
+//! The *call tree* is this tree restricted to function nodes
+//! ([`ExecTree::call_tree`]).
+
+use dp_types::{LoopId, ThreadId};
+use std::collections::BTreeMap;
+
+/// What a node of the execution tree represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExecNodeKind {
+    /// A function call (static function id).
+    Call(u32),
+    /// A loop instance (static loop id).
+    Loop(LoopId),
+}
+
+/// One merged node of the execution tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecNode {
+    /// Dynamic entries merged into this node.
+    pub count: u64,
+    /// Children, keyed by construct.
+    pub children: BTreeMap<ExecNodeKind, ExecNode>,
+}
+
+impl ExecNode {
+    fn merge_from(&mut self, other: &ExecNode) {
+        self.count += other.count;
+        for (k, v) in &other.children {
+            self.children.entry(*k).or_default().merge_from(v);
+        }
+    }
+
+    /// Total nodes beneath (and including) this node.
+    pub fn size(&self) -> usize {
+        1 + self.children.values().map(ExecNode::size).sum::<usize>()
+    }
+
+    /// Maximum nesting depth beneath this node.
+    pub fn depth(&self) -> usize {
+        1 + self.children.values().map(ExecNode::depth).max().unwrap_or(0)
+    }
+}
+
+/// Per-thread dynamic execution trees with the live recording stacks.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTree {
+    roots: BTreeMap<ThreadId, ExecNode>,
+    stacks: BTreeMap<ThreadId, Vec<ExecNodeKind>>, // current path per thread
+}
+
+impl ExecTree {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records entry into a construct on thread `t`.
+    pub fn enter(&mut self, t: ThreadId, kind: ExecNodeKind) {
+        let stack = self.stacks.entry(t).or_default();
+        stack.push(kind);
+        let path = stack.clone();
+        let mut node = self.roots.entry(t).or_default();
+        for k in path {
+            node = node.children.entry(k).or_default();
+        }
+        node.count += 1;
+    }
+
+    /// Records exit from the innermost construct on thread `t` (the kind
+    /// is checked so unbalanced streams cannot corrupt the tree).
+    pub fn exit(&mut self, t: ThreadId, kind: ExecNodeKind) {
+        if let Some(stack) = self.stacks.get_mut(&t) {
+            if stack.last() == Some(&kind) {
+                stack.pop();
+            }
+        }
+    }
+
+    /// Per-thread root nodes (recording stacks need not be empty).
+    pub fn roots(&self) -> impl Iterator<Item = (&ThreadId, &ExecNode)> {
+        self.roots.iter()
+    }
+
+    /// Merges another tree (workers' local trees → global tree).
+    pub fn merge(&mut self, other: &ExecTree) {
+        for (t, r) in &other.roots {
+            self.roots.entry(*t).or_default().merge_from(r);
+        }
+    }
+
+    /// The call tree: the execution tree with loop nodes spliced out
+    /// (children of a loop attach to the nearest enclosing call).
+    pub fn call_tree(&self) -> BTreeMap<ThreadId, ExecNode> {
+        fn splice(node: &ExecNode, out: &mut ExecNode) {
+            for (k, v) in &node.children {
+                match k {
+                    ExecNodeKind::Call(_) => {
+                        let child = out.children.entry(*k).or_default();
+                        child.count += v.count;
+                        splice(v, child);
+                    }
+                    ExecNodeKind::Loop(_) => splice(v, out),
+                }
+            }
+        }
+        self.roots
+            .iter()
+            .map(|(t, r)| {
+                let mut out = ExecNode { count: r.count.max(1), children: BTreeMap::new() };
+                splice(r, &mut out);
+                (*t, out)
+            })
+            .collect()
+    }
+
+    /// Plain-text rendering with `names(kind) -> label`.
+    pub fn render(&self, mut names: impl FnMut(ExecNodeKind) -> String) -> String {
+        fn walk(
+            node: &ExecNode,
+            kind: Option<ExecNodeKind>,
+            depth: usize,
+            names: &mut impl FnMut(ExecNodeKind) -> String,
+            out: &mut String,
+        ) {
+            if let Some(k) = kind {
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(&format!("{} x{}\n", names(k), node.count));
+            }
+            for (k, v) in &node.children {
+                walk(v, Some(*k), depth + 1, names, out);
+            }
+        }
+        let mut out = String::new();
+        for (t, r) in &self.roots {
+            out.push_str(&format!("thread {t}:\n"));
+            walk(r, None, 0, &mut names, &mut out);
+        }
+        out
+    }
+
+    /// Approximate heap footprint.
+    pub fn memory_usage(&self) -> usize {
+        fn sz(n: &ExecNode) -> usize {
+            std::mem::size_of::<ExecNode>()
+                + n.children
+                    .values()
+                    .map(|c| sz(c) + std::mem::size_of::<ExecNodeKind>() + 24)
+                    .sum::<usize>()
+        }
+        self.roots.values().map(sz).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_entries_merge() {
+        let mut t = ExecTree::new();
+        for _ in 0..3 {
+            t.enter(0, ExecNodeKind::Loop(1));
+            t.enter(0, ExecNodeKind::Call(2));
+            t.exit(0, ExecNodeKind::Call(2));
+            t.exit(0, ExecNodeKind::Loop(1));
+        }
+        let (_, root) = t.roots().next().unwrap();
+        assert_eq!(root.children.len(), 1);
+        let l = &root.children[&ExecNodeKind::Loop(1)];
+        assert_eq!(l.count, 3);
+        assert_eq!(l.children[&ExecNodeKind::Call(2)].count, 3);
+        assert_eq!(root.size(), 3);
+        assert_eq!(root.depth(), 3);
+    }
+
+    #[test]
+    fn per_thread_roots() {
+        let mut t = ExecTree::new();
+        t.enter(1, ExecNodeKind::Call(0));
+        t.enter(2, ExecNodeKind::Call(0));
+        assert_eq!(t.roots().count(), 2);
+    }
+
+    #[test]
+    fn call_tree_splices_loops() {
+        let mut t = ExecTree::new();
+        t.enter(0, ExecNodeKind::Call(7));
+        t.enter(0, ExecNodeKind::Loop(1));
+        t.enter(0, ExecNodeKind::Call(8));
+        t.exit(0, ExecNodeKind::Call(8));
+        t.exit(0, ExecNodeKind::Loop(1));
+        t.exit(0, ExecNodeKind::Call(7));
+        let ct = t.call_tree();
+        let root = &ct[&0];
+        let f7 = &root.children[&ExecNodeKind::Call(7)];
+        assert!(f7.children.contains_key(&ExecNodeKind::Call(8)), "loop spliced out");
+        assert_eq!(f7.children.len(), 1);
+    }
+
+    #[test]
+    fn merge_trees() {
+        let mut a = ExecTree::new();
+        a.enter(0, ExecNodeKind::Call(1));
+        a.exit(0, ExecNodeKind::Call(1));
+        let mut b = ExecTree::new();
+        b.enter(0, ExecNodeKind::Call(1));
+        b.exit(0, ExecNodeKind::Call(1));
+        b.enter(0, ExecNodeKind::Call(1));
+        a.merge(&b);
+        let (_, root) = a.roots().next().unwrap();
+        assert_eq!(root.children[&ExecNodeKind::Call(1)].count, 3);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_ignored() {
+        let mut t = ExecTree::new();
+        t.enter(0, ExecNodeKind::Call(1));
+        t.exit(0, ExecNodeKind::Call(9)); // mismatched
+        t.exit(0, ExecNodeKind::Call(1));
+        t.exit(0, ExecNodeKind::Call(1)); // extra
+        let (_, root) = t.roots().next().unwrap();
+        assert_eq!(root.children[&ExecNodeKind::Call(1)].count, 1);
+    }
+
+    #[test]
+    fn render_labels() {
+        let mut t = ExecTree::new();
+        t.enter(0, ExecNodeKind::Call(1));
+        let s = t.render(|k| match k {
+            ExecNodeKind::Call(f) => format!("fn{f}"),
+            ExecNodeKind::Loop(l) => format!("loop{l}"),
+        });
+        assert!(s.contains("thread 0:"));
+        assert!(s.contains("fn1 x1"));
+    }
+}

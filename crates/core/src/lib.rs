@@ -1,0 +1,58 @@
+//! `dp-core` — the data-dependence profiler itself.
+//!
+//! This crate implements the paper's contribution on top of the substrates:
+//!
+//! - [`algo`] — Algorithm 1: the signature-based dependence-extraction
+//!   step shared by every engine, generic over the
+//!   [`AccessStore`](dp_sig::AccessStore) policy (signature, perfect
+//!   signature, shadow memory, hash table).
+//! - [`seq`] — the serial profiler (Section III): consumes the event
+//!   stream in-line.
+//! - [`parallel`] — the parallel pipeline for sequential targets
+//!   (Section IV, Figure 2): the profiled program's thread routes accesses
+//!   into per-worker queues by `addr % W`; workers keep private signatures
+//!   and duplicate-free dependence maps; hot-address statistics trigger
+//!   redistribution. Generic over the queue, so the lock-free
+//!   ([`dp_queue::MpmcQueue`]) and lock-based ([`dp_queue::LockQueue`])
+//!   builds of Figure 5 share every other line of code.
+//! - [`mt`] — the multi-threaded-target engine (Section V): one tracer per
+//!   target thread, flush-on-unlock for the access/push atomicity of
+//!   Figure 4, and timestamp-reversal detection flagging potential data
+//!   races.
+//! - [`store`] — the merged dependence store (identical dependences are
+//!   counted, not duplicated — the 10⁵× output reduction of Section
+//!   III-B).
+//! - [`loops`] — runtime control-flow tracking (BGN/END records, iteration
+//!   counts) and loop-carried classification.
+//! - [`report`] — the textual output format of Figures 1 and 3.
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod config;
+pub mod exectree;
+pub mod loops;
+pub mod mt;
+pub mod parallel;
+pub mod report;
+pub mod result;
+pub mod seq;
+pub mod store;
+
+pub use algo::{AlgoOptions, AlgoState};
+pub use exectree::{ExecNode, ExecNodeKind, ExecTree};
+pub use config::ProfilerConfig;
+pub use mt::MtProfiler;
+pub use parallel::{ParallelProfiler, WorkerMsg};
+pub use result::{MemoryReport, ProfileResult, ProfileStats};
+pub use seq::SequentialProfiler;
+pub use store::{DepStore, EdgeVal, LoopRecord};
+
+/// Convenience alias: the default signature store (extended slots: source
+/// location + thread + timestamp).
+pub type DefaultSig = dp_sig::Signature<dp_sig::ExtendedSlot>;
+
+/// Convenience alias: compact 4-byte-slot signature (the layout whose
+/// memory numbers the paper reports; no thread/timestamp, so loop-carried
+/// classification and race detection are unavailable).
+pub type CompactSig = dp_sig::Signature<dp_sig::CompactSlot>;

@@ -1,0 +1,134 @@
+//! Profiling results: dependences, statistics and memory accounting.
+
+use crate::algo::AlgoCounters;
+use crate::exectree::ExecTree;
+use crate::store::DepStore;
+
+/// Deterministic memory accounting of the profiler's own data structures —
+/// the quantity Figures 7 and 8 report (there via max-RSS; here summed
+/// from the structures directly so results are machine-independent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// All signature arrays (read+write, all workers).
+    pub signatures: usize,
+    /// Worker queues.
+    pub queues: usize,
+    /// Chunk pool at its high-water mark.
+    pub chunks: usize,
+    /// Merged dependence storage (global + peak of locals).
+    pub dep_store: usize,
+    /// Access statistics and redistribution rules (Section IV-A).
+    pub stats_maps: usize,
+}
+
+impl MemoryReport {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.signatures + self.queues + self.chunks + self.dep_store + self.stats_maps
+    }
+}
+
+/// Aggregate run statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfileStats {
+    /// Events processed across all workers.
+    pub events: u64,
+    /// Memory accesses among them.
+    pub accesses: u64,
+    /// Reads.
+    pub reads: u64,
+    /// Writes.
+    pub writes: u64,
+    /// Dynamic (pre-merge) dependence records.
+    pub deps_built: u64,
+    /// Distinct (merged) dependences.
+    pub deps_merged: u64,
+    /// Chunks pushed through the queues.
+    pub chunks_pushed: u64,
+    /// Redistribution rounds performed.
+    pub redistributions: u64,
+    /// Addresses currently governed by redistribution rules.
+    pub redistributed_addrs: u64,
+    /// REVERSED-flagged dependences (potential races, Section V-B).
+    pub reversed: u64,
+    /// Addresses dropped by variable-lifetime analysis.
+    pub lifetime_removals: u64,
+}
+
+impl ProfileStats {
+    /// Folds a worker's counters in.
+    pub fn absorb(&mut self, c: AlgoCounters) {
+        self.events += c.events;
+        self.accesses += c.accesses;
+        self.reads += c.reads;
+        self.writes += c.writes;
+        self.reversed += c.reversed;
+        self.lifetime_removals += c.lifetime_removals;
+    }
+}
+
+/// The outcome of a profiling run.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileResult {
+    /// Merged global dependence store.
+    pub deps: DepStore,
+    /// Merged dynamic execution tree (Section VIII representation).
+    pub exec_tree: ExecTree,
+    /// Run statistics.
+    pub stats: ProfileStats,
+    /// Memory accounting.
+    pub memory: MemoryReport,
+    /// Profiling workers used (0 = in-line serial engine).
+    pub workers: usize,
+    /// Events processed by each worker — the load-balance view behind
+    /// Section IV-A (redistribution) and the imbalance discussion of
+    /// Section VI-B1. Empty for the in-line serial engine.
+    pub per_worker_events: Vec<u64>,
+}
+
+impl ProfileResult {
+    /// Load imbalance across workers: max/mean of per-worker event
+    /// counts (1.0 = perfectly balanced; meaningless for serial runs).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.per_worker_events.is_empty() {
+            return 1.0;
+        }
+        let max = *self.per_worker_events.iter().max().unwrap() as f64;
+        let mean = self.per_worker_events.iter().sum::<u64>() as f64
+            / self.per_worker_events.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// The E9 merge factor: dynamic records per distinct record.
+    pub fn merge_factor(&self) -> f64 {
+        if self.stats.deps_merged == 0 {
+            1.0
+        } else {
+            self.stats.deps_built as f64 / self.stats.deps_merged as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_total_sums() {
+        let m = MemoryReport { signatures: 1, queues: 2, chunks: 3, dep_store: 4, stats_maps: 5 };
+        assert_eq!(m.total(), 15);
+    }
+
+    #[test]
+    fn merge_factor() {
+        let mut r = ProfileResult::default();
+        assert_eq!(r.merge_factor(), 1.0);
+        r.stats.deps_built = 1000;
+        r.stats.deps_merged = 10;
+        assert_eq!(r.merge_factor(), 100.0);
+    }
+}

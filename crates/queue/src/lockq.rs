@@ -1,0 +1,117 @@
+//! The lock-based comparator queue (Section VI-B1).
+//!
+//! Figure 5 compares the lock-free profiler against an otherwise identical
+//! lock-based build; this queue is the only component swapped. It is a
+//! bounded mutex-protected deque so that, like the lock-free queues, it
+//! applies backpressure rather than growing without bound.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Bounded, mutex-protected FIFO.
+pub struct LockQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    cap: usize,
+}
+
+impl<T> LockQueue<T> {
+    /// Creates a queue holding at most `cap` elements.
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(2);
+        LockQueue { inner: Mutex::new(VecDeque::with_capacity(cap)), cap }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Attempts to enqueue; returns the value back when full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut q = self.inner.lock();
+        if q.len() >= self.cap {
+            return Err(value);
+        }
+        q.push_back(value);
+        Ok(())
+    }
+
+    /// Attempts to dequeue; `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Bytes attributable to this queue.
+    pub fn memory_usage(&self) -> usize {
+        self.cap * std::mem::size_of::<T>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_bounds() {
+        let q = LockQueue::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.push(4), Err(4));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_sum_preserved() {
+        let q = Arc::new(LockQueue::new(64));
+        let total: u64 = (0..4u64 * 10_000).sum();
+        let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let n = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for p in 0..4u64 {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        let mut v = p * 10_000 + i;
+                        while let Err(b) = q.push(v) {
+                            v = b;
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = q.clone();
+                let got = got.clone();
+                let n = n.clone();
+                s.spawn(move || loop {
+                    if let Some(v) = q.pop() {
+                        got.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                        if n.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1 == 40_000 {
+                            return;
+                        }
+                    } else if n.load(std::sync::atomic::Ordering::Relaxed) == 40_000 {
+                        return;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(got.load(std::sync::atomic::Ordering::Relaxed), total);
+    }
+}

@@ -1,0 +1,275 @@
+//! Bounded lock-free multi-producer multi-consumer queue.
+//!
+//! This is Dmitry Vyukov's classic array-based MPMC algorithm: each cell
+//! carries a sequence number that encodes, relative to the enqueue/dequeue
+//! tickets, whether the cell is free, full, or being operated on. The
+//! algorithm is lock-free (a stalled thread can delay at most the cell it
+//! claimed), ABA-safe without memory reclamation (cells are never freed),
+//! and allocation-free after construction — the properties Section IV needs
+//! from the per-worker access queues.
+
+use crate::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Cell<T> {
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free MPMC queue.
+pub struct MpmcQueue<T> {
+    buf: Box<[Cell<T>]>,
+    mask: usize,
+    enq: CachePadded<AtomicUsize>,
+    deq: CachePadded<AtomicUsize>,
+}
+
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// Creates a queue with capacity `cap` (rounded up to a power of two,
+    /// minimum 2).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        let buf: Box<[Cell<T>]> = (0..cap)
+            .map(|i| Cell { seq: AtomicUsize::new(i), val: UnsafeCell::new(MaybeUninit::uninit()) })
+            .collect();
+        MpmcQueue {
+            buf,
+            mask: cap - 1,
+            enq: CachePadded(AtomicUsize::new(0)),
+            deq: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Capacity (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Attempts to enqueue; returns the value back if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enq.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.buf[pos & self.mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // Cell is free for this ticket; try to claim it.
+                match self.enq.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*cell.val.get()).write(value) };
+                        cell.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // The cell still holds an element a full lap behind: full.
+                return Err(value);
+            } else {
+                // Another producer claimed this ticket; refresh.
+                pos = self.enq.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue; `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.deq.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.buf[pos & self.mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self.deq.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*cell.val.get()).assume_init_read() };
+                        cell.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.deq.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate number of queued elements (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        let e = self.enq.load(Ordering::Relaxed);
+        let d = self.deq.load(Ordering::Relaxed);
+        e.saturating_sub(d)
+    }
+
+    /// Approximate emptiness (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes attributable to this queue.
+    pub fn memory_usage(&self) -> usize {
+        self.capacity() * std::mem::size_of::<Cell<T>>() + std::mem::size_of::<Self>()
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MpmcQueue::new(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        assert!(q.push(99).is_err(), "must report full");
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let q: MpmcQueue<u8> = MpmcQueue::new(5);
+        assert_eq!(q.capacity(), 8);
+        let q: MpmcQueue<u8> = MpmcQueue::new(0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let q = MpmcQueue::new(4);
+        for lap in 0..1000u64 {
+            for i in 0..4 {
+                q.push(lap * 4 + i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some(lap * 4 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_releases_remaining() {
+        // Values left in the queue must be dropped exactly once.
+        struct Counted(Arc<AtomicU64>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        {
+            let q = MpmcQueue::new(8);
+            for _ in 0..5 {
+                assert!(q.push(Counted(drops.clone())).is_ok());
+            }
+            let popped = q.pop().unwrap();
+            drop(popped);
+            assert_eq!(drops.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn stress_mpmc_sum_preserved() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER: u64 = 3_000;
+        let q = Arc::new(MpmcQueue::new(256));
+        let produced: u64 = (0..PRODUCERS as u64 * PER).sum();
+        let consumed = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let mut v = p as u64 * PER + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = q.clone();
+                let consumed = consumed.clone();
+                let count = count.clone();
+                s.spawn(move || loop {
+                    if let Some(v) = q.pop() {
+                        consumed.fetch_add(v, Ordering::Relaxed);
+                        if count.fetch_add(1, Ordering::Relaxed) + 1
+                            == PRODUCERS as u64 * PER
+                        {
+                            return;
+                        }
+                    } else if count.load(Ordering::Relaxed) == PRODUCERS as u64 * PER {
+                        return;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), produced);
+    }
+
+    #[test]
+    fn spsc_order_preserved_across_threads() {
+        let q = Arc::new(MpmcQueue::new(64));
+        let qc = q.clone();
+        let h = std::thread::spawn(move || {
+            let mut expect = 0u64;
+            while expect < 20_000 {
+                if let Some(v) = qc.pop() {
+                    assert_eq!(v, expect, "FIFO violated");
+                    expect += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        for i in 0..20_000u64 {
+            let mut v = i;
+            while let Err(back) = q.push(v) {
+                v = back;
+                std::thread::yield_now();
+            }
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,89 @@
+//! The queue abstraction the profiling engines are generic over.
+//!
+//! The lock-free pipeline instantiates the engine with [`MpmcQueue`]; the
+//! lock-based comparator (Figure 5) instantiates the *same* engine with
+//! [`LockQueue`]. Nothing else differs between the two builds, so the
+//! measured gap is attributable to the queues — the claim of Section IV.
+
+use crate::{LockQueue, MpmcQueue};
+
+/// A bounded multi-producer queue usable as a worker's inbox.
+pub trait WorkerQueue<T>: Send + Sync {
+    /// Creates a queue with room for at least `cap` elements.
+    fn with_capacity(cap: usize) -> Self;
+    /// Attempts to enqueue; gives the value back when full (the caller
+    /// backs off, applying backpressure to the instrumented program).
+    fn push(&self, value: T) -> Result<(), T>;
+    /// Attempts to dequeue; `None` when currently empty.
+    fn pop(&self) -> Option<T>;
+    /// Bytes attributable to the queue (memory accounting, Figures 7/8).
+    fn memory_usage(&self) -> usize;
+    /// Short human-readable name for reports ("lock-free", "lock-based").
+    fn kind() -> &'static str;
+}
+
+impl<T: Send> WorkerQueue<T> for MpmcQueue<T> {
+    fn with_capacity(cap: usize) -> Self {
+        MpmcQueue::new(cap)
+    }
+
+    fn push(&self, value: T) -> Result<(), T> {
+        MpmcQueue::push(self, value)
+    }
+
+    fn pop(&self) -> Option<T> {
+        MpmcQueue::pop(self)
+    }
+
+    fn memory_usage(&self) -> usize {
+        MpmcQueue::memory_usage(self)
+    }
+
+    fn kind() -> &'static str {
+        "lock-free"
+    }
+}
+
+impl<T: Send> WorkerQueue<T> for LockQueue<T> {
+    fn with_capacity(cap: usize) -> Self {
+        LockQueue::new(cap)
+    }
+
+    fn push(&self, value: T) -> Result<(), T> {
+        LockQueue::push(self, value)
+    }
+
+    fn pop(&self) -> Option<T> {
+        LockQueue::pop(self)
+    }
+
+    fn memory_usage(&self) -> usize {
+        LockQueue::memory_usage(self)
+    }
+
+    fn kind() -> &'static str {
+        "lock-based"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<Q: WorkerQueue<u32>>() {
+        let q = Q::with_capacity(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.memory_usage() > 0);
+        assert!(!Q::kind().is_empty());
+    }
+
+    #[test]
+    fn both_impls_conform() {
+        exercise::<MpmcQueue<u32>>();
+        exercise::<LockQueue<u32>>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Model-based property tests: every queue must behave exactly like a
+//! bounded `VecDeque` under arbitrary push/pop interleavings
+//! (single-threaded — concurrency is covered by the stress tests in the
+//! unit suites; these pin the sequential semantics the pipeline builds
+//! on: FIFO order, capacity behaviour, emptiness).
+
+use dp_queue::{spsc_ring, LockQueue, MpmcQueue, WorkerQueue};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![3 => any::<u32>().prop_map(Op::Push), 2 => Just(Op::Pop)],
+        1..max,
+    )
+}
+
+fn check_against_model<Q: WorkerQueue<u32>>(cap_pow2: usize, ops: &[Op]) {
+    let q = Q::with_capacity(cap_pow2);
+    let mut model: VecDeque<u32> = VecDeque::new();
+    for &op in ops {
+        match op {
+            Op::Push(v) => {
+                let model_full = model.len() >= cap_pow2;
+                match q.push(v) {
+                    Ok(()) => {
+                        assert!(!model_full, "queue accepted a push beyond capacity");
+                        model.push_back(v);
+                    }
+                    Err(back) => {
+                        assert_eq!(back, v, "rejected push must return the value");
+                        assert!(model_full, "queue rejected a push while below capacity");
+                    }
+                }
+            }
+            Op::Pop => {
+                assert_eq!(q.pop(), model.pop_front(), "FIFO order diverged");
+            }
+        }
+    }
+    // Drain: remaining contents must match exactly.
+    while let Some(expect) = model.pop_front() {
+        assert_eq!(q.pop(), Some(expect));
+    }
+    assert_eq!(q.pop(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mpmc_matches_model(ops in ops(300), cap_shift in 1u32..6) {
+        check_against_model::<MpmcQueue<u32>>(1 << cap_shift, &ops);
+    }
+
+    #[test]
+    fn lockqueue_matches_model(ops in ops(300), cap_shift in 1u32..6) {
+        check_against_model::<LockQueue<u32>>(1 << cap_shift, &ops);
+    }
+
+    #[test]
+    fn spsc_matches_model(ops in ops(300), cap_shift in 1u32..6) {
+        let cap = 1usize << cap_shift;
+        let (p, c) = spsc_ring::<u32>(cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for &op in &ops {
+            match op {
+                Op::Push(v) => match p.push(v) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < cap);
+                        model.push_back(v);
+                    }
+                    Err(back) => {
+                        prop_assert_eq!(back, v);
+                        prop_assert!(model.len() >= cap);
+                    }
+                },
+                Op::Pop => {
+                    prop_assert_eq!(c.pop(), model.pop_front());
+                }
+            }
+        }
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(c.pop(), Some(expect));
+        }
+        prop_assert_eq!(c.pop(), None);
+    }
+}
+
+/// Cross-thread FIFO per producer through the MPMC queue: with two
+/// producers pushing tagged sequences, each producer's values must arrive
+/// in its program order (the property the parallel pipeline's per-address
+/// soundness rests on).
+#[test]
+fn mpmc_per_producer_fifo_under_concurrency() {
+    use std::sync::Arc;
+    const PER: u64 = 20_000;
+    let q = Arc::new(MpmcQueue::<u64>::new(128));
+    let mut handles = Vec::new();
+    for p in 0..2u64 {
+        let q = q.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER {
+                let mut v = (p << 32) | i;
+                while let Err(back) = q.push(v) {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+    let mut last = [0u64, 0];
+    let mut seen = 0u64;
+    while seen < 2 * PER {
+        if let Some(v) = q.pop() {
+            let p = (v >> 32) as usize;
+            let i = v & 0xffff_ffff;
+            assert!(
+                i == 0 || i >= last[p],
+                "producer {p} out of order: {i} after {}",
+                last[p]
+            );
+            last[p] = i;
+            seen += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,103 @@
+//! The signature's single hash function.
+//!
+//! The paper deliberately uses *one* hash function (not the k hashes of a
+//! Bloom filter) "to simplify the removal of elements because it is
+//! required by variable lifetime analysis": with a single hash, removing an
+//! address is clearing one slot. We use multiply-shift (Fibonacci) hashing,
+//! which distributes both sequential and strided addresses well and costs
+//! one multiplication per access.
+
+use dp_types::Address;
+
+/// Golden-ratio multiplier (Knuth's multiplicative hashing constant for
+/// 64-bit words).
+const PHI64: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Maps an address to a slot index in `[0, nslots)`.
+///
+/// `nslots` need not be a power of two: the high 64 bits of the 128-bit
+/// product `mix * nslots` give an unbiased range reduction (Lemire's
+/// method), so arbitrary slot counts such as the paper's 10⁶/10⁷/10⁸ work
+/// without rounding.
+#[derive(Debug, Clone, Copy)]
+pub struct SigHash {
+    nslots: u64,
+}
+
+impl SigHash {
+    /// Creates a hash for a signature with `nslots` slots (must be ≥ 1).
+    pub fn new(nslots: usize) -> Self {
+        assert!(nslots >= 1, "signature needs at least one slot");
+        SigHash { nslots: nslots as u64 }
+    }
+
+    /// Number of slots this hash targets.
+    #[inline]
+    pub fn nslots(&self) -> usize {
+        self.nslots as usize
+    }
+
+    /// The slot index for `addr`.
+    #[inline]
+    pub fn index(&self, addr: Address) -> usize {
+        let mut x = addr.wrapping_mul(PHI64);
+        // One xor-shift round keeps high-bit entropy flowing into the
+        // Lemire reduction for small strides.
+        x ^= x >> 32;
+        (((x as u128) * (self.nslots as u128)) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_in_range() {
+        for nslots in [1usize, 2, 3, 1000, 1 << 20, 999_983] {
+            let h = SigHash::new(nslots);
+            for a in [0u64, 1, 0xdead_beef, u64::MAX, 0x7fff_ffff_ffff_fff8] {
+                assert!(h.index(a) < nslots, "addr {a:#x} nslots {nslots}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = SigHash::new(4096);
+        assert_eq!(h.index(0x1234), h.index(0x1234));
+    }
+
+    #[test]
+    fn strided_addresses_spread() {
+        // 8-byte strided walk (the dominant pattern in array code) should
+        // fill most of the table, not a subgroup.
+        let n = 4096usize;
+        let h = SigHash::new(n);
+        let mut hit = vec![false; n];
+        for i in 0..n as u64 {
+            hit[h.index(0x7f00_0000_0000 + i * 8)] = true;
+        }
+        let filled = hit.iter().filter(|&&b| b).count();
+        assert!(filled > n / 2, "only {filled}/{n} slots used");
+    }
+
+    #[test]
+    fn non_power_of_two_unbiased_ish() {
+        let n = 1000usize;
+        let h = SigHash::new(n);
+        let mut counts = vec![0u32; n];
+        for i in 0..100_000u64 {
+            counts[h.index(i * 8 + 0x1000)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 220 && min > 20, "imbalanced: min={min} max={max}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_slots_rejected() {
+        let _ = SigHash::new(0);
+    }
+}

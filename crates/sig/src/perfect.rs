@@ -1,0 +1,112 @@
+//! The "perfect signature" accuracy baseline (Section VI-A).
+//!
+//! "Essentially, the perfect signature is a table where each memory address
+//! has its own entry, so that false positives are never produced." We use a
+//! hash map with the fast Fx hasher; exactness, not speed, is its job —
+//! it defines ground truth for the FPR/FNR measurements of Table I.
+
+use crate::entry::SigEntry;
+use crate::store::AccessStore;
+use dp_types::{Address, FxHashMap};
+
+/// Exact per-address access store.
+#[derive(Debug, Default, Clone)]
+pub struct PerfectSignature {
+    map: FxHashMap<Address, SigEntry>,
+}
+
+impl PerfectSignature {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates with capacity for `n` addresses.
+    pub fn with_capacity(n: usize) -> Self {
+        PerfectSignature { map: FxHashMap::with_capacity_and_hasher(n, Default::default()) }
+    }
+
+    /// Extracts (returns and removes) the entry for `addr`.
+    pub fn take(&mut self, addr: Address) -> Option<SigEntry> {
+        self.map.remove(&addr)
+    }
+}
+
+impl AccessStore for PerfectSignature {
+    const APPROXIMATE: bool = false;
+    const HAS_TS: bool = true;
+    const HAS_THREAD: bool = true;
+
+    #[inline]
+    fn get(&self, addr: Address) -> Option<SigEntry> {
+        self.map.get(&addr).copied()
+    }
+
+    #[inline]
+    fn put(&mut self, addr: Address, entry: SigEntry) {
+        self.map.insert(addr, entry);
+    }
+
+    #[inline]
+    fn remove(&mut self, addr: Address) {
+        self.map.remove(&addr);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn occupied(&self) -> usize {
+        self.map.len()
+    }
+
+    fn memory_usage(&self) -> usize {
+        // hashbrown stores (K, V) plus one control byte per bucket.
+        self.map.capacity() * (std::mem::size_of::<(Address, SigEntry)>() + 1)
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_types::loc::loc;
+
+    fn e(line: u32) -> SigEntry {
+        SigEntry::new(loc(1, line), 0, 0)
+    }
+
+    #[test]
+    fn exactness_no_cross_talk() {
+        let mut p = PerfectSignature::new();
+        // Addresses that would collide in any small signature stay distinct.
+        for i in 0..10_000u64 {
+            p.put(i * 8, e(i as u32 % 1000 + 1));
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(p.get(i * 8).unwrap().loc.line, i as u32 % 1000 + 1);
+        }
+        assert_eq!(p.occupied(), 10_000);
+    }
+
+    #[test]
+    fn remove_and_take() {
+        let mut p = PerfectSignature::new();
+        p.put(0x8, e(1));
+        assert_eq!(p.take(0x8).unwrap().loc.line, 1);
+        assert_eq!(p.get(0x8), None);
+        p.put(0x8, e(2));
+        p.remove(0x8);
+        assert_eq!(p.get(0x8), None);
+    }
+
+    #[test]
+    fn memory_grows_with_footprint() {
+        let mut p = PerfectSignature::new();
+        let m0 = p.memory_usage();
+        for i in 0..100_000u64 {
+            p.put(i * 8, e(1));
+        }
+        assert!(p.memory_usage() > m0 + 100_000 * std::mem::size_of::<SigEntry>() / 2);
+    }
+}

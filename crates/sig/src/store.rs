@@ -1,0 +1,44 @@
+//! The access-store abstraction every profiling engine is generic over.
+
+use crate::entry::SigEntry;
+use dp_types::Address;
+
+/// Remembers the most recent access entry per address.
+///
+/// Two instances are used per profiled address space — one for reads, one
+/// for writes (Algorithm 1). Implementations may be approximate
+/// ([`Signature`](crate::Signature)) or exact
+/// ([`PerfectSignature`](crate::PerfectSignature),
+/// [`ShadowMemory`](crate::ShadowMemory), [`HashHistory`](crate::HashHistory)).
+pub trait AccessStore: Send {
+    /// Whether lookups can return an entry written for a *different*
+    /// (colliding) address. Exact stores return `false`.
+    const APPROXIMATE: bool;
+    /// Whether entries preserve timestamps (see
+    /// [`Slot::HAS_TS`](crate::Slot::HAS_TS)).
+    const HAS_TS: bool;
+    /// Whether entries preserve thread ids.
+    const HAS_THREAD: bool;
+
+    /// The membership check: the last recorded entry for `addr`, if any.
+    fn get(&self, addr: Address) -> Option<SigEntry>;
+
+    /// Insertion: records `entry` as the latest access to `addr`.
+    fn put(&mut self, addr: Address, entry: SigEntry);
+
+    /// Removal, for variable-lifetime analysis: forget `addr`. On an
+    /// approximate store this clears the slot `addr` hashes to, which may
+    /// also forget a colliding address — the accepted cost of the
+    /// single-hash design (Section III-B).
+    fn remove(&mut self, addr: Address);
+
+    /// Drops all entries.
+    fn clear(&mut self);
+
+    /// Number of occupied slots/entries (diagnostic).
+    fn occupied(&self) -> usize;
+
+    /// Bytes of memory attributable to this store, for the accounting
+    /// behind Figures 7/8.
+    fn memory_usage(&self) -> usize;
+}

@@ -1,0 +1,467 @@
+//! Ergonomic construction of MiniVM programs.
+//!
+//! The builder plays the role of the compiler front-end: it assigns one
+//! source line per statement (file 1, lines increasing in program order),
+//! lays out globals in a flat simulated address space, interns variable
+//! names, registers loop metadata (including the OpenMP ground truth used
+//! by Table II), and stamps every traced load/store expression with its
+//! statement's location — the information the paper's LLVM pass extracts
+//! from debug metadata.
+
+use crate::ir::{
+    ArrayDecl, ArrayId, BinOp, Expr, FuncId, LocalId, LoopInfo, Program, ScalarDecl, ScalarId,
+    Stmt,
+};
+use dp_types::{Address, Interner, LoopId, MutexId, SourceLoc};
+
+/// Reserved local register: thread id inside a spawned function.
+pub const LOCAL_TID: LocalId = 0;
+/// Reserved local register: thread count inside a spawned function.
+pub const LOCAL_NTHREADS: LocalId = 1;
+
+const FILE: u8 = 1;
+const ARRAY_GAP: u64 = 256; // bytes between array allocations
+
+/// Builds a [`Program`].
+pub struct ProgramBuilder {
+    name: String,
+    interner: Interner,
+    arrays: Vec<ArrayDecl>,
+    scalars: Vec<ScalarDecl>,
+    loops: Vec<LoopInfo>,
+    funcs: Vec<Vec<Stmt>>,
+    func_names: Vec<String>,
+    nlocals: u32,
+    nmutexes: u32,
+    next_line: u32,
+    next_addr: Address,
+    seed: u64,
+}
+
+impl ProgramBuilder {
+    /// Starts a program called `name`. The value-RNG seed is derived from
+    /// the name, so workloads are fully deterministic.
+    pub fn new(name: &str) -> Self {
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1_0000_01b3)
+        });
+        ProgramBuilder {
+            name: name.to_owned(),
+            interner: Interner::new(),
+            arrays: Vec::new(),
+            scalars: Vec::new(),
+            loops: Vec::new(),
+            funcs: Vec::new(),
+            func_names: Vec::new(),
+            nlocals: 2, // LOCAL_TID, LOCAL_NTHREADS
+            nmutexes: 0,
+            next_line: 1,
+            next_addr: 0x0010_0000,
+            seed,
+        }
+    }
+
+    /// Declares a global array of `len` 8-byte elements.
+    pub fn array(&mut self, name: &str, len: u64) -> ArrayId {
+        assert!(len > 0, "zero-length array {name}");
+        let id = self.arrays.len() as ArrayId;
+        let base = self.next_addr;
+        self.next_addr += len * 8 + ARRAY_GAP;
+        self.arrays.push(ArrayDecl { name: self.interner.intern(name), len, base });
+        id
+    }
+
+    /// Declares an array that *reuses* the address range of `other`
+    /// (models a fresh allocation landing on freed memory — the scenario
+    /// variable-lifetime analysis exists for). `other` must be freed
+    /// before this array is used.
+    pub fn array_reusing(&mut self, name: &str, other: ArrayId) -> ArrayId {
+        let old = &self.arrays[other as usize];
+        let decl = ArrayDecl { name: self.interner.intern(name), len: old.len, base: old.base };
+        let id = self.arrays.len() as ArrayId;
+        self.arrays.push(decl);
+        id
+    }
+
+    /// Declares a global scalar.
+    pub fn scalar(&mut self, name: &str) -> ScalarId {
+        let id = self.scalars.len() as ScalarId;
+        let addr = self.next_addr;
+        self.next_addr += 8;
+        self.scalars.push(ScalarDecl { name: self.interner.intern(name), addr });
+        id
+    }
+
+    /// Declares an explicit lock.
+    pub fn mutex(&mut self) -> MutexId {
+        let id = self.nmutexes;
+        self.nmutexes += 1;
+        id
+    }
+
+    /// Allocates a fresh local register.
+    pub fn local(&mut self) -> LocalId {
+        let id = self.nlocals;
+        self.nlocals += 1;
+        id
+    }
+
+    /// Defines a function; returns its id for [`FuncBuilder::call`] /
+    /// [`FuncBuilder::spawn`].
+    pub fn func(&mut self, build: impl FnOnce(&mut FuncBuilder<'_>)) -> FuncId {
+        let name = format!("fn{}", self.funcs.len());
+        self.named_func(&name, build)
+    }
+
+    /// Defines a function with an explicit name (shown in the call-tree
+    /// representation).
+    pub fn named_func(
+        &mut self,
+        name: &str,
+        build: impl FnOnce(&mut FuncBuilder<'_>),
+    ) -> FuncId {
+        let mut fb = FuncBuilder { pb: self, stmts: Vec::new() };
+        build(&mut fb);
+        let stmts = fb.stmts;
+        let id = self.funcs.len() as FuncId;
+        self.funcs.push(stmts);
+        self.func_names.push(name.to_owned());
+        id
+    }
+
+    /// Defines `main` and finishes the program. `main` must be the last
+    /// function defined.
+    pub fn main(mut self, build: impl FnOnce(&mut FuncBuilder<'_>)) -> Program {
+        let entry = self.named_func("main", build);
+        Program {
+            name: self.name,
+            funcs: self.funcs,
+            func_names: self.func_names,
+            entry,
+            arrays: self.arrays,
+            scalars: self.scalars,
+            loops: self.loops,
+            nlocals: self.nlocals,
+            nmutexes: self.nmutexes,
+            interner: self.interner,
+            seed: self.seed,
+        }
+    }
+
+    fn take_line(&mut self) -> u32 {
+        let l = self.next_line;
+        self.next_line += 1;
+        l
+    }
+}
+
+/// Statement-level builder for one function body (and, recursively, for
+/// loop and branch bodies).
+pub struct FuncBuilder<'b> {
+    pb: &'b mut ProgramBuilder,
+    stmts: Vec<Stmt>,
+}
+
+impl FuncBuilder<'_> {
+    fn line(&mut self) -> SourceLoc {
+        SourceLoc::new(FILE, self.pb.take_line())
+    }
+
+    /// `arr[idx] = val` (both expressions may contain traced loads; they
+    /// are stamped with this statement's line).
+    pub fn store(&mut self, arr: ArrayId, idx: Expr, val: Expr) {
+        let l = self.line();
+        self.stmts.push(Stmt::StoreArr(arr, stamp(idx, l), stamp(val, l), l));
+    }
+
+    /// `scalar = val`.
+    pub fn store_scalar(&mut self, s: ScalarId, val: Expr) {
+        let l = self.line();
+        self.stmts.push(Stmt::StoreScalar(s, stamp(val, l), l));
+    }
+
+    /// `local = val` (untraced destination; loads inside `val` are traced).
+    pub fn set_local(&mut self, lv: LocalId, val: Expr) {
+        let l = self.line();
+        self.stmts.push(Stmt::SetLocal(lv, stamp(val, l)));
+    }
+
+    /// A counted loop. `omp` records the ground-truth OpenMP annotation.
+    /// The body closure receives the induction variable as an expression.
+    pub fn for_loop(
+        &mut self,
+        name: &str,
+        omp: bool,
+        from: Expr,
+        to: Expr,
+        body: impl FnOnce(&mut FuncBuilder<'_>, Expr),
+    ) -> LoopId {
+        let begin = self.line();
+        let var = self.pb.local();
+        let loop_id = self.pb.loops.len() as LoopId;
+        self.pb.loops.push(LoopInfo {
+            id: loop_id,
+            name: name.to_owned(),
+            begin,
+            end: begin, // patched below
+            omp,
+        });
+        let saved = std::mem::take(&mut self.stmts);
+        body(self, Expr::Local(var));
+        let body_stmts = std::mem::replace(&mut self.stmts, saved);
+        let end = self.line();
+        self.pb.loops[loop_id as usize].end = end;
+        self.stmts.push(Stmt::For {
+            loop_id,
+            var,
+            from: stamp(from, begin),
+            to: stamp(to, begin),
+            body: body_stmts,
+        });
+        loop_id
+    }
+
+    /// Conditional. Loads in `cond` are stamped with the `if` line.
+    pub fn if_(
+        &mut self,
+        cond: Expr,
+        then_: impl FnOnce(&mut FuncBuilder<'_>),
+        else_: impl FnOnce(&mut FuncBuilder<'_>),
+    ) {
+        let l = self.line();
+        let saved = std::mem::take(&mut self.stmts);
+        then_(self);
+        let t = std::mem::take(&mut self.stmts);
+        else_(self);
+        let e = std::mem::replace(&mut self.stmts, saved);
+        self.stmts.push(Stmt::If { cond: stamp(cond, l), then_: t, else_: e });
+    }
+
+    /// Calls a previously defined function.
+    pub fn call(&mut self, f: FuncId) {
+        self.pb.take_line();
+        self.stmts.push(Stmt::Call(f));
+    }
+
+    /// Acquires an explicit lock.
+    pub fn lock(&mut self, m: MutexId) {
+        self.pb.take_line();
+        self.stmts.push(Stmt::Lock(m));
+    }
+
+    /// Releases an explicit lock.
+    pub fn unlock(&mut self, m: MutexId) {
+        self.pb.take_line();
+        self.stmts.push(Stmt::Unlock(m));
+    }
+
+    /// Barrier across the threads of the enclosing spawn.
+    pub fn barrier(&mut self) {
+        self.pb.take_line();
+        self.stmts.push(Stmt::Barrier);
+    }
+
+    /// Fork-join parallel section (only valid in `main`).
+    pub fn spawn(&mut self, nthreads: u32, func: FuncId) {
+        self.pb.take_line();
+        self.stmts.push(Stmt::Spawn { nthreads, func });
+    }
+
+    /// Frees an array (emits the lifetime event).
+    pub fn free(&mut self, arr: ArrayId) {
+        let l = self.line();
+        self.stmts.push(Stmt::Free(arr, l));
+    }
+
+    /// Traced array load, for use inside expressions.
+    pub fn ld(&self, arr: ArrayId, idx: Expr) -> Expr {
+        Expr::LoadArr(arr, Box::new(idx), SourceLoc::new(FILE, 0))
+    }
+
+    /// Traced scalar load, for use inside expressions.
+    pub fn lds(&self, s: ScalarId) -> Expr {
+        Expr::LoadScalar(s, SourceLoc::new(FILE, 0))
+    }
+
+    /// Fresh local register (for temporaries).
+    pub fn local(&mut self) -> LocalId {
+        self.pb.local()
+    }
+}
+
+/// Recursively stamps every traced load in `e` with location `l`.
+fn stamp(e: Expr, l: SourceLoc) -> Expr {
+    match e {
+        Expr::LoadScalar(s, _) => Expr::LoadScalar(s, l),
+        Expr::LoadArr(a, idx, _) => Expr::LoadArr(a, Box::new(stamp(*idx, l)), l),
+        Expr::Bin(op, a, b) => Expr::Bin(op, Box::new(stamp(*a, l)), Box::new(stamp(*b, l))),
+        Expr::Rand(b) => Expr::Rand(Box::new(stamp(*b, l))),
+        other => other,
+    }
+}
+
+/// Integer literal expression.
+pub fn c(v: i64) -> Expr {
+    Expr::Const(v)
+}
+
+/// Local-register read (use with ids from [`ProgramBuilder::local`] or the
+/// reserved [`LOCAL_TID`]/[`LOCAL_NTHREADS`]).
+pub fn lv(l: LocalId) -> Expr {
+    Expr::Local(l)
+}
+
+/// The thread-id expression inside a spawned function.
+pub fn tid() -> Expr {
+    Expr::Local(LOCAL_TID)
+}
+
+/// The thread-count expression inside a spawned function.
+pub fn nthreads() -> Expr {
+    Expr::Local(LOCAL_NTHREADS)
+}
+
+/// Deterministic pseudo-random value in `[0, bound)`.
+pub fn rnd(bound: Expr) -> Expr {
+    Expr::Rand(Box::new(bound))
+}
+
+macro_rules! binop_fn {
+    ($(#[$m:meta])* $name:ident, $op:ident) => {
+        $(#[$m])*
+        pub fn $name(a: Expr, b: Expr) -> Expr {
+            Expr::Bin(BinOp::$op, Box::new(a), Box::new(b))
+        }
+    };
+}
+
+binop_fn!(
+    /// Integer division (0 when dividing by zero).
+    div, Div);
+binop_fn!(
+    /// Remainder (0 when dividing by zero).
+    imod, Mod);
+binop_fn!(
+    /// Bitwise and.
+    band, And);
+binop_fn!(
+    /// Bitwise xor.
+    bxor, Xor);
+binop_fn!(
+    /// Logical shift right.
+    shr, Shr);
+binop_fn!(
+    /// Shift left.
+    shl, Shl);
+binop_fn!(
+    /// Minimum.
+    emin, Min);
+binop_fn!(
+    /// Maximum.
+    emax, Max);
+binop_fn!(
+    /// 1 if `a < b` else 0.
+    lt, Lt);
+binop_fn!(
+    /// 1 if `a == b` else 0.
+    eq, Eq);
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_sequential_and_loops_bracket_bodies() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 16);
+        let p = b.main(|f| {
+            f.store(a, c(0), c(1)); // line 1
+            f.for_loop("l", true, c(0), c(4), |f, i| {
+                // loop header line 2
+                f.store(a, i.clone(), i); // line 3
+            }); // end line 4
+            f.store(a, c(1), c(2)); // line 5
+        });
+        assert_eq!(p.loops.len(), 1);
+        assert_eq!(p.loops[0].begin.line, 2);
+        assert_eq!(p.loops[0].end.line, 4);
+        assert!(p.loops[0].omp);
+        match &p.funcs[p.entry as usize][2] {
+            Stmt::StoreArr(_, _, _, l) => assert_eq!(l.line, 5),
+            s => panic!("unexpected stmt {s:?}"),
+        }
+    }
+
+    #[test]
+    fn loads_get_stamped_with_statement_line() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 8);
+        let s = b.scalar("s");
+        let p = b.main(|f| {
+            let e = f.ld(a, f.lds(s));
+            f.store_scalar(s, e); // line 1
+        });
+        match &p.funcs[p.entry as usize][0] {
+            Stmt::StoreScalar(_, Expr::LoadArr(_, idx, l), sl) => {
+                assert_eq!(l.line, 1);
+                assert_eq!(sl.line, 1);
+                match &**idx {
+                    Expr::LoadScalar(_, il) => assert_eq!(il.line, 1),
+                    e => panic!("{e:?}"),
+                }
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn address_layout_disjoint() {
+        let mut b = ProgramBuilder::new("t");
+        let a1 = b.array("a1", 100);
+        let a2 = b.array("a2", 50);
+        let s = b.scalar("s");
+        let p = b.main(|_| {});
+        let a1d = &p.arrays[a1 as usize];
+        let a2d = &p.arrays[a2 as usize];
+        assert!(a1d.base + a1d.len * 8 <= a2d.base);
+        assert!(a2d.base + a2d.len * 8 <= p.scalars[s as usize].addr);
+        assert_eq!(p.address_footprint(), 151);
+    }
+
+    #[test]
+    fn array_reusing_shares_base() {
+        let mut b = ProgramBuilder::new("t");
+        let a1 = b.array("a1", 10);
+        let a2 = b.array_reusing("a2", a1);
+        let p = b.main(|_| {});
+        assert_eq!(p.arrays[a1 as usize].base, p.arrays[a2 as usize].base);
+    }
+
+    #[test]
+    fn seed_depends_on_name() {
+        let p1 = ProgramBuilder::new("a").main(|_| {});
+        let p2 = ProgramBuilder::new("b").main(|_| {});
+        assert_ne!(p1.seed, p2.seed);
+    }
+}

@@ -1,0 +1,293 @@
+//! Direct instrumentation of native Rust kernels.
+//!
+//! The MiniVM IR is the substrate for the paper's benchmarks, but the
+//! profiler itself only consumes [`TraceEvent`]s — so any Rust code can be
+//! profiled by routing its memory accesses through [`TracedVec`] /
+//! [`TracedCell`]. Source locations are captured automatically via
+//! `#[track_caller]`, which plays the role of the LLVM pass reading debug
+//! metadata: dependences reported by the profiler point at real lines of
+//! your `.rs` file.
+//!
+//! This is the API the `quickstart` example uses.
+
+use crate::tracer::Tracer;
+use dp_types::{Address, Interner, MemAccess, SourceLoc, ThreadId, TraceEvent, VarId};
+use std::cell::{Cell, RefCell};
+use std::panic::Location;
+
+/// Single-threaded instrumentation context: owns the tracer, the timestamp
+/// counter, a simulated address allocator and the variable-name interner.
+pub struct TracerHandle<T: Tracer> {
+    tracer: RefCell<T>,
+    ts: Cell<u64>,
+    next_addr: Cell<Address>,
+    interner: RefCell<Interner>,
+    files: RefCell<Vec<&'static str>>,
+    next_loop: Cell<u32>,
+}
+
+impl<T: Tracer> TracerHandle<T> {
+    /// Wraps a tracer (typically a profiling engine).
+    pub fn new(tracer: T) -> Self {
+        TracerHandle {
+            tracer: RefCell::new(tracer),
+            ts: Cell::new(1),
+            next_addr: Cell::new(0x0100_0000),
+            interner: RefCell::new(Interner::new()),
+            files: RefCell::new(Vec::new()),
+            next_loop: Cell::new(0),
+        }
+    }
+
+    /// Finishes instrumentation, returning the tracer and the interner
+    /// needed to resolve variable names in reports.
+    pub fn finish(self) -> (T, Interner) {
+        let mut t = self.tracer.into_inner();
+        t.sync_point();
+        (t, self.interner.into_inner())
+    }
+
+    fn next_ts(&self) -> u64 {
+        let t = self.ts.get();
+        self.ts.set(t + 1);
+        t
+    }
+
+    fn alloc(&self, words: u64) -> Address {
+        let a = self.next_addr.get();
+        self.next_addr.set(a + words * 8 + 64);
+        a
+    }
+
+    fn intern(&self, name: &str) -> VarId {
+        self.interner.borrow_mut().intern(name)
+    }
+
+    fn file_id(&self, name: &'static str) -> u8 {
+        let mut files = self.files.borrow_mut();
+        if let Some(i) = files.iter().position(|&f| f == name) {
+            (i + 1) as u8
+        } else {
+            files.push(name);
+            files.len() as u8
+        }
+    }
+
+    fn loc_of(&self, caller: &'static Location<'static>) -> SourceLoc {
+        SourceLoc::new(self.file_id(caller.file()), caller.line())
+    }
+
+    fn emit(&self, ev: TraceEvent) {
+        self.tracer.borrow_mut().event(ev);
+    }
+
+    /// Announces entry into a loop; pair with [`TracerHandle::loop_iter`] /
+    /// [`TracerHandle::loop_end`]. Returns the loop id.
+    #[track_caller]
+    pub fn loop_begin(&self) -> u32 {
+        let id = self.next_loop.get();
+        self.next_loop.set(id + 1);
+        let loc = self.loc_of(Location::caller());
+        self.emit(TraceEvent::LoopBegin { loop_id: id, loc, thread: 0, ts: self.next_ts() });
+        id
+    }
+
+    /// Announces the start of iteration `iter` of loop `id`.
+    pub fn loop_iter(&self, id: u32, iter: u64) {
+        self.emit(TraceEvent::LoopIter { loop_id: id, iter, thread: 0, ts: self.next_ts() });
+    }
+
+    /// Announces loop exit after `iters` iterations.
+    #[track_caller]
+    pub fn loop_end(&self, id: u32, iters: u64) {
+        let loc = self.loc_of(Location::caller());
+        self.emit(TraceEvent::LoopEnd { loop_id: id, loc, iters, thread: 0, ts: self.next_ts() });
+    }
+
+    const THREAD: ThreadId = 0;
+}
+
+/// An instrumented `Vec<i64>`: every `get`/`set` emits a traced access at
+/// the caller's source line.
+pub struct TracedVec<'h, T: Tracer> {
+    handle: &'h TracerHandle<T>,
+    data: Vec<i64>,
+    base: Address,
+    var: VarId,
+}
+
+impl<'h, T: Tracer> TracedVec<'h, T> {
+    /// Allocates an instrumented vector of `len` zeros named `name`.
+    pub fn new(handle: &'h TracerHandle<T>, name: &str, len: usize) -> Self {
+        TracedVec {
+            handle,
+            data: vec![0; len],
+            base: handle.alloc(len as u64),
+            var: handle.intern(name),
+        }
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Traced read of element `i`.
+    #[track_caller]
+    pub fn get(&self, i: usize) -> i64 {
+        let loc = self.handle.loc_of(Location::caller());
+        self.handle.emit(TraceEvent::Access(MemAccess::read(
+            self.base + i as u64 * 8,
+            self.handle.next_ts(),
+            loc,
+            self.var,
+            TracerHandle::<T>::THREAD,
+        )));
+        self.data[i]
+    }
+
+    /// Traced write of element `i`.
+    #[track_caller]
+    pub fn set(&mut self, i: usize, v: i64) {
+        let loc = self.handle.loc_of(Location::caller());
+        self.data[i] = v;
+        self.handle.emit(TraceEvent::Access(MemAccess::write(
+            self.base + i as u64 * 8,
+            self.handle.next_ts(),
+            loc,
+            self.var,
+            TracerHandle::<T>::THREAD,
+        )));
+    }
+
+    /// Frees the vector, emitting the lifetime event that lets the
+    /// profiler forget these addresses (Section III-B).
+    pub fn free(self) {
+        self.handle.emit(TraceEvent::Dealloc {
+            base: self.base,
+            len: self.data.len() as u64,
+            thread: TracerHandle::<T>::THREAD,
+            ts: self.handle.next_ts(),
+        });
+    }
+}
+
+/// An instrumented scalar variable.
+pub struct TracedCell<'h, T: Tracer> {
+    handle: &'h TracerHandle<T>,
+    value: i64,
+    addr: Address,
+    var: VarId,
+}
+
+impl<'h, T: Tracer> TracedCell<'h, T> {
+    /// Allocates an instrumented scalar named `name`.
+    pub fn new(handle: &'h TracerHandle<T>, name: &str, value: i64) -> Self {
+        TracedCell { handle, value, addr: handle.alloc(1), var: handle.intern(name) }
+    }
+
+    /// Traced read.
+    #[track_caller]
+    pub fn get(&self) -> i64 {
+        let loc = self.handle.loc_of(Location::caller());
+        self.handle.emit(TraceEvent::Access(MemAccess::read(
+            self.addr,
+            self.handle.next_ts(),
+            loc,
+            self.var,
+            TracerHandle::<T>::THREAD,
+        )));
+        self.value
+    }
+
+    /// Traced write.
+    #[track_caller]
+    pub fn set(&mut self, v: i64) {
+        let loc = self.handle.loc_of(Location::caller());
+        self.value = v;
+        self.handle.emit(TraceEvent::Access(MemAccess::write(
+            self.addr,
+            self.handle.next_ts(),
+            loc,
+            self.var,
+            TracerHandle::<T>::THREAD,
+        )));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::CollectTracer;
+    use dp_types::AccessKind;
+
+    #[test]
+    fn accesses_carry_caller_lines_and_names() {
+        let h = TracerHandle::new(CollectTracer::new());
+        let mut v = TracedVec::new(&h, "data", 4);
+        v.set(0, 7);
+        let line_of_set = line!() - 1;
+        assert_eq!(v.get(0), 7);
+        let (t, interner) = h.finish();
+        let a: Vec<_> = t.events.iter().filter_map(|e| e.as_access()).collect();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].kind, AccessKind::Write);
+        assert_eq!(a[0].loc.line, line_of_set);
+        assert_eq!(a[1].kind, AccessKind::Read);
+        assert_eq!(a[0].addr, a[1].addr);
+        assert_eq!(interner.resolve(a[0].var), "data");
+    }
+
+    #[test]
+    fn distinct_allocations_distinct_addresses() {
+        let h = TracerHandle::new(CollectTracer::new());
+        let mut v1 = TracedVec::new(&h, "a", 10);
+        let mut v2 = TracedVec::new(&h, "b", 10);
+        let mut c = TracedCell::new(&h, "s", 0);
+        v1.set(9, 1);
+        v2.set(0, 2);
+        c.set(3);
+        let (t, _) = h.finish();
+        let addrs: Vec<_> =
+            t.events.iter().filter_map(|e| e.as_access()).map(|a| a.addr).collect();
+        assert_eq!(addrs.len(), 3);
+        assert!(addrs[0] < addrs[1] && addrs[1] < addrs[2]);
+    }
+
+    #[test]
+    fn loop_events_and_free() {
+        let h = TracerHandle::new(CollectTracer::new());
+        let v = TracedVec::new(&h, "x", 2);
+        let l = h.loop_begin();
+        for i in 0..2u64 {
+            h.loop_iter(l, i);
+            let _ = v.get(i as usize);
+        }
+        h.loop_end(l, 2);
+        v.free();
+        let (t, _) = h.finish();
+        assert!(matches!(t.events[0], TraceEvent::LoopBegin { loop_id: 0, .. }));
+        assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Dealloc { len: 2, .. })));
+        assert!(matches!(
+            t.events[t.events.len() - 2],
+            TraceEvent::LoopEnd { iters: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn timestamps_increase() {
+        let h = TracerHandle::new(CollectTracer::new());
+        let mut v = TracedVec::new(&h, "x", 8);
+        for i in 0..8 {
+            v.set(i, i as i64);
+        }
+        let (t, _) = h.finish();
+        let ts: Vec<_> = t.events.iter().map(|e| e.ts()).collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

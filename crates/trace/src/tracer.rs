@@ -1,0 +1,115 @@
+//! Tracers: where instrumentation events go.
+//!
+//! The [`Tracer`]/[`TracerFactory`] traits live in `dp-types` (shared
+//! vocabulary); this module re-exports them and provides the two
+//! front-end-side implementations: [`NullTracer`] (uninstrumented
+//! baseline) and [`CollectTracer`] (buffering, for tests and for feeding
+//! one recorded stream to several engines).
+
+pub use dp_types::{Tracer, TracerFactory};
+
+use dp_types::TraceEvent;
+
+/// Discards everything; `enabled() == false`. Running the interpreter with
+/// this tracer measures native (uninstrumented) execution time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn event(&mut self, _ev: TraceEvent) {}
+}
+
+/// Buffers every event in order — handy for tests and for feeding the same
+/// stream to several engines (accuracy comparisons).
+#[derive(Debug, Default)]
+pub struct CollectTracer {
+    /// The collected events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl CollectTracer {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tracer for CollectTracer {
+    fn event(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+}
+
+/// Factory of [`NullTracer`]s: the uninstrumented baseline for
+/// multi-threaded runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullFactory;
+
+impl TracerFactory for NullFactory {
+    type Tracer = NullTracer;
+
+    fn tracer(&self, _tid: dp_types::ThreadId) -> NullTracer {
+        NullTracer
+    }
+
+    fn join(&self, _tid: dp_types::ThreadId, _tracer: NullTracer) {}
+}
+
+/// Factory that collects every thread's events into one shared vector
+/// (test helper; ordering across threads is arrival order).
+#[derive(Debug, Default)]
+pub struct CollectFactory {
+    /// All events from all joined threads.
+    pub events: parking_lot::Mutex<Vec<TraceEvent>>,
+}
+
+impl TracerFactory for CollectFactory {
+    type Tracer = CollectTracer;
+
+    fn tracer(&self, _tid: dp_types::ThreadId) -> CollectTracer {
+        CollectTracer::new()
+    }
+
+    fn join(&self, _tid: dp_types::ThreadId, tracer: CollectTracer) {
+        self.events.lock().extend(tracer.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_types::{loc::loc, MemAccess};
+
+    #[test]
+    fn null_is_disabled() {
+        assert!(!NullTracer.enabled());
+    }
+
+    #[test]
+    fn collect_keeps_order() {
+        let mut c = CollectTracer::new();
+        for i in 0..5u64 {
+            c.event(TraceEvent::Access(MemAccess::read(i, i, loc(1, 1), 0, 0)));
+        }
+        assert_eq!(c.events.len(), 5);
+        assert_eq!(c.events[3].ts(), 3);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = CollectTracer::new();
+        {
+            let r: &mut CollectTracer = &mut c;
+            assert!(r.enabled());
+            r.event(TraceEvent::Access(MemAccess::write(1, 1, loc(1, 2), 0, 0)));
+            r.sync_point();
+        }
+        assert_eq!(c.events.len(), 1);
+    }
+}

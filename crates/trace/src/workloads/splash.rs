@@ -1,0 +1,381 @@
+//! SPLASH-2x minis for communication-pattern detection (Figure 9).
+//!
+//! Four kernels with the four canonical shared-memory communication
+//! topologies of the characterization study the paper's Section VII-B
+//! compares against (Barrow-Williams et al., IISWC'09):
+//!
+//! | kernel | topology |
+//! |---|---|
+//! | [`water_spatial`] | ring nearest-neighbour (banded matrix, Figure 9) |
+//! | [`ocean`] | 2-D grid nearest-neighbour (banded + off-diagonal bands) |
+//! | [`fft`] | all-to-all transpose (dense matrix) |
+//! | [`lu_contig`] | rotating one-to-many broadcast (dense columns) |
+//!
+//! All kernels synchronize with fork, barriers and one lock, so none of
+//! them may trigger the profiler's race detection.
+
+use super::{Scale, Suite, Workload, WorkloadMeta};
+use crate::builder::{c, imod, tid, ProgramBuilder};
+
+fn meta(name: &str, nthreads: u32) -> WorkloadMeta {
+    WorkloadMeta { name: name.to_owned(), suite: Suite::Splash, parallel: true, nthreads }
+}
+
+/// All four communication kernels (for the comm-suite experiment).
+pub fn comm_suite(scale: Scale, nthreads: u32) -> Vec<Workload> {
+    vec![
+        water_spatial(scale, nthreads),
+        ocean(scale, nthreads),
+        fft(scale, nthreads),
+        lu_contig(scale, nthreads),
+    ]
+}
+
+/// Builds the water-spatial mini with `nthreads` worker threads arranged
+/// in a ring of spatial boxes.
+pub fn water_spatial(scale: Scale, nthreads: u32) -> Workload {
+    assert!(nthreads >= 2, "water-spatial needs at least two boxes");
+    let box_elems = scale.n(2000);
+    let steps = 4i64;
+    let t = nthreads as i64;
+    let total = box_elems * t;
+    let mut b = ProgramBuilder::new("water-spatial");
+    let mols = b.array("molecules", total as u64);
+    let forces = b.array("forces", total as u64);
+    let energy = b.scalar("global_energy");
+    let m = b.mutex();
+
+    let worker = b.named_func("water_worker", move |f| {
+        let my_base = tid() * c(box_elems);
+        f.for_loop("steps", false, c(0), c(steps), |f, _| {
+            // Intra-box force computation (private to this thread).
+            f.for_loop("intra_forces", true, c(0), c(box_elems), |f, i| {
+                let idx = my_base.clone() + i;
+                let v = f.ld(mols, idx.clone()) + c(3);
+                f.store(forces, idx, v);
+            });
+            // Boundary exchange: read the *neighbour* box's edge
+            // molecules (cross-thread RAW to tid±1, ring topology).
+            f.for_loop("boundary", true, c(0), c(box_elems / 8), |f, i| {
+                let right = imod((tid() + c(1)) * c(box_elems) + i.clone(), c(total));
+                let left =
+                    imod((tid() + c(t - 1)) * c(box_elems) + i.clone(), c(total));
+                let v = f.ld(mols, right) + f.ld(mols, left);
+                let idx = my_base.clone() + i;
+                let cur = f.ld(forces, idx.clone());
+                f.store(forces, idx, cur + v);
+            });
+            f.barrier();
+            // Position update: write own molecules (read next step by the
+            // neighbours — the producer side of the pattern).
+            f.for_loop("update", true, c(0), c(box_elems), |f, i| {
+                let idx = my_base.clone() + i;
+                let v = f.ld(forces, idx.clone());
+                f.store(mols, idx, v);
+            });
+            // Locked global energy accumulation (all-to-all background).
+            f.lock(m);
+            let e = f.lds(energy) + f.ld(forces, my_base.clone());
+            f.store_scalar(energy, e);
+            f.unlock(m);
+            f.barrier();
+        });
+    });
+
+    let program = b.main(|f| {
+        f.for_loop("init_mols", true, c(0), c(total), |f, i| {
+            f.store(mols, i.clone(), i);
+        });
+        f.spawn(nthreads, worker);
+    });
+    Workload { program, meta: meta("water-spatial", nthreads) }
+}
+
+/// ocean — 2-D grid decomposition: each worker owns a tile of the grid
+/// and reads the boundary rows/columns of its four grid neighbours
+/// (non-wrapping edges). Communication: banded (east/west) plus
+/// off-diagonal bands at distance `cols` (north/south).
+pub fn ocean(scale: Scale, nthreads: u32) -> Workload {
+    assert!(nthreads >= 4 && nthreads.is_multiple_of(2), "ocean needs an even thread grid >= 4");
+    let cols = nthreads as i64 / 2; // 2 x (t/2) process grid
+    let tile = scale.n(1500);
+    let steps = 3i64;
+    let t = nthreads as i64;
+    let total = tile * t;
+    let mut b = ProgramBuilder::new("ocean");
+    let grid = b.array("grid", total as u64);
+    let work = b.array("work", total as u64);
+    let worker = b.named_func("ocean_worker", move |f| {
+        let my_base = tid() * c(tile);
+        f.for_loop("timestep", false, c(0), c(steps), |f, _| {
+            // Relax own tile.
+            f.for_loop("relax", true, c(0), c(tile), |f, i| {
+                let idx = my_base.clone() + i;
+                let v = f.ld(grid, idx.clone()) + c(1);
+                f.store(work, idx, v);
+            });
+            // Read the boundary strips of the 4 grid neighbours (if they
+            // exist; non-wrapping edges modelled with a same-tile fallback
+            // through min/max clamping).
+            f.for_loop("halo", true, c(0), c(tile / 8), |f, i| {
+                let row = crate::builder::div(tid(), c(cols));
+                let col = imod(tid(), c(cols));
+                // east / west neighbours within the row:
+                let east = crate::builder::emin(col.clone() + c(1), c(cols - 1));
+                let west = crate::builder::emax(col.clone() - c(1), c(0));
+                // north / south rows (clamped):
+                let north = crate::builder::emax(row.clone() - c(1), c(0));
+                let south = crate::builder::emin(row.clone() + c(1), c(1));
+                let nb = |r: crate::ir::Expr, cl: crate::ir::Expr| {
+                    (r * c(cols) + cl) * c(tile)
+                };
+                let v = f.ld(grid, nb(row.clone(), east) + i.clone())
+                    + f.ld(grid, nb(row.clone(), west) + i.clone())
+                    + f.ld(grid, nb(north, col.clone()) + i.clone())
+                    + f.ld(grid, nb(south, col) + i.clone());
+                let idx = my_base.clone() + i;
+                let cur = f.ld(work, idx.clone());
+                f.store(work, idx, cur + v);
+            });
+            f.barrier();
+            // Publish own tile for the next step.
+            f.for_loop("publish", true, c(0), c(tile), |f, i| {
+                let idx = my_base.clone() + i;
+                let v = f.ld(work, idx.clone());
+                f.store(grid, idx, v);
+            });
+            f.barrier();
+        });
+    });
+    let program = b.main(|f| {
+        f.for_loop("init_grid", true, c(0), c(total), |f, i| {
+            f.store(grid, i.clone(), i);
+        });
+        f.spawn(nthreads, worker);
+    });
+    Workload { program, meta: meta("ocean", nthreads) }
+}
+
+/// fft — transpose-based FFT: every thread writes its own block, then
+/// reads a strided slice of *every* block (the transpose). Communication:
+/// dense all-to-all.
+pub fn fft(scale: Scale, nthreads: u32) -> Workload {
+    assert!(nthreads >= 2);
+    let block = scale.n(1200);
+    let t = nthreads as i64;
+    let total = block * t;
+    let stages = 3i64;
+    let mut b = ProgramBuilder::new("fft");
+    let data = b.array("data", total as u64);
+    let scratch = b.array("scratch", total as u64);
+    let worker = b.named_func("fft_worker", move |f| {
+        let my_base = tid() * c(block);
+        f.for_loop("stage", false, c(0), c(stages), |f, _| {
+            // Butterfly within own block.
+            f.for_loop("butterfly", true, c(0), c(block), |f, i| {
+                let idx = my_base.clone() + i;
+                let v = f.ld(data, idx.clone()) + c(5);
+                f.store(data, idx, v);
+            });
+            f.barrier();
+            // Transpose: gather element `tid` of every block-row.
+            f.for_loop("transpose", true, c(0), c(block / 4), |f, i| {
+                let src_block = imod(i.clone(), c(t));
+                let src = src_block * c(block) + imod(i.clone() * c(7), c(block));
+                let v = f.ld(data, src);
+                f.store(scratch, my_base.clone() + i, v);
+            });
+            f.barrier();
+        });
+    });
+    let program = b.main(|f| {
+        f.for_loop("init_data", true, c(0), c(total), |f, i| {
+            f.store(data, i.clone(), i);
+        });
+        f.spawn(nthreads, worker);
+    });
+    Workload { program, meta: meta("fft", nthreads) }
+}
+
+/// lu-contig — blocked LU: each step, the owner of the diagonal block
+/// (rotating over threads) factors and publishes the pivot block; all
+/// other threads read it to update their trailing blocks. Communication:
+/// rotating one-to-many broadcast.
+pub fn lu_contig(scale: Scale, nthreads: u32) -> Workload {
+    assert!(nthreads >= 2);
+    let block = scale.n(1000);
+    let t = nthreads as i64;
+    let steps = 2 * t; // enough rotations to visit every owner twice
+    let total = block * t;
+    let mut b = ProgramBuilder::new("lu-contig");
+    let mat = b.array("matrix", total as u64);
+    let pivot = b.array("pivot_block", block as u64);
+    let worker = b.named_func("lu_worker", move |f| {
+        let my_base = tid() * c(block);
+        f.for_loop("kstep", false, c(0), c(steps), |f, k| {
+            let owner = imod(k.clone(), c(t));
+            // The diagonal owner publishes the pivot block.
+            f.if_(
+                crate::builder::eq(tid(), owner.clone()),
+                |f| {
+                    f.for_loop("factor", true, c(0), c(block / 4), |f, i| {
+                        let v = f.ld(mat, my_base.clone() + i.clone()) + c(1);
+                        f.store(pivot, i, v);
+                    });
+                },
+                |_| {},
+            );
+            f.barrier();
+            // Everyone else consumes it to update their trailing block.
+            f.if_(
+                crate::builder::eq(tid(), owner),
+                |_| {},
+                |f| {
+                    f.for_loop("update_trailing", true, c(0), c(block / 4), |f, i| {
+                        let p = f.ld(pivot, i.clone());
+                        let idx = my_base.clone() + i;
+                        let cur = f.ld(mat, idx.clone());
+                        f.store(mat, idx, cur + p);
+                    });
+                },
+            );
+            f.barrier();
+        });
+    });
+    let program = b.main(|f| {
+        f.for_loop("init_matrix", true, c(0), c(total), |f, i| {
+            f.store(mat, i.clone(), i);
+        });
+        f.spawn(nthreads, worker);
+    });
+    Workload { program, meta: meta("lu-contig", nthreads) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::tracer::CollectTracer;
+    use dp_types::{ThreadId, TraceEvent};
+    use parking_lot::Mutex;
+
+    #[derive(Default)]
+    struct F(Mutex<Vec<TraceEvent>>);
+    impl crate::tracer::TracerFactory for F {
+        type Tracer = CollectTracer;
+        fn tracer(&self, _t: ThreadId) -> CollectTracer {
+            CollectTracer::new()
+        }
+        fn join(&self, _t: ThreadId, tr: CollectTracer) {
+            self.0.lock().extend(tr.events);
+        }
+    }
+
+    #[test]
+    fn neighbours_read_each_others_boxes() {
+        let w = water_spatial(Scale(0.05), 4);
+        let vm = Interp::new(&w.program);
+        let fac = F::default();
+        vm.run_mt(&fac);
+        let evs = fac.0.into_inner();
+        let mols = &w.program.arrays[0];
+        let box_elems = mols.len / 4;
+        // Find a read by thread 1 (rank 0) of rank 1's box.
+        let mut cross = 0u64;
+        for a in evs.iter().filter_map(|e| e.as_access()) {
+            if !a.kind.is_write() && a.addr >= mols.base && a.addr < mols.base + mols.len * 8 {
+                let elem = (a.addr - mols.base) / 8;
+                let owner_rank = (elem / box_elems) as u16;
+                let reader_rank = a.thread - 1;
+                if owner_rank != reader_rank {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross > 0, "no cross-box reads observed");
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // indexing a matrix by (row, col) reads clearer
+mod topology_tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::tracer::CollectFactory;
+    use dp_types::TraceEvent;
+    use std::collections::HashMap;
+
+    /// Ground-truth producer→consumer matrix from the raw event stream.
+    fn true_matrix(w: &Workload, nthreads: u32) -> Vec<Vec<u64>> {
+        let vm = Interp::new(&w.program);
+        let fac = CollectFactory::default();
+        vm.run_mt(&fac);
+        let mut evs = fac.events.into_inner();
+        evs.sort_by_key(|e| e.ts());
+        let n = nthreads as usize + 1;
+        let mut last: HashMap<u64, u16> = HashMap::new();
+        let mut m = vec![vec![0u64; n]; n];
+        for e in &evs {
+            if let TraceEvent::Access(a) = e {
+                if a.kind.is_write() {
+                    last.insert(a.addr, a.thread);
+                } else if let Some(&wr) = last.get(&a.addr) {
+                    if wr != a.thread {
+                        m[wr as usize][a.thread as usize] += 1;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn fft_is_all_to_all() {
+        let t = 4u32;
+        let m = true_matrix(&fft(Scale(0.05), t), t);
+        // every worker pair communicates
+        for p in 1..=t as usize {
+            for c in 1..=t as usize {
+                if p != c {
+                    assert!(m[p][c] > 0, "no flow {p}->{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lu_broadcasts_from_every_owner() {
+        let t = 3u32;
+        let m = true_matrix(&lu_contig(Scale(0.05), t), t);
+        // each owner's pivot block is read by both others
+        for p in 1..=t as usize {
+            let consumers = (1..=t as usize).filter(|&c| c != p && m[p][c] > 0).count();
+            assert_eq!(consumers, t as usize - 1, "owner {p} not broadcasting");
+        }
+    }
+
+    #[test]
+    fn ocean_grid_neighbours_dominate() {
+        let t = 6u32; // 2 x 3 grid
+        let cols = 3i64;
+        let m = true_matrix(&ocean(Scale(0.05), t), t);
+        let (mut nb, mut far) = (0u64, 0u64);
+        for p in 1..=t as usize {
+            for cns in 1..=t as usize {
+                if p == cns {
+                    continue;
+                }
+                let (pr, pc) = (((p - 1) as i64) / cols, ((p - 1) as i64) % cols);
+                let (cr, cc) = (((cns - 1) as i64) / cols, ((cns - 1) as i64) % cols);
+                let dist = (pr - cr).abs() + (pc - cc).abs();
+                if dist == 1 {
+                    nb += m[p][cns];
+                } else {
+                    far += m[p][cns];
+                }
+            }
+        }
+        assert!(nb > 0);
+        assert!(nb > far * 5, "grid banding not dominant: nb={nb} far={far}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Synthetic stress programs.
+//!
+//! - [`uniform`] — a configurable stream over `n_addrs` distinct addresses
+//!   with `n_accesses` total accesses, for validating Formula 2 (E2) and
+//!   for the store microbenchmarks (E10).
+//! - [`skewed`] — Zipf-flavoured reuse: a few very hot addresses, a long
+//!   cold tail. This is the load-imbalance pattern that motivates the
+//!   hot-address redistribution of Section IV-A.
+//! - [`racy_counter`] / [`locked_counter`] — the minimal pair for the
+//!   data-race experiment (E12): identical programs except that one
+//!   protects its shared counter with a lock and the other does not.
+//! - [`lifetime_reuse`] — allocates, frees, and reallocates the same
+//!   address range, exercising variable-lifetime analysis (Section III-B).
+
+use super::{Scale, Suite, Workload, WorkloadMeta};
+use crate::builder::{c, imod, rnd, tid, ProgramBuilder};
+
+fn meta(name: &str, parallel: bool, nthreads: u32) -> WorkloadMeta {
+    WorkloadMeta { name: name.to_owned(), suite: Suite::Synthetic, parallel, nthreads }
+}
+
+/// Reads/writes spread uniformly over `n_addrs` addresses, `n_accesses`
+/// accesses in total (half reads, half writes, random order).
+pub fn uniform(n_addrs: u64, n_accesses: u64) -> Workload {
+    let mut b = ProgramBuilder::new("uniform");
+    let a = b.array("data", n_addrs.max(4));
+    let n = (n_accesses / 2).max(2) as i64;
+    let len = n_addrs.max(4) as i64;
+    let program = b.main(|f| {
+        f.for_loop("stream", false, c(0), c(n), |f, _| {
+            let i = rnd(c(len));
+            let v = f.ld(a, i.clone());
+            f.store(a, rnd(c(len)), v + c(1));
+        });
+    });
+    Workload { program, meta: meta("uniform", false, 0) }
+}
+
+/// 90% of accesses hit `n_hot` addresses, the rest spread over the tail.
+pub fn skewed(n_addrs: u64, n_hot: u64, n_accesses: u64) -> Workload {
+    let mut b = ProgramBuilder::new("skewed");
+    let a = b.array("data", n_addrs.max(8));
+    let len = n_addrs.max(8) as i64;
+    let hot = n_hot.clamp(1, n_addrs) as i64;
+    let n = (n_accesses / 2).max(2) as i64;
+    let program = b.main(|f| {
+        f.for_loop("stream", false, c(0), c(n), |f, _| {
+            // 9 in 10 iterations touch the hot set.
+            let coin = rnd(c(10));
+            f.if_(
+                crate::builder::lt(coin, c(9)),
+                |f| {
+                    let i = rnd(c(hot));
+                    let v = f.ld(a, i.clone());
+                    f.store(a, i, v + c(1));
+                },
+                |f| {
+                    let i = rnd(c(len));
+                    let v = f.ld(a, i.clone());
+                    f.store(a, i, v + c(1));
+                },
+            );
+        });
+    });
+    Workload { program, meta: meta("skewed", false, 0) }
+}
+
+/// Like [`skewed`], but the hot addresses are `stride` elements apart so
+/// they all land on the *same* profiling worker under modulo routing —
+/// the worst-case imbalance that hot-address redistribution
+/// (Section IV-A) exists to fix.
+pub fn skewed_strided(n_addrs: u64, n_hot: u64, n_accesses: u64, stride: u64) -> Workload {
+    let len = n_addrs.max(n_hot * stride + 1) as i64;
+    let mut b = ProgramBuilder::new("skewed-strided");
+    let a = b.array("data", len as u64);
+    let hot = n_hot.max(1) as i64;
+    let st = stride.max(1) as i64;
+    let n = (n_accesses / 2).max(2) as i64;
+    let program = b.main(|f| {
+        f.for_loop("stream", false, c(0), c(n), |f, _| {
+            let coin = rnd(c(10));
+            f.if_(
+                crate::builder::lt(coin, c(9)),
+                |f| {
+                    let i = rnd(c(hot)) * c(st);
+                    let v = f.ld(a, i.clone());
+                    f.store(a, i, v + c(1));
+                },
+                |f| {
+                    let i = rnd(c(len));
+                    let v = f.ld(a, i.clone());
+                    f.store(a, i, v + c(1));
+                },
+            );
+        });
+    });
+    Workload { program, meta: meta("skewed-strided", false, 0) }
+}
+
+/// `nthreads` threads increment a shared counter `iters` times each
+/// **without** any lock — a textbook data race. The profiler should
+/// observe timestamp reversals on the counter's address (Section V-B).
+pub fn racy_counter(scale: Scale, nthreads: u32) -> Workload {
+    let iters = scale.n(20_000);
+    let mut b = ProgramBuilder::new("racy-counter");
+    let counter = b.scalar("shared_counter");
+    let pad = b.array("private_pad", nthreads.max(1) as u64);
+    let worker = b.named_func("racy_worker", move |f| {
+        f.for_loop("bump", false, c(0), c(iters), |f, _| {
+            let v = f.lds(counter) + c(1);
+            f.store_scalar(counter, v);
+            // some private traffic so chunks interleave realistically
+            let t = f.ld(pad, tid()) + c(1);
+            f.store(pad, tid(), t);
+        });
+    });
+    let program = b.main(|f| f.spawn(nthreads, worker));
+    Workload { program, meta: meta("racy-counter", true, nthreads) }
+}
+
+/// Same as [`racy_counter`] but the increment sits in a lock region: the
+/// dependences are enforced and no reversal may be reported.
+pub fn locked_counter(scale: Scale, nthreads: u32) -> Workload {
+    let iters = scale.n(20_000);
+    let mut b = ProgramBuilder::new("locked-counter");
+    let counter = b.scalar("shared_counter");
+    let pad = b.array("private_pad", nthreads.max(1) as u64);
+    let m = b.mutex();
+    let worker = b.named_func("locked_worker", move |f| {
+        f.for_loop("bump", false, c(0), c(iters), |f, _| {
+            f.lock(m);
+            let v = f.lds(counter) + c(1);
+            f.store_scalar(counter, v);
+            f.unlock(m);
+            let t = f.ld(pad, tid()) + c(1);
+            f.store(pad, tid(), t);
+        });
+    });
+    let program = b.main(|f| f.spawn(nthreads, worker));
+    Workload { program, meta: meta("locked-counter", true, nthreads) }
+}
+
+/// Writes array `gen0`, frees it, then allocates `gen1` over the same
+/// addresses and reads it. Without lifetime analysis the profiler would
+/// fabricate RAW dependences from `gen1`'s reads back to `gen0`'s writes.
+pub fn lifetime_reuse(n: u64) -> Workload {
+    let n = n.max(8);
+    let mut b = ProgramBuilder::new("lifetime-reuse");
+    let gen0 = b.array("gen0", n);
+    let gen1 = b.array_reusing("gen1", gen0);
+    let sink = b.scalar("sink");
+    let ni = n as i64;
+    let program = b.main(|f| {
+        f.for_loop("write_gen0", false, c(0), c(ni), |f, i| {
+            f.store(gen0, i.clone(), i);
+        });
+        f.free(gen0);
+        f.for_loop("read_gen1", false, c(0), c(ni), |f, i| {
+            let v = f.lds(sink) + f.ld(gen1, imod(i, c(ni)));
+            f.store_scalar(sink, v);
+        });
+    });
+    Workload { program, meta: meta("lifetime-reuse", false, 0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::tracer::CollectTracer;
+
+    #[test]
+    fn uniform_touches_requested_volume() {
+        let w = uniform(500, 10_000);
+        let vm = Interp::new(&w.program);
+        let mut t = CollectTracer::new();
+        vm.run_seq(&mut t);
+        let n = t.events.iter().filter(|e| e.as_access().is_some()).count();
+        assert!((10_000..13_000).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn skewed_concentrates_on_hot_set() {
+        let w = skewed(10_000, 4, 40_000);
+        let vm = Interp::new(&w.program);
+        let mut t = CollectTracer::new();
+        vm.run_seq(&mut t);
+        let base = w.program.arrays[0].base;
+        let hot_end = base + 4 * 8;
+        let (mut hot, mut total) = (0u64, 0u64);
+        for a in t.events.iter().filter_map(|e| e.as_access()) {
+            total += 1;
+            if a.addr >= base && a.addr < hot_end {
+                hot += 1;
+            }
+        }
+        assert!(hot * 10 > total * 7, "hot {hot} / total {total}");
+    }
+
+    #[test]
+    fn lifetime_reuse_frees_between_generations() {
+        use dp_types::TraceEvent;
+        let w = lifetime_reuse(32);
+        let vm = Interp::new(&w.program);
+        let mut t = CollectTracer::new();
+        vm.run_seq(&mut t);
+        let dealloc_pos =
+            t.events.iter().position(|e| matches!(e, TraceEvent::Dealloc { .. })).unwrap();
+        // all writes before the dealloc, all gen1 reads after
+        let writes_after = t.events[dealloc_pos..]
+            .iter()
+            .filter_map(|e| e.as_access())
+            .filter(|a| a.kind.is_write())
+            .count();
+        // only the scalar accumulator writes remain after the free
+        let scalar_addr = w.program.scalars[0].addr;
+        assert!(t.events[dealloc_pos..]
+            .iter()
+            .filter_map(|e| e.as_access())
+            .filter(|a| a.kind.is_write())
+            .all(|a| a.addr == scalar_addr));
+        assert!(writes_after > 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! MiniVM semantics tests that span builder + interpreter, including the
+//! statement forms the workload library exercises only indirectly.
+
+use dp_trace::builder::{c, div, emax, emin, eq, imod, lt, lv, rnd, shl, shr, ProgramBuilder};
+use dp_trace::tracer::{CollectTracer, NullTracer};
+use dp_trace::Interp;
+use dp_types::TraceEvent;
+use proptest::prelude::*;
+
+#[test]
+fn call_statement_executes_callee() {
+    let mut b = ProgramBuilder::new("call");
+    let a = b.array("a", 4);
+    let tmp = b.local();
+    let callee = b.func(|f| {
+        // callee reads the local the caller set and stores it
+        f.store(a, c(0), lv(2)); // first user local is id 2
+    });
+    let p = b.main(|f| {
+        f.set_local(tmp, c(41) + c(1));
+        f.call(callee);
+    });
+    assert_eq!(tmp, 2);
+    let vm = Interp::new(&p);
+    vm.run_seq(&mut NullTracer);
+    assert_eq!(vm.array_value(a, 0), 42);
+}
+
+#[test]
+fn nested_calls_share_locals_and_trace() {
+    let mut b = ProgramBuilder::new("nest");
+    let a = b.array("a", 2);
+    let inner = b.func(|f| {
+        let v = f.ld(a, c(0)) + c(1);
+        f.store(a, c(0), v);
+    });
+    let outer = b.func(|f| {
+        f.call(inner);
+        f.call(inner);
+    });
+    let p = b.main(|f| {
+        f.store(a, c(0), c(10));
+        f.call(outer);
+    });
+    let vm = Interp::new(&p);
+    let mut t = CollectTracer::new();
+    vm.run_seq(&mut t);
+    assert_eq!(vm.array_value(a, 0), 12);
+    // 1 init write + 2 × (read + write)
+    assert_eq!(t.events.iter().filter(|e| e.as_access().is_some()).count(), 5);
+}
+
+#[test]
+fn if_branches_both_reachable() {
+    let mut b = ProgramBuilder::new("branch");
+    let a = b.array("a", 8);
+    let p = b.main(|f| {
+        f.for_loop("l", false, c(0), c(8), |f, i| {
+            f.if_(
+                lt(imod(i.clone(), c(2)), c(1)),
+                |f| f.store(a, i.clone(), c(100)),
+                |f| f.store(a, i.clone(), c(200)),
+            );
+        });
+    });
+    let vm = Interp::new(&p);
+    vm.run_seq(&mut NullTracer);
+    for i in 0..8 {
+        assert_eq!(vm.array_value(a, i), if i % 2 == 0 { 100 } else { 200 });
+    }
+}
+
+#[test]
+fn operator_semantics() {
+    let mut b = ProgramBuilder::new("ops");
+    let s: Vec<_> = (0..8).map(|i| b.scalar(&format!("s{i}"))).collect();
+    let p = b.main(|f| {
+        f.store_scalar(s[0], div(c(17), c(5)));
+        f.store_scalar(s[1], div(c(17), c(0))); // defined: 0
+        f.store_scalar(s[2], imod(c(-3), c(0))); // defined: 0
+        f.store_scalar(s[3], shl(c(1), c(4)));
+        f.store_scalar(s[4], shr(c(-1), c(60))); // logical shift
+        f.store_scalar(s[5], emin(c(3), c(-7)) + emax(c(3), c(-7)));
+        f.store_scalar(s[6], eq(c(2), c(2)) + lt(c(1), c(2)));
+        f.store_scalar(s[7], rnd(c(1))); // bound 1 -> always 0
+    });
+    let vm = Interp::new(&p);
+    vm.run_seq(&mut NullTracer);
+    assert_eq!(vm.scalar_value(s[0]), 3);
+    assert_eq!(vm.scalar_value(s[1]), 0);
+    assert_eq!(vm.scalar_value(s[2]), 0);
+    assert_eq!(vm.scalar_value(s[3]), 16);
+    assert_eq!(vm.scalar_value(s[4]), 15);
+    assert_eq!(vm.scalar_value(s[5]), 3 - 7);
+    assert_eq!(vm.scalar_value(s[6]), 2);
+    assert_eq!(vm.scalar_value(s[7]), 0);
+}
+
+#[test]
+fn out_of_range_indices_wrap_not_panic() {
+    let mut b = ProgramBuilder::new("wrap");
+    let a = b.array("a", 4);
+    let p = b.main(|f| {
+        f.store(a, c(7), c(1)); // 7 % 4 == 3
+        f.store(a, c(-1), c(2)); // (-1 as u64) % 4 == 3
+    });
+    let vm = Interp::new(&p);
+    vm.run_seq(&mut NullTracer);
+    assert_eq!(vm.array_value(a, 3), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The event stream is invariant across runs (determinism) and every
+    /// access address belongs to a declared allocation.
+    #[test]
+    fn event_stream_deterministic_and_in_bounds(
+        len in 2u64..40,
+        iters in 1i64..30,
+        seed_mod in 0i64..5,
+    ) {
+        let mut b = ProgramBuilder::new("prop");
+        let a = b.array("a", len);
+        let s = b.scalar("s");
+        let li = len as i64;
+        let p = b.main(|f| {
+            f.for_loop("l", false, c(0), c(iters), |f, i| {
+                let idx = imod(i.clone() * c(7 + seed_mod) + rnd(c(li)), c(li));
+                let v = f.ld(a, idx.clone()) + f.lds(s);
+                f.store(a, idx, v);
+                f.store_scalar(s, i);
+            });
+        });
+        let run = || {
+            let vm = Interp::new(&p);
+            let mut t = CollectTracer::new();
+            vm.run_seq(&mut t);
+            t.events
+        };
+        let e1 = run();
+        let e2 = run();
+        prop_assert_eq!(&e1, &e2, "nondeterministic event stream");
+        let base = p.arrays[0].base;
+        let scalar_addr = p.scalars[0].addr;
+        for ev in &e1 {
+            if let TraceEvent::Access(acc) = ev {
+                let in_array = acc.addr >= base && acc.addr < base + len * 8;
+                prop_assert!(
+                    in_array || acc.addr == scalar_addr,
+                    "stray address {:#x}",
+                    acc.addr
+                );
+            }
+        }
+    }
+
+    /// Loop events are balanced and iteration counts match headers.
+    #[test]
+    fn loop_events_balanced(iters in 0i64..25) {
+        let mut b = ProgramBuilder::new("loops");
+        let a = b.array("a", 4);
+        let p = b.main(|f| {
+            f.for_loop("outer", false, c(0), c(iters), |f, i| {
+                f.store(a, imod(i, c(4)), c(1));
+            });
+        });
+        let vm = Interp::new(&p);
+        let mut t = CollectTracer::new();
+        vm.run_seq(&mut t);
+        let begins = t.events.iter().filter(|e| matches!(e, TraceEvent::LoopBegin { .. })).count();
+        let ends: Vec<u64> = t
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::LoopEnd { iters, .. } => Some(*iters),
+                _ => None,
+            })
+            .collect();
+        let iter_evs =
+            t.events.iter().filter(|e| matches!(e, TraceEvent::LoopIter { .. })).count();
+        prop_assert_eq!(begins, 1);
+        prop_assert_eq!(ends.len(), 1);
+        prop_assert_eq!(ends[0], iters.max(0) as u64);
+        prop_assert_eq!(iter_evs as u64, ends[0]);
+    }
+}

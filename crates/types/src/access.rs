@@ -1,0 +1,81 @@
+//! Instrumented memory accesses.
+
+use crate::ids::{Address, ThreadId, Timestamp, VarId};
+use crate::loc::SourceLoc;
+use serde::{Deserialize, Serialize};
+
+/// Whether a memory access reads or writes its address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One instrumented memory access — the unit the profiler consumes.
+///
+/// This corresponds to one call of the `push_read`/`push_write`
+/// instrumentation functions in Figure 4 of the paper: the address, the
+/// access kind, the source location and variable name of the accessing
+/// statement, the target-program thread that performed it, and the global
+/// timestamp taken inside the access's lock region (Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Accessed address.
+    pub addr: Address,
+    /// Global timestamp (drawn while the access's lock region is held).
+    pub ts: Timestamp,
+    /// Source location of the accessing statement.
+    pub loc: SourceLoc,
+    /// Interned name of the accessed variable.
+    pub var: VarId,
+    /// Target-program thread performing the access.
+    pub thread: ThreadId,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// Convenience constructor for a read access.
+    #[inline]
+    pub fn read(addr: Address, ts: Timestamp, loc: SourceLoc, var: VarId, thread: ThreadId) -> Self {
+        MemAccess { addr, ts, loc, var, thread, kind: AccessKind::Read }
+    }
+
+    /// Convenience constructor for a write access.
+    #[inline]
+    pub fn write(addr: Address, ts: Timestamp, loc: SourceLoc, var: VarId, thread: ThreadId) -> Self {
+        MemAccess { addr, ts, loc, var, thread, kind: AccessKind::Write }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::loc;
+
+    #[test]
+    fn constructors_set_kind() {
+        let r = MemAccess::read(0x10, 1, loc(1, 60), 2, 0);
+        let w = MemAccess::write(0x10, 2, loc(1, 61), 2, 0);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert!(!r.kind.is_write());
+        assert!(w.kind.is_write());
+    }
+
+    #[test]
+    fn access_is_small() {
+        // The event stream carries billions of these; keep them compact.
+        assert!(std::mem::size_of::<MemAccess>() <= 32);
+    }
+}

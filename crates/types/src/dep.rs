@@ -1,0 +1,213 @@
+//! Data-dependence representation (Section III-A of the paper).
+//!
+//! A dependence is a triple `<sink, type, source>`:
+//!
+//! - `type` is RAW, WAR or WAW; the special type INIT marks the first write
+//!   to an address;
+//! - `sink` is the *later* access: `(fileID:line [, threadID])`;
+//! - `source` is the *earlier* access: `(fileID:line [, threadID], variable)`.
+//!
+//! Dependences with the same sink are aggregated in the output (Figure 1),
+//! and identical dependences are merged — on NAS this shrank the output by
+//! five orders of magnitude (Section III-B).
+
+use crate::ids::{LoopId, ThreadId, VarId};
+use crate::loc::SourceLoc;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A tiny const-friendly bitflags implementation (avoids an extra
+/// dependency for three flags).
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $($(#[$fmeta:meta])* const $flag:ident = $val:expr;)*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+        pub struct $name($ty);
+
+        impl $name {
+            $($(#[$fmeta])* pub const $flag: $name = $name($val);)*
+
+            /// The empty flag set.
+            pub const fn empty() -> Self { $name(0) }
+            /// True if no flags are set.
+            pub const fn is_empty(self) -> bool { self.0 == 0 }
+            /// True if every flag in `other` is set in `self`.
+            pub const fn contains(self, other: Self) -> bool {
+                (self.0 & other.0) == other.0
+            }
+            /// Set union.
+            pub const fn union(self, other: Self) -> Self { $name(self.0 | other.0) }
+            /// Raw bits.
+            pub const fn bits(self) -> $ty { self.0 }
+        }
+
+        impl core::ops::BitOr for $name {
+            type Output = Self;
+            fn bitor(self, rhs: Self) -> Self { self.union(rhs) }
+        }
+        impl core::ops::BitOrAssign for $name {
+            fn bitor_assign(&mut self, rhs: Self) { self.0 |= rhs.0; }
+        }
+    };
+}
+
+/// Dependence type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DepType {
+    /// Read after write (true dependence).
+    Raw,
+    /// Write after read (anti dependence).
+    War,
+    /// Write after write (output dependence).
+    Waw,
+    /// First write to an address ("INIT" in the paper's output).
+    Init,
+}
+
+impl fmt::Display for DepType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DepType::Raw => "RAW",
+            DepType::War => "WAR",
+            DepType::Waw => "WAW",
+            DepType::Init => "INIT",
+        })
+    }
+}
+
+bitflags_lite! {
+    /// Extra qualifiers attached to a dependence edge.
+    pub struct DepFlags: u8 {
+        /// Observed crossing a loop-iteration boundary (loop-carried) for
+        /// the innermost enclosing loop recorded in `carrier`.
+        const LOOP_CARRIED = 1 << 0;
+        /// Also observed *within* a single iteration. A dependence may be
+        /// both (different dynamic instances).
+        const INTRA_ITERATION = 1 << 1;
+        /// The worker observed a timestamp reversal for this address:
+        /// the access/push pair was not atomic, exposing a potential data
+        /// race (Section V-B).
+        const REVERSED = 1 << 2;
+    }
+}
+
+/// The aggregation key of the output: every dependence with the same sink
+/// (location + thread) is printed on one line (Figure 1/Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SinkKey {
+    /// Sink source location.
+    pub loc: SourceLoc,
+    /// Sink thread (always 0 for sequential targets).
+    pub thread: ThreadId,
+}
+
+/// One aggregated dependence edge: `{TYPE source|var}` plus qualifiers.
+///
+/// `Ord` gives the deterministic output order used by the report writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// Dependence type.
+    pub dtype: DepType,
+    /// Source (earlier access) location. For INIT this equals the sink.
+    pub source_loc: SourceLoc,
+    /// Source thread.
+    pub source_thread: ThreadId,
+    /// Variable occupying the address (interned).
+    pub var: VarId,
+    /// Innermost loop for which this dependence was seen loop-carried,
+    /// if any.
+    pub carrier: Option<LoopId>,
+    /// Qualifier flags.
+    pub flags: DepFlags,
+}
+
+/// A fully-resolved dependence: sink plus edge. This is the unit the
+/// accuracy evaluation (Table I) compares between the signature profiler
+/// and the perfect-signature baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dependence {
+    /// Aggregation key (later access).
+    pub sink: SinkKey,
+    /// Edge payload (type, earlier access, variable).
+    pub edge: DepEdge,
+}
+
+impl Dependence {
+    /// Identity used for set comparison in the accuracy evaluation:
+    /// `(type, sink, source, var)` — qualifier flags and carriers are
+    /// ignored, matching the paper's notion of "a dependence".
+    pub fn identity(&self) -> (DepType, SourceLoc, ThreadId, SourceLoc, ThreadId, VarId) {
+        (
+            self.edge.dtype,
+            self.sink.loc,
+            self.sink.thread,
+            self.edge.source_loc,
+            self.edge.source_thread,
+            self.edge.var,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::loc;
+
+    #[test]
+    fn dep_type_display_matches_paper() {
+        assert_eq!(DepType::Raw.to_string(), "RAW");
+        assert_eq!(DepType::War.to_string(), "WAR");
+        assert_eq!(DepType::Waw.to_string(), "WAW");
+        assert_eq!(DepType::Init.to_string(), "INIT");
+    }
+
+    #[test]
+    fn flags_algebra() {
+        let f = DepFlags::LOOP_CARRIED | DepFlags::REVERSED;
+        assert!(f.contains(DepFlags::LOOP_CARRIED));
+        assert!(f.contains(DepFlags::REVERSED));
+        assert!(!f.contains(DepFlags::INTRA_ITERATION));
+        assert!(DepFlags::empty().is_empty());
+        let mut g = DepFlags::empty();
+        g |= DepFlags::INTRA_ITERATION;
+        assert!(g.contains(DepFlags::INTRA_ITERATION));
+    }
+
+    #[test]
+    fn identity_ignores_flags_and_carrier() {
+        let mk = |flags, carrier| Dependence {
+            sink: SinkKey { loc: loc(1, 63), thread: 0 },
+            edge: DepEdge {
+                dtype: DepType::Raw,
+                source_loc: loc(1, 59),
+                source_thread: 0,
+                var: 7,
+                carrier,
+                flags,
+            },
+        };
+        let a = mk(DepFlags::empty(), None);
+        let b = mk(DepFlags::LOOP_CARRIED, Some(3));
+        assert_eq!(a.identity(), b.identity());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn edge_ordering_is_deterministic() {
+        let e1 = DepEdge {
+            dtype: DepType::Raw,
+            source_loc: loc(1, 59),
+            source_thread: 0,
+            var: 1,
+            carrier: None,
+            flags: DepFlags::empty(),
+        };
+        let e2 = DepEdge { source_loc: loc(1, 67), ..e1 };
+        assert!(e1 < e2);
+    }
+}

@@ -1,0 +1,156 @@
+//! The instrumentation event stream.
+//!
+//! A profiled run is, from the profiler's perspective, nothing but a stream
+//! of [`TraceEvent`]s per target thread. Memory accesses dominate the
+//! stream; loop events carry the runtime control-flow information of
+//! Section III (BGN/END records, iteration counts) and drive the
+//! loop-carried classification used by the parallelism-discovery
+//! application (Section VII-A); deallocation events drive the
+//! variable-lifetime analysis of Section III-B.
+
+use crate::access::MemAccess;
+use crate::ids::{Address, LoopId, ThreadId, Timestamp};
+use crate::loc::SourceLoc;
+use serde::{Deserialize, Serialize};
+
+/// One event of the instrumentation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An instrumented memory access.
+    Access(MemAccess),
+    /// Control enters a loop (`BGN loop` in the output). Emitted once per
+    /// dynamic loop instance, before the first iteration.
+    LoopBegin {
+        /// Static loop id.
+        loop_id: LoopId,
+        /// Location of the loop header.
+        loc: SourceLoc,
+        /// Thread executing the loop.
+        thread: ThreadId,
+        /// Timestamp at entry.
+        ts: Timestamp,
+    },
+    /// A new iteration of the innermost active loop begins. The first
+    /// iteration of an instance is also announced (`iter == 0`).
+    LoopIter {
+        /// Static loop id.
+        loop_id: LoopId,
+        /// Iteration number within the current instance, from 0.
+        iter: u64,
+        /// Thread executing the loop.
+        thread: ThreadId,
+        /// Timestamp at the iteration boundary.
+        ts: Timestamp,
+    },
+    /// Control leaves a loop (`END loop <iterations>` in the output).
+    LoopEnd {
+        /// Static loop id.
+        loop_id: LoopId,
+        /// Location of the loop exit.
+        loc: SourceLoc,
+        /// Iterations executed by this instance.
+        iters: u64,
+        /// Thread executing the loop.
+        thread: ThreadId,
+        /// Timestamp at exit.
+        ts: Timestamp,
+    },
+    /// Control enters a function (drives the dynamic execution / call
+    /// tree representation of the Section VIII framework).
+    CallBegin {
+        /// Static function id.
+        func: u32,
+        /// Thread performing the call.
+        thread: ThreadId,
+        /// Timestamp at entry.
+        ts: Timestamp,
+    },
+    /// Control returns from a function.
+    CallEnd {
+        /// Static function id.
+        func: u32,
+        /// Thread performing the return.
+        thread: ThreadId,
+        /// Timestamp at exit.
+        ts: Timestamp,
+    },
+    /// A contiguous address range was deallocated; the variable-lifetime
+    /// analysis removes the range from the signatures so a later, unrelated
+    /// allocation reusing the addresses does not manufacture false
+    /// dependences (Section III-B).
+    Dealloc {
+        /// First address of the range.
+        base: Address,
+        /// Number of addressable slots (8-byte granules) in the range.
+        len: u64,
+        /// Thread performing the deallocation.
+        thread: ThreadId,
+        /// Timestamp of the deallocation.
+        ts: Timestamp,
+    },
+}
+
+impl TraceEvent {
+    /// The target-program thread that produced this event.
+    pub fn thread(&self) -> ThreadId {
+        match *self {
+            TraceEvent::Access(a) => a.thread,
+            TraceEvent::LoopBegin { thread, .. }
+            | TraceEvent::LoopIter { thread, .. }
+            | TraceEvent::LoopEnd { thread, .. }
+            | TraceEvent::CallBegin { thread, .. }
+            | TraceEvent::CallEnd { thread, .. }
+            | TraceEvent::Dealloc { thread, .. } => thread,
+        }
+    }
+
+    /// The timestamp of the event.
+    pub fn ts(&self) -> Timestamp {
+        match *self {
+            TraceEvent::Access(a) => a.ts,
+            TraceEvent::LoopBegin { ts, .. }
+            | TraceEvent::LoopIter { ts, .. }
+            | TraceEvent::LoopEnd { ts, .. }
+            | TraceEvent::CallBegin { ts, .. }
+            | TraceEvent::CallEnd { ts, .. }
+            | TraceEvent::Dealloc { ts, .. } => ts,
+        }
+    }
+
+    /// Returns the contained access, if this is an access event.
+    pub fn as_access(&self) -> Option<&MemAccess> {
+        match self {
+            TraceEvent::Access(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::loc;
+
+    #[test]
+    fn accessors() {
+        let a = TraceEvent::Access(MemAccess::read(0x8, 5, loc(1, 60), 1, 2));
+        assert_eq!(a.thread(), 2);
+        assert_eq!(a.ts(), 5);
+        assert!(a.as_access().is_some());
+
+        let b = TraceEvent::LoopBegin { loop_id: 1, loc: loc(1, 60), thread: 3, ts: 9 };
+        assert_eq!(b.thread(), 3);
+        assert_eq!(b.ts(), 9);
+        assert!(b.as_access().is_none());
+
+        let d = TraceEvent::Dealloc { base: 0x100, len: 8, thread: 0, ts: 11 };
+        assert_eq!(d.thread(), 0);
+        assert_eq!(d.ts(), 11);
+    }
+
+    #[test]
+    fn event_is_compact() {
+        // Events flow through queues in chunks; keep them cache-friendly.
+        assert!(std::mem::size_of::<TraceEvent>() <= 40);
+    }
+}

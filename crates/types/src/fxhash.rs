@@ -1,0 +1,139 @@
+//! A fast, non-cryptographic hasher for the profiler's hot maps.
+//!
+//! This is the classic "Fx" multiply-rotate hash used by rustc. The
+//! profiler touches maps on every memory access (access statistics,
+//! redistribution rules, perfect signatures), where SipHash's quality is
+//! wasted; Fx hashing of integer keys is essentially free. The *signature*
+//! itself uses a different, single multiplicative hash (see `dp-sig`) —
+//! this module is only for ordinary `HashMap`s.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// rustc's Fx hasher: `state = (state.rotate_left(5) ^ word) * SEED`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn h(v: u64) -> u64 {
+        let b = FxBuildHasher::default();
+        let mut s = b.build_hasher();
+        s.write_u64(v);
+        s.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&77], 154);
+    }
+
+    #[test]
+    fn spreads_sequential_addresses() {
+        // Sequential 8-byte-stride addresses (typical array walk) must not
+        // collapse into a handful of buckets. Fx maps an arithmetic input
+        // sequence to an arithmetic hash sequence, so mod a power of two it
+        // occupies a subgroup — acceptable (rustc relies on exactly this
+        // behaviour), as long as the subgroup is large. Mixing the high
+        // half (as done by consumers that fold the full 64 bits) must give
+        // near-uniform spread.
+        let mut low = vec![0u32; 1024];
+        let mut mixed = vec![0u32; 1024];
+        for i in 0..4096u64 {
+            let v = h(0x1000 + i * 8);
+            low[(v as usize) % 1024] += 1;
+            mixed[((v ^ (v >> 32)) as usize) % 1024] += 1;
+        }
+        assert!(low.iter().filter(|&&c| c > 0).count() >= 64);
+        let max = *mixed.iter().max().unwrap();
+        assert!(max <= 24, "worst mixed bucket too heavy: {max}");
+    }
+
+    #[test]
+    fn byte_stream_matches_word_stream_is_not_required_but_stable() {
+        let b = FxBuildHasher::default();
+        let mut s1 = b.build_hasher();
+        s1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut s2 = b.build_hasher();
+        s2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(s1.finish(), s2.finish());
+    }
+}

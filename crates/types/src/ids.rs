@@ -1,0 +1,32 @@
+//! Small identifier newtypes used throughout the profiler.
+
+/// A memory address in the (possibly simulated) address space of the
+/// profiled program. The profiler never dereferences addresses — it only
+/// hashes and compares them — so a plain `u64` is the full story.
+pub type Address = u64;
+
+/// Identifier of a thread of the *target* program (not a profiler worker).
+/// Thread 0 is the main thread, matching the `|0|` notation of Figure 3.
+pub type ThreadId = u16;
+
+/// A global, strictly increasing timestamp assigned to every memory access.
+///
+/// For sequential targets this is just a counter; for multi-threaded
+/// targets it is drawn from a shared atomic counter *inside the lock region
+/// protecting the access* (Section V, Figure 4), so that a worker observing
+/// decreasing timestamps for one address has proof the access/push pair was
+/// not atomic — i.e. a potential data race (Section V-B).
+pub type Timestamp = u64;
+
+/// Interned variable (or allocation) name; resolves via
+/// [`Interner`](crate::Interner).
+pub type VarId = u32;
+
+/// Static identifier of a loop in the target program. Loop metadata
+/// (source range, OpenMP annotation ground truth) lives in the trace
+/// substrate; the profiler only needs the id to attribute iterations.
+pub type LoopId = u32;
+
+/// Identifier of an explicit lock of the target program (Section V-A:
+/// the profiler currently requires explicit locking primitives).
+pub type MutexId = u32;

@@ -1,0 +1,92 @@
+//! Tour of the integrated program-analysis framework (Section VIII of the
+//! paper): profile once, reorganize the data into the dependence graph,
+//! loop table and dynamic execution tree, run the bundled analyses, and
+//! plug in a custom one.
+//!
+//! ```text
+//! cargo run --release --example framework_tour [program]
+//! ```
+
+use depprof::analysis::{
+    privatization_candidates, Analysis, AnalysisContext, Framework, LoopMeta,
+};
+use depprof::trace::workloads::{nas_suite, Scale};
+
+/// A custom plugin: ranks the hottest dependences by dynamic count —
+/// something a performance-tuning tool would surface first.
+struct HotDeps {
+    top: usize,
+}
+
+impl Analysis for HotDeps {
+    fn name(&self) -> &str {
+        "hot-dependences"
+    }
+
+    fn run(&mut self, ctx: &AnalysisContext<'_>) -> String {
+        let mut all: Vec<_> = ctx.result.deps.dependences().collect();
+        all.sort_by_key(|(_, v)| std::cmp::Reverse(v.count));
+        all.iter()
+            .take(self.top)
+            .map(|(d, v)| {
+                format!(
+                    "{:>8}x {:?} {} <- {} on '{}'",
+                    v.count,
+                    d.edge.dtype,
+                    d.sink.loc,
+                    d.edge.source_loc,
+                    ctx.interner.get(d.edge.var).unwrap_or("?")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "FT".into());
+    let suite = nas_suite(Scale(0.1));
+    let w = suite
+        .iter()
+        .find(|w| w.meta.name.eq_ignore_ascii_case(&want))
+        .unwrap_or_else(|| panic!("unknown NAS program '{want}'"));
+
+    println!("profiling {} ...\n", w.meta.name);
+    let result = depprof::profile_sequential(&w.program, 1 << 20);
+
+    let metas: Vec<LoopMeta> = w
+        .program
+        .loops
+        .iter()
+        .map(|l| LoopMeta { id: l.id, name: l.name.clone(), omp: l.omp })
+        .collect();
+
+    // The framework: built-in plugins + a custom one.
+    let mut fw = Framework::with_builtin();
+    fw.register(Box::new(HotDeps { top: 5 }));
+    for (name, fragment) in fw.run(&result, &w.program.interner, &metas, &w.program.func_names, 0)
+    {
+        println!("== {name} ==\n{fragment}\n");
+    }
+
+    // Privatization advice on top of the loop verdicts.
+    let privs = privatization_candidates(&result, &metas);
+    if privs.is_empty() {
+        println!("== privatization == none needed");
+    } else {
+        println!("== privatization ==");
+        for p in privs {
+            let lname = metas
+                .iter()
+                .find(|m| m.id == p.loop_id)
+                .map(|m| m.name.as_str())
+                .unwrap_or("?");
+            println!(
+                "  loop {lname}: privatize '{}' (carried WAR x{}, WAW x{})",
+                w.program.interner.get(p.var).unwrap_or("?"),
+                p.war,
+                p.waw
+            );
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! `depprof` — command-line front-end to the dependence profiler.
+//!
+//! ```text
+//! depprof list
+//! depprof profile <workload> [--engine serial|parallel|lock-based|perfect]
+//!                            [--workers N] [--slots N] [--scale F]
+//!                            [--report|--analyze|--dot|--csv]
+//! ```
+//!
+//! `<workload>` is any bundled mini (NAS: bt sp lu is ep cg mg ft;
+//! Starbench: c-ray kmeans md5 ray-rot rgbyuv rotate rot-cc
+//! streamcluster tinyjpeg bodytrack h264dec; SPLASH: water-spatial;
+//! synthetic: racy-counter locked-counter). Parallel (pthread-style)
+//! targets are profiled with the multi-threaded engine automatically.
+
+use depprof::analysis::{Framework, LoopMeta};
+use depprof::core::{report, ProfilerConfig};
+use depprof::trace::workloads::{
+    nas_suite, splash, starbench_suite, synth, Scale, Workload,
+};
+
+struct Args {
+    workload: String,
+    engine: String,
+    workers: usize,
+    slots: usize,
+    scale: f64,
+    mode: String,
+}
+
+fn parse() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
+        return Err("usage".into());
+    }
+    if argv[0] == "record" || argv[0] == "replay" {
+        let mut a = Args {
+            workload: argv.get(1).cloned().ok_or("record/replay need an argument")?,
+            engine: argv[0].clone(),
+            workers: 8,
+            slots: 1 << 20,
+            scale: 0.25,
+            mode: "trace".into(),
+        };
+        let mut i = 2;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    a.scale =
+                        argv.get(i).and_then(|s| s.parse().ok()).ok_or("--scale: float")?;
+                }
+                "--slots" => {
+                    i += 1;
+                    a.slots = argv.get(i).and_then(|s| s.parse().ok()).ok_or("--slots: int")?;
+                }
+                "--out" | "--in" => {
+                    i += 1;
+                    a.mode = argv.get(i).cloned().ok_or("--out/--in need a path")?;
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            i += 1;
+        }
+        return Ok(a);
+    }
+    if argv[0] == "list" {
+        return Ok(Args {
+            workload: "list".into(),
+            engine: String::new(),
+            workers: 0,
+            slots: 0,
+            scale: 0.0,
+            mode: String::new(),
+        });
+    }
+    if argv[0] != "profile" {
+        return Err(format!("unknown command '{}'", argv[0]));
+    }
+    let mut a = Args {
+        workload: argv.get(1).cloned().ok_or("profile needs a workload name")?,
+        engine: "serial".into(),
+        workers: 8,
+        slots: 1 << 20,
+        scale: 0.25,
+        mode: "report".into(),
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--engine" => {
+                i += 1;
+                a.engine = argv.get(i).cloned().ok_or("--engine needs a value")?;
+            }
+            "--workers" => {
+                i += 1;
+                a.workers = argv.get(i).and_then(|s| s.parse().ok()).ok_or("--workers: int")?;
+            }
+            "--slots" => {
+                i += 1;
+                a.slots = argv.get(i).and_then(|s| s.parse().ok()).ok_or("--slots: int")?;
+            }
+            "--scale" => {
+                i += 1;
+                a.scale = argv.get(i).and_then(|s| s.parse().ok()).ok_or("--scale: float")?;
+            }
+            "--report" => a.mode = "report".into(),
+            "--analyze" => a.mode = "analyze".into(),
+            "--dot" => a.mode = "dot".into(),
+            "--csv" => a.mode = "csv".into(),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(a)
+}
+
+fn find_workload(name: &str, scale: Scale) -> Option<Workload> {
+    let lower = name.to_ascii_lowercase();
+    nas_suite(scale)
+        .into_iter()
+        .chain(starbench_suite(scale))
+        .find(|w| w.meta.name.eq_ignore_ascii_case(&lower))
+        .or_else(|| match lower.as_str() {
+            "water-spatial" => Some(splash::water_spatial(scale, 8)),
+            "racy-counter" => Some(synth::racy_counter(scale, 4)),
+            "locked-counter" => Some(synth::locked_counter(scale, 4)),
+            _ => None,
+        })
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "usage" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage:\n  depprof list\n  depprof profile <workload> \
+                 [--engine serial|parallel|lock-based|perfect] [--workers N] \
+                 [--slots N] [--scale F] [--report|--analyze|--dot|--csv]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if args.engine == "record" {
+        // `depprof record <workload> --out trace.dptr`
+        let path = if args.mode == "trace" { "trace.dptr".to_string() } else { args.mode.clone() };
+        let Some(w) = find_workload(&args.workload, Scale(args.scale)) else {
+            eprintln!("unknown workload '{}'", args.workload);
+            std::process::exit(2);
+        };
+        if w.meta.parallel {
+            eprintln!(
+                "recording multi-threaded targets is not supported (their event order \
+                 is schedule-dependent); profile them live with `depprof profile`"
+            );
+            std::process::exit(2);
+        }
+        let file = std::fs::File::create(&path).expect("cannot create trace file");
+        let mut wtr = depprof::trace::TraceWriter::with_names(file, &w.program.interner)
+            .expect("trace header");
+        let vm = depprof::trace::Interp::new(&w.program);
+        vm.run_seq(&mut wtr);
+        let events = wtr.events();
+        wtr.finish().expect("flush trace");
+        eprintln!("recorded {events} events of {} to {path}", w.meta.name);
+        return;
+    }
+    if args.engine == "replay" {
+        // `depprof replay trace.dptr [--slots N]`
+        let file = std::fs::File::open(&args.workload).expect("cannot open trace file");
+        let mut reader = depprof::trace::TraceReader::new(file).expect("trace header");
+        let interner = reader.interner().clone();
+        let mut prof = depprof::core::SequentialProfiler::with_signature(args.slots);
+        for ev in &mut reader {
+            prof.on_event(&ev.expect("corrupt trace"));
+        }
+        let result = prof.finish();
+        eprintln!("{}", report::summary(&result));
+        println!("{}", report::render(&result, &interner, false));
+        return;
+    }
+    if args.workload == "list" {
+        println!("NAS:       BT SP LU IS EP CG MG FT");
+        println!(
+            "Starbench: c-ray kmeans md5 ray-rot rgbyuv rotate rot-cc streamcluster \
+             tinyjpeg bodytrack h264dec"
+        );
+        println!("SPLASH:    water-spatial (8 target threads)");
+        println!("synthetic: racy-counter locked-counter (4 target threads)");
+        return;
+    }
+
+    let Some(w) = find_workload(&args.workload, Scale(args.scale)) else {
+        eprintln!("unknown workload '{}' (try `depprof list`)", args.workload);
+        std::process::exit(2);
+    };
+
+    let cfg = ProfilerConfig::default().with_workers(args.workers).with_slots(args.slots);
+    let result = if w.meta.parallel {
+        eprintln!(
+            "profiling {} ({} target threads) with the multi-threaded engine, {} workers ...",
+            w.meta.name, w.meta.nthreads, args.workers
+        );
+        depprof::profile_mt(&w.program, cfg)
+    } else {
+        match args.engine.as_str() {
+            "serial" => {
+                eprintln!("profiling {} with the serial signature engine ...", w.meta.name);
+                depprof::profile_sequential(&w.program, args.slots)
+            }
+            "perfect" => {
+                eprintln!("profiling {} with the perfect-signature baseline ...", w.meta.name);
+                depprof::profile_sequential_perfect(&w.program)
+            }
+            "parallel" => {
+                eprintln!(
+                    "profiling {} with the lock-free pipeline, {} workers ...",
+                    w.meta.name, args.workers
+                );
+                depprof::profile_parallel(&w.program, cfg)
+            }
+            "lock-based" => {
+                eprintln!(
+                    "profiling {} with the lock-based pipeline, {} workers ...",
+                    w.meta.name, args.workers
+                );
+                use depprof::core::parallel::LockBasedProfiler;
+                use depprof::core::ParallelProfiler;
+                use depprof::sig::{ExtendedSlot, Signature};
+                let vm = depprof::trace::Interp::new(&w.program);
+                let slots = cfg.slots_per_worker();
+                let mut prof: LockBasedProfiler<Signature<ExtendedSlot>> =
+                    ParallelProfiler::new(cfg, move || Signature::new(slots));
+                vm.run_seq(&mut prof);
+                prof.finish()
+            }
+            other => {
+                eprintln!("unknown engine '{other}'");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    eprintln!("{}\n", report::summary(&result));
+    match args.mode.as_str() {
+        "report" => {
+            println!("{}", report::render(&result, &w.program.interner, w.meta.parallel));
+        }
+        "dot" => {
+            let g = depprof::analysis::DepGraph::build(&result);
+            println!("{}", g.to_dot(w.meta.parallel));
+        }
+        "csv" => {
+            println!("{}", report::to_csv(&result, &w.program.interner));
+        }
+        "analyze" => {
+            let metas: Vec<LoopMeta> = w
+                .program
+                .loops
+                .iter()
+                .map(|l| LoopMeta { id: l.id, name: l.name.clone(), omp: l.omp })
+                .collect();
+            let mut fw = Framework::with_builtin();
+            for (name, fragment) in fw.run(
+                &result,
+                &w.program.interner,
+                &metas,
+                &w.program.func_names,
+                if w.meta.parallel { w.meta.nthreads as usize + 1 } else { 0 },
+            ) {
+                println!("== {name} ==\n{fragment}\n");
+            }
+        }
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `depprof` command-line tool.
+
+use std::process::Command;
+
+fn depprof(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_depprof")).args(args).output().expect("spawn depprof")
+}
+
+#[test]
+fn list_names_all_suites() {
+    let out = depprof(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["BT", "c-ray", "water-spatial", "racy-counter"] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+#[test]
+fn profile_report_has_figure1_shape() {
+    let out = depprof(&["profile", "EP", "--scale", "0.02"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("BGN loop"), "{text}");
+    assert!(text.contains("{INIT *}"), "{text}");
+}
+
+#[test]
+fn analyze_runs_framework() {
+    let out = depprof(&["profile", "FT", "--scale", "0.02", "--analyze"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("parallelism-discovery"));
+    assert!(text.contains("execution-tree"));
+    assert!(text.contains("reduction"), "{text}");
+}
+
+#[test]
+fn csv_mode_is_machine_readable() {
+    let out = depprof(&["profile", "MG", "--scale", "0.02", "--csv"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut lines = text.lines();
+    assert!(lines.next().unwrap().starts_with("type,sink"));
+    assert!(lines.clone().count() > 3);
+    assert!(lines.all(|l| l.is_empty() || l.split(',').count() == 9));
+}
+
+#[test]
+fn record_then_replay_roundtrips() {
+    let dir = std::env::temp_dir().join("depprof-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("cg.dptr");
+    let trace_s = trace.to_str().unwrap();
+    let rec = depprof(&["record", "CG", "--scale", "0.02", "--out", trace_s]);
+    assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
+    let rep = depprof(&["replay", trace_s]);
+    assert!(rep.status.success(), "{}", String::from_utf8_lossy(&rep.stderr));
+    let text = String::from_utf8_lossy(&rep.stdout);
+    // Variable names resolve from the embedded table.
+    assert!(text.contains("|colidx}") || text.contains("|x}"), "{text}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn unknown_workload_fails_cleanly() {
+    let out = depprof(&["profile", "nonexistent"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
+
+#[test]
+fn recording_parallel_targets_is_refused() {
+    let out = depprof(&["record", "water-spatial", "--scale", "0.02"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not supported"));
+}

@@ -1,0 +1,61 @@
+//! Offline profiling: a recorded trace replayed through any engine must
+//! produce exactly the live result.
+
+use depprof::core::SequentialProfiler;
+use depprof::trace::workloads::{nas_suite, starbench_suite, Scale};
+use depprof::trace::{Interp, TraceReader, TraceWriter};
+
+#[test]
+fn replayed_trace_equals_live_profile() {
+    for w in [&nas_suite(Scale(0.03))[3], &starbench_suite(Scale(0.03))[2]] {
+        // live
+        let vm = Interp::new(&w.program);
+        let mut live = SequentialProfiler::with_signature(1 << 16);
+        vm.run_seq(&mut live);
+        let live = live.finish();
+        // record
+        let vm = Interp::new(&w.program);
+        let mut wtr = TraceWriter::with_names(Vec::new(), &w.program.interner).unwrap();
+        vm.run_seq(&mut wtr);
+        let bytes = wtr.finish().unwrap();
+        // replay
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.interner().len(), w.program.interner.len());
+        let mut replayed = SequentialProfiler::with_signature(1 << 16);
+        for ev in &mut reader {
+            replayed.on_event(&ev.unwrap());
+        }
+        let replayed = replayed.finish();
+
+        assert_eq!(live.stats.accesses, replayed.stats.accesses, "{}", w.meta.name);
+        assert_eq!(live.stats.deps_built, replayed.stats.deps_built, "{}", w.meta.name);
+        let a = depprof::core::report::render(&live, &w.program.interner, false);
+        let b = depprof::core::report::render(&replayed, &w.program.interner, false);
+        assert_eq!(a, b, "{}: replayed report differs", w.meta.name);
+    }
+}
+
+#[test]
+fn one_recording_feeds_many_signature_sizes() {
+    // The offline workflow of the Table I experiment: record once,
+    // evaluate accuracy at several sizes without re-running the program.
+    let w = &starbench_suite(Scale(0.03))[0]; // c-ray
+    let vm = Interp::new(&w.program);
+    let mut wtr = TraceWriter::with_names(Vec::new(), &w.program.interner).unwrap();
+    vm.run_seq(&mut wtr);
+    let bytes = wtr.finish().unwrap();
+
+    let replay = |slots: usize| {
+        let mut p = SequentialProfiler::with_signature(slots);
+        for ev in TraceReader::new(&bytes[..]).unwrap() {
+            p.on_event(&ev.unwrap());
+        }
+        p.finish()
+    };
+    let small = replay(256);
+    let big = replay(1 << 20);
+    assert_eq!(small.stats.accesses, big.stats.accesses);
+    // Small signatures merge colliding addresses into fewer/other records;
+    // both runs came from one recording.
+    assert!(big.stats.deps_merged > 0);
+}

@@ -1,0 +1,229 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of `criterion` its benchmarks use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `throughput`/`sample_size`/`measurement_time`/`warm_up_time`/
+//! `bench_function`/`finish`, [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up, then
+//! sampled `sample_size` times; the reported figure is the *median*
+//! sample (robust to scheduler noise), with min/max alongside. There are
+//! no plots, baselines, or outlier analysis.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(v: T) -> T {
+    std_black_box(v)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// How to express per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, rendered as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing throughput and timing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm-up: run until the budget is spent, learning the iteration
+        // cost as we go.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter = (b.elapsed / b.iters as u32).max(Duration::from_nanos(1));
+        }
+
+        // Measurement: split the budget into sample_size samples and size
+        // each sample's iteration count to fill its share.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u128::from(u32::MAX));
+        b.iters = iters as u64;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed / b.iters as u32);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / median.as_secs_f64();
+                format!("  {:>12.0} elem/s", per_sec)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / median.as_secs_f64();
+                format!("  {:>12.0} B/s", per_sec)
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {:<40} median {:>12?}  (min {:?}, max {:?}, {} iters/sample){rate}",
+            id.id, median, min, max, b.iters
+        );
+        self
+    }
+
+    /// Ends the group (printing nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group (command-line arguments are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_group(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(30));
+        g.warm_up_time(Duration::from_millis(5));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_function(BenchmarkId::new("add", "id-form"), |b| b.iter(|| 1u64 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, quick_group);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,168 @@
+//! Vendored minimal stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the thin slice of `parking_lot` it actually uses:
+//!
+//! - [`Mutex`] — a wrapper over [`std::sync::Mutex`] whose `lock()`
+//!   returns the guard directly (poisoning is ignored, matching
+//!   `parking_lot` semantics: a panic while holding the lock does not
+//!   poison it for later users).
+//! - [`RawMutex`] — a raw lock with `const INIT`, usable without wrapping
+//!   data, as the MiniVM interpreter models target-program mutexes.
+//! - [`lock_api::RawMutex`] — the trait providing `INIT`/`lock`/`unlock`.
+//!
+//! Performance characteristics differ from the real crate (the raw mutex
+//! spins with `yield_now` instead of futex parking), which is acceptable
+//! for the short critical sections the MiniVM workloads model.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Re-exported trait layer, mirroring `parking_lot::lock_api`.
+pub mod lock_api {
+    /// A raw mutex: lockable from `&self`, with a `const` initializer.
+    ///
+    /// Subset of `lock_api::RawMutex` (no fairness, no timeouts).
+    pub trait RawMutex {
+        /// An unlocked mutex, usable in `const` contexts.
+        const INIT: Self;
+
+        /// Acquires the lock, blocking (spinning) until available.
+        fn lock(&self);
+
+        /// Attempts to acquire the lock without blocking.
+        fn try_lock(&self) -> bool;
+
+        /// Releases the lock.
+        ///
+        /// # Safety
+        ///
+        /// The lock must be held by the current context.
+        unsafe fn unlock(&self);
+    }
+}
+
+/// A raw test-and-test-and-set spin lock with a `const` initializer.
+///
+/// Stands in for `parking_lot::RawMutex`; the MiniVM interpreter uses one
+/// per modeled target-program mutex.
+pub struct RawMutex {
+    locked: AtomicBool,
+}
+
+impl lock_api::RawMutex for RawMutex {
+    const INIT: RawMutex = RawMutex { locked: AtomicBool::new(false) };
+
+    fn lock(&self) {
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok()
+    }
+
+    unsafe fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion primitive whose `lock()` returns the guard directly.
+///
+/// Wraps [`std::sync::Mutex`]; a poisoned lock (panic in another holder)
+/// is entered anyway, matching `parking_lot`'s no-poisoning behaviour.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates an unlocked mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawMutex as _;
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn raw_mutex_excludes() {
+        let m = Arc::new(RawMutex::INIT);
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.lock();
+                    *counter.lock() += 1;
+                    unsafe { m.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 4000);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = RawMutex::INIT;
+        assert!(m.try_lock());
+        assert!(!m.try_lock());
+        unsafe { m.unlock() };
+        assert!(m.try_lock());
+    }
+}

@@ -1,0 +1,68 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of `proptest` its property tests use:
+//! the [`proptest!`] / [`prop_oneof!`] macros, [`strategy::Strategy`] with
+//! `prop_map`, integer-range / tuple / [`strategy::Just`] strategies,
+//! [`arbitrary::any`], [`collection::vec`], the `prop_assert*` /
+//! [`prop_assume!`] macros, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from the real crate, acceptable for these tests:
+//!
+//! - generation is deterministic (fixed seed, one stream per test case) —
+//!   failures reproduce exactly across runs;
+//! - no shrinking: a failing case reports the assertion message only;
+//! - strategies implement a single `generate` method, not the full
+//!   `ValueTree` machinery.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Module alias so `prop::collection::vec(..)` resolves as it does
+    /// with the real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// A deterministic 64-bit PRNG (xorshift*), one instance per test case.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a nonzero seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`; `hi` must exceed `lo`.
+    pub fn below(&mut self, width: u64) -> u64 {
+        debug_assert!(width > 0);
+        self.next_u64() % width
+    }
+}

@@ -1,0 +1,243 @@
+//! The case runner and the `proptest!` / `prop_assert*` macros.
+
+use crate::TestRng;
+
+/// Per-test configuration (subset of the real crate's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; the case is retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejected (re-drawn) case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Runs `case` until `config.cases` successes, with a fixed deterministic
+/// seed schedule. Panics on the first [`TestCaseError::Fail`]; rejections
+/// are retried up to a bounded total.
+pub fn run_proptest(
+    config: ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // One deterministic stream per test function, so cases differ across
+    // tests but every run of the suite sees identical inputs.
+    let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+    for b in test_name.bytes() {
+        seed = seed.rotate_left(7) ^ u64::from(b).wrapping_mul(0x100_0000_01B3);
+    }
+    let mut done = 0u32;
+    let mut rejects = 0u64;
+    let max_rejects = u64::from(config.cases) * 16 + 1024;
+    while done < config.cases {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => done += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "{test_name}: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case {done} failed: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares property tests. Supported form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_property(x in 0u32..10, ys in prop::collection::vec(any::<u8>(), 1..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run_proptest(config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current test case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current test case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current test case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "assertion failed: `{:?}` == `{:?}`", left, right);
+    }};
+}
+
+/// Rejects the current case (re-drawn with fresh inputs) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(x in 1u32..50, v in prop::collection::vec(any::<u8>(), 1..10)) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 10);
+        }
+
+        #[test]
+        fn question_mark_works(x in 0u8..10) {
+            fn inner(x: u8) -> Result<(), TestCaseError> {
+                prop_assert!(x < 10);
+                Ok(())
+            }
+            inner(x)?;
+        }
+
+        #[test]
+        fn assume_redraws(x in 0u8..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        for round in 0..2 {
+            let mut got = Vec::new();
+            crate::test_runner::run_proptest(
+                ProptestConfig::with_cases(10),
+                "deterministic_across_runs",
+                |rng| {
+                    got.push(rng.next_u64());
+                    Ok(())
+                },
+            );
+            if round == 0 {
+                first = got;
+            } else {
+                assert_eq!(first, got);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0 failed")]
+    fn failing_case_panics() {
+        crate::test_runner::run_proptest(ProptestConfig::with_cases(4), "failing", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -62,12 +62,7 @@ pub fn compare(baseline: &ProfileResult, profiled: &ProfileResult) -> Accuracy {
     let prof = ident_set(profiled);
     let false_positives = prof.difference(&base).count();
     let false_negatives = base.difference(&prof).count();
-    Accuracy {
-        baseline: base.len(),
-        profiled: prof.len(),
-        false_positives,
-        false_negatives,
-    }
+    Accuracy { baseline: base.len(), profiled: prof.len(), false_positives, false_negatives }
 }
 
 #[cfg(test)]
@@ -107,7 +102,10 @@ mod tests {
         evs
     }
 
-    fn run<S: dp_sig::AccessStore>(mut p: SequentialProfiler<S>, evs: &[TraceEvent]) -> ProfileResult {
+    fn run<S: dp_sig::AccessStore>(
+        mut p: SequentialProfiler<S>,
+        evs: &[TraceEvent],
+    ) -> ProfileResult {
         for e in evs {
             p.on_event(e);
         }

@@ -200,11 +200,9 @@ pub mod builtin {
                 return "no structural events recorded".into();
             }
             tree.render(|k| match k {
-                ExecNodeKind::Call(f) => ctx
-                    .func_names
-                    .get(f as usize)
-                    .cloned()
-                    .unwrap_or_else(|| format!("fn{f}")),
+                ExecNodeKind::Call(f) => {
+                    ctx.func_names.get(f as usize).cloned().unwrap_or_else(|| format!("fn{f}"))
+                }
                 ExecNodeKind::Loop(l) => ctx
                     .loops
                     .iter()

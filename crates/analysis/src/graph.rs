@@ -132,11 +132,7 @@ impl DepGraph {
         }
         let mut memo = FxHashMap::default();
         let mut visiting = FxHashSet::default();
-        self.nodes
-            .iter()
-            .map(|&n| depth(self, n, &mut memo, &mut visiting))
-            .max()
-            .unwrap_or(0)
+        self.nodes.iter().map(|&n| depth(self, n, &mut memo, &mut visiting)).max().unwrap_or(0)
     }
 
     /// Graphviz `dot` rendering (RAW solid, WAR dashed, WAW dotted;

@@ -33,7 +33,10 @@ pub use comm::{communication_matrix, CommMatrix};
 pub use framework::{Analysis, AnalysisContext, Framework};
 pub use graph::DepGraph;
 pub use looptable::LoopTable;
-pub use parallelism::{classify_loops, privatization_candidates, LoopClass, LoopMeta, LoopVerdict, PrivatizationCandidate};
+pub use parallelism::{
+    classify_loops, privatization_candidates, LoopClass, LoopMeta, LoopVerdict,
+    PrivatizationCandidate,
+};
 pub use races::{find_races, RaceHint};
 pub use schedule::{max_wave_width, schedule_waves, section_dag, SectionDag, SectionMeta};
 pub use unions::{stability, union_runs};

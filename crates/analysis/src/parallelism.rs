@@ -157,10 +157,7 @@ pub struct Table2Row {
 pub fn table2_row(result: &ProfileResult, loops: &[LoopMeta]) -> Table2Row {
     let verdicts = classify_loops(result, loops);
     let omp: Vec<_> = verdicts.iter().filter(|v| v.meta.omp).collect();
-    Table2Row {
-        omp: omp.len(),
-        identified: omp.iter().filter(|v| v.identified()).count(),
-    }
+    Table2Row { omp: omp.len(), identified: omp.iter().filter(|v| v.identified()).count() }
 }
 
 #[cfg(test)]
@@ -188,7 +185,8 @@ mod tests {
 
     /// reduction loop: read+write the same scalar at one line.
     fn reduction_events() -> Vec<TraceEvent> {
-        let mut evs = vec![TraceEvent::LoopBegin { loop_id: 1, loc: loc(1, 5), thread: 0, ts: 100 }];
+        let mut evs =
+            vec![TraceEvent::LoopBegin { loop_id: 1, loc: loc(1, 5), thread: 0, ts: 100 }];
         for it in 0..4u64 {
             let t = 110 + it * 10;
             evs.push(TraceEvent::LoopIter { loop_id: 1, iter: it, thread: 0, ts: t });
@@ -216,7 +214,13 @@ mod tests {
                 0,
             )));
         }
-        evs.push(TraceEvent::LoopEnd { loop_id: 2, loc: loc(1, 11), iters: 4, thread: 0, ts: 9999 });
+        evs.push(TraceEvent::LoopEnd {
+            loop_id: 2,
+            loc: loc(1, 11),
+            iters: 4,
+            thread: 0,
+            ts: 9999,
+        });
         evs
     }
 
@@ -291,11 +295,19 @@ mod privatization_tests {
             p.event(TraceEvent::LoopIter { loop_id: 4, iter: it, thread: 0, ts: t });
             // write temp (addr 0x8, var 9) then read it, same iteration
             p.event(TraceEvent::Access(MemAccess {
-                addr: 0x8, ts: t + 1, loc: loc(1, 2), var: 9, thread: 0,
+                addr: 0x8,
+                ts: t + 1,
+                loc: loc(1, 2),
+                var: 9,
+                thread: 0,
                 kind: AccessKind::Write,
             }));
             p.event(TraceEvent::Access(MemAccess {
-                addr: 0x8, ts: t + 2, loc: loc(1, 3), var: 9, thread: 0,
+                addr: 0x8,
+                ts: t + 2,
+                loc: loc(1, 3),
+                var: 9,
+                thread: 0,
                 kind: AccessKind::Read,
             }));
         }
@@ -306,8 +318,8 @@ mod privatization_tests {
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].var, 9);
         assert!(cands[0].waw > 0, "{cands:?}"); // write of next iter vs write of prev
-        // And the loop itself is NOT DOALL (carried WAW) but also not
-        // blocked by RAW — classify still says DOALL because only RAW blocks:
+                                                // And the loop itself is NOT DOALL (carried WAW) but also not
+                                                // blocked by RAW — classify still says DOALL because only RAW blocks:
         let v = classify_loops(&r, &metas);
         assert_eq!(v[0].class, LoopClass::Doall);
     }
@@ -322,11 +334,19 @@ mod privatization_tests {
             let t = 10 + it * 10;
             p.event(TraceEvent::LoopIter { loop_id: 5, iter: it, thread: 0, ts: t });
             p.event(TraceEvent::Access(MemAccess {
-                addr: 0x10, ts: t + 1, loc: loc(1, 2), var: 3, thread: 0,
+                addr: 0x10,
+                ts: t + 1,
+                loc: loc(1, 2),
+                var: 3,
+                thread: 0,
                 kind: AccessKind::Read,
             }));
             p.event(TraceEvent::Access(MemAccess {
-                addr: 0x10, ts: t + 2, loc: loc(1, 2), var: 3, thread: 0,
+                addr: 0x10,
+                ts: t + 2,
+                loc: loc(1, 2),
+                var: 3,
+                thread: 0,
                 kind: AccessKind::Write,
             }));
         }

@@ -46,7 +46,7 @@ pub fn find_races(result: &ProfileResult) -> Vec<RaceHint> {
 mod tests {
     use super::*;
     use dp_core::{MtProfiler, ProfilerConfig};
-    use dp_types::{loc::loc, MemAccess, Tracer, TraceEvent, TracerFactory};
+    use dp_types::{loc::loc, MemAccess, TraceEvent, Tracer, TracerFactory};
 
     #[test]
     fn reversed_dep_surfaces_as_race_hint() {

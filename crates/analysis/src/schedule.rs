@@ -86,8 +86,7 @@ pub fn schedule_waves(dag: &SectionDag) -> Vec<Vec<usize>> {
     let mut waves = Vec::new();
     let mut remaining = n;
     while remaining > 0 {
-        let wave: Vec<usize> =
-            (0..n).filter(|&i| !assigned[i] && indeg[i] == 0).collect();
+        let wave: Vec<usize> = (0..n).filter(|&i| !assigned[i] && indeg[i] == 0).collect();
         if wave.is_empty() {
             // Cycle through an enclosing loop: emit the rest as one final
             // (sequentialized) wave rather than looping forever.

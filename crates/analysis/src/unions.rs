@@ -59,7 +59,13 @@ mod tests {
             ts += 1;
             p.event(TraceEvent::Access(MemAccess::write(a, ts, loc(1, (a % 97) as u32 + 1), 1, 0)));
             ts += 1;
-            p.event(TraceEvent::Access(MemAccess::read(a, ts, loc(1, (a % 89) as u32 + 200), 1, 0)));
+            p.event(TraceEvent::Access(MemAccess::read(
+                a,
+                ts,
+                loc(1, (a % 89) as u32 + 200),
+                1,
+                0,
+            )));
         }
         p.finish()
     }

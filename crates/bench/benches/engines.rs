@@ -3,12 +3,12 @@
 //! interpreter cost is excluded and the numbers isolate the profiler).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dp_core::parallel::{LockBasedProfiler, LockFreeProfiler};
+use dp_core::parallel::{LockBasedProfiler, LockFreeProfiler, SpscProfiler};
 use dp_core::{ParallelProfiler, ProfilerConfig, SequentialProfiler};
 use dp_sig::{ExtendedSlot, PerfectSignature, Signature};
 use dp_trace::workloads::{synth, Scale};
 use dp_trace::{CollectTracer, Interp};
-use dp_types::{Tracer, TraceEvent};
+use dp_types::{TraceEvent, Tracer};
 use std::hint::black_box;
 
 fn events() -> Vec<TraceEvent> {
@@ -50,6 +50,18 @@ fn bench_engines(c: &mut Criterion) {
             let cfg = ProfilerConfig::default().with_workers(4).with_slots(1 << 17);
             let slots = cfg.slots_per_worker();
             let mut p: LockFreeProfiler<Signature<ExtendedSlot>> =
+                ParallelProfiler::new(cfg, move || Signature::new(slots));
+            for e in &evs {
+                p.event(*e);
+            }
+            black_box(p.finish().stats.deps_merged)
+        });
+    });
+    g.bench_function("parallel_spsc_4w", |b| {
+        b.iter(|| {
+            let cfg = ProfilerConfig::default().with_workers(4).with_slots(1 << 17);
+            let slots = cfg.slots_per_worker();
+            let mut p: SpscProfiler<Signature<ExtendedSlot>> =
                 ParallelProfiler::new(cfg, move || Signature::new(slots));
             for e in &evs {
                 p.event(*e);

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dp_sig::{
-    AccessStore, CompactSlot, ExtendedSlot, HashHistory, PerfectSignature, ShadowMemory,
-    SigEntry, Signature,
+    AccessStore, CompactSlot, ExtendedSlot, HashHistory, PerfectSignature, ShadowMemory, SigEntry,
+    Signature,
 };
 use dp_types::loc::loc;
 use std::hint::black_box;

@@ -5,9 +5,12 @@
 //! ```
 //!
 //! Experiments: `table1 formula2 fig5 fig6 fig7 fig8 table2 fig9 merge
-//! ablate-hash races ablate-chunk ablate-redist ablate-slots ablate-sections all`.
+//! ablate-hash races ablate-chunk ablate-redist ablate-slots ablate-sections
+//! spsc all`.
 //! `--scale` multiplies workload sizes (default 0.25; EXPERIMENTS.md
-//! records runs at the default).
+//! records runs at the default). `--quick` shrinks the workload subset
+//! (CI smoke). `spsc` compares the SPSC/MPMC/lock-based transports and
+//! writes machine-readable results to `--out` (default `BENCH_spsc.json`).
 
 use dp_bench::experiments as exp;
 
@@ -15,15 +18,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = String::from("all");
     let mut cfg = exp::ExpConfig::default();
+    let mut out = String::from("BENCH_spsc.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                cfg.scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--scale needs a float argument");
+                cfg.scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale needs a float argument");
+                    std::process::exit(2);
+                });
+            }
+            "--quick" => {
+                cfg.quick = true;
+                cfg.scale = cfg.scale.min(0.05);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path argument");
+                    std::process::exit(2);
+                });
             }
             name => which = name.to_string(),
         }
@@ -47,12 +62,13 @@ fn main() {
         "ablate-slots" => exp::ablate_slots(cfg),
         "ablate-sections" => exp::ablate_sections(cfg),
         "ablate-sd3" => exp::ablate_sd3(cfg),
+        "spsc" => exp::spsc(cfg, Some(&out)),
         "all" => exp::all(cfg),
         other => {
             eprintln!(
                 "unknown experiment '{other}'; choose from: table1 formula2 fig5 fig6 fig7 \
                  fig8 table2 fig9 merge ablate-hash races ablate-chunk ablate-redist \
-                 ablate-slots ablate-sections all"
+                 ablate-slots ablate-sections spsc all"
             );
             std::process::exit(2);
         }

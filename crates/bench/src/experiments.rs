@@ -11,12 +11,10 @@ use crate::fmt::{mb, times, Table};
 use crate::measure::{slowdown, time, Timed};
 use dp_core::parallel::{LockBasedProfiler, LockFreeProfiler};
 use dp_core::{
-    DefaultSig, MtProfiler, ParallelProfiler, ProfileResult, ProfilerConfig, SequentialProfiler,
+    AnyParallelProfiler, DefaultSig, MtProfiler, ParallelProfiler, ProfileResult, ProfilerConfig,
+    SequentialProfiler, TransportKind,
 };
-use dp_sig::{
-    predicted_fpr, AccessStore, ExtendedSlot, HashHistory, ShadowMemory,
-    Signature,
-};
+use dp_sig::{predicted_fpr, AccessStore, ExtendedSlot, HashHistory, ShadowMemory, Signature};
 use dp_trace::workloads::{
     nas_suite, splash, starbench_parallel_suite, starbench_suite, synth, Scale, Workload,
 };
@@ -29,11 +27,15 @@ use std::time::Duration;
 pub struct ExpConfig {
     /// Workload scale multiplier (1.0 = default minis).
     pub scale: f64,
+    /// Quick mode: smaller workload subset, one repetition — used by the
+    /// CI bench-smoke job, where the point is "does it run and produce
+    /// sane JSON", not publishable numbers.
+    pub quick: bool,
 }
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { scale: 0.25 }
+        ExpConfig { scale: 0.25, quick: false }
     }
 }
 
@@ -83,7 +85,6 @@ fn replay<S: AccessStore>(
     events: &[TraceEvent],
     mut prof: SequentialProfiler<S>,
 ) -> Timed<ProfileResult> {
-    
     time(move || {
         for ev in events {
             prof.on_event(ev);
@@ -117,6 +118,19 @@ fn parallel_lockbased(w: &Workload, cfg: ProfilerConfig) -> Timed<ProfileResult>
     let slots = cfg.slots_per_worker();
     let mut prof: LockBasedProfiler<DefaultSig> =
         ParallelProfiler::new(cfg, move || Signature::<ExtendedSlot>::new(slots));
+    let t = time(|| {
+        vm.run_seq(&mut prof);
+    });
+    Timed { value: prof.finish(), elapsed: t.elapsed }
+}
+
+fn parallel_with(w: &Workload, cfg: ProfilerConfig, kind: TransportKind) -> Timed<ProfileResult> {
+    let vm = Interp::new(&w.program);
+    let slots = cfg.slots_per_worker();
+    let mut prof: AnyParallelProfiler<DefaultSig> =
+        AnyParallelProfiler::new(cfg.with_transport(kind), move || {
+            Signature::<ExtendedSlot>::new(slots)
+        });
     let t = time(|| {
         vm.run_seq(&mut prof);
     });
@@ -246,8 +260,13 @@ pub fn formula2(cfg: ExpConfig) -> String {
     let n_addrs = ((40_000.0 * cfg.scale) as u64).max(2_000);
     let events = per_address_line_stream(n_addrs, 6);
     let base = replay(&events, SequentialProfiler::perfect()).value;
-    let mut t =
-        Table::new(&["slots", "load n/m", "predicted P_fp (F.2)", "measured dep FPR %", "measured FNR %"]);
+    let mut t = Table::new(&[
+        "slots",
+        "load n/m",
+        "predicted P_fp (F.2)",
+        "measured dep FPR %",
+        "measured FNR %",
+    ]);
     for shift in [0u32, 1, 2, 3, 4, 6, 8] {
         let m = ((n_addrs as usize) << 4) >> shift; // 16n down to n/16
         let sig = replay(
@@ -280,13 +299,17 @@ pub fn formula2(cfg: ExpConfig) -> String {
 pub fn fig5(cfg: ExpConfig) -> String {
     let slots = cfg.perf_slots();
     let mut t = Table::new(&[
-        "program", "native ms", "serial", "8T lock-based", "8T lock-free", "16T lock-free",
+        "program",
+        "native ms",
+        "serial",
+        "8T lock-based",
+        "8T lock-free",
+        "16T lock-free",
     ]);
     let mut group_avgs = Vec::new();
-    for (label, suite) in [
-        ("NAS", nas_suite(cfg.wl_scale())),
-        ("Starbench", starbench_suite(cfg.wl_scale())),
-    ] {
+    for (label, suite) in
+        [("NAS", nas_suite(cfg.wl_scale())), ("Starbench", starbench_suite(cfg.wl_scale()))]
+    {
         let mut sums = [0.0f64; 4];
         for w in &suite {
             let base = native_seq(w);
@@ -368,7 +391,8 @@ pub fn fig6(cfg: ExpConfig) -> String {
 /// naive baseline vs. 8T/16T lock-free signatures.
 pub fn fig7(cfg: ExpConfig) -> String {
     let slots = cfg.perf_slots();
-    let mut t = Table::new(&["program", "naive MB (shadow)", "8T lock-free MB", "16T lock-free MB"]);
+    let mut t =
+        Table::new(&["program", "naive MB (shadow)", "8T lock-free MB", "16T lock-free MB"]);
     for suite in [nas_suite(cfg.wl_scale()), starbench_suite(cfg.wl_scale())] {
         let mut sums = [0usize; 3];
         let n = suite.len();
@@ -393,12 +417,7 @@ pub fn fig7(cfg: ExpConfig) -> String {
             }
             t.row(&[w.meta.name.clone(), mb(mems[0]), mb(mems[1]), mb(mems[2])]);
         }
-        t.row(&[
-            label.to_string(),
-            mb(sums[0] / n),
-            mb(sums[1] / n),
-            mb(sums[2] / n),
-        ]);
+        t.row(&[label.to_string(), mb(sums[0] / n), mb(sums[1] / n), mb(sums[2] / n)]);
     }
     // The crossover demonstration: shadow memory grows with the target's
     // address footprint while the signature total stays fixed — the core
@@ -421,11 +440,7 @@ pub fn fig7(cfg: ExpConfig) -> String {
             ),
         )
         .value;
-        sweep.row(&[
-            n.to_string(),
-            mb(shadow.memory.signatures),
-            mb(sig.memory.signatures),
-        ]);
+        sweep.row(&[n.to_string(), mb(shadow.memory.signatures), mb(sig.memory.signatures)]);
     }
     format!(
         "Figure 7 (E5): profiler memory, sequential targets\n\
@@ -464,7 +479,13 @@ pub fn fig8(cfg: ExpConfig) -> String {
 
 /// E7 / Table II — parallelizable-loop detection in NAS.
 pub fn table2(cfg: ExpConfig) -> String {
-    let mut t = Table::new(&["program", "# OMP", "# identified (DP)", "# identified (sig)", "# missed (sig)"]);
+    let mut t = Table::new(&[
+        "program",
+        "# OMP",
+        "# identified (DP)",
+        "# identified (sig)",
+        "# missed (sig)",
+    ]);
     let mut tot = [0usize; 4];
     for w in nas_suite(cfg.wl_scale()) {
         let events = record_events(&w);
@@ -541,7 +562,12 @@ pub fn fig9(cfg: ExpConfig) -> String {
 /// E9 — output-size reduction by merging identical dependences.
 pub fn merge(cfg: ExpConfig) -> String {
     let mut t = Table::new(&[
-        "program", "dynamic deps", "merged deps", "merge factor", "est. unmerged MB", "report KB",
+        "program",
+        "dynamic deps",
+        "merged deps",
+        "merge factor",
+        "est. unmerged MB",
+        "report KB",
     ]);
     // A plain-text record is ~32 bytes, matching the paper's file-size
     // framing (6.1 GB -> 53 KB).
@@ -588,10 +614,8 @@ pub fn ablate_hash(cfg: ExpConfig) -> String {
             HashHistory::new((n_addrs / 4) as usize),
         ),
     );
-    let shadow = replay(
-        &events,
-        SequentialProfiler::with_stores(ShadowMemory::new(), ShadowMemory::new()),
-    );
+    let shadow =
+        replay(&events, SequentialProfiler::with_stores(ShadowMemory::new(), ShadowMemory::new()));
     let perfect = replay(&events, SequentialProfiler::perfect());
     let mut t = Table::new(&["store", "time ms", "vs signature", "memory MB"]);
     let base = sig.elapsed;
@@ -623,10 +647,7 @@ pub fn races(cfg: ExpConfig) -> String {
          reports many (subject to actual interleaving on this host).\n\n",
     );
     let mut t = Table::new(&["program", "reversed deps", "race hints", "accesses"]);
-    for w in [
-        synth::locked_counter(cfg.wl_scale(), 4),
-        synth::racy_counter(cfg.wl_scale(), 4),
-    ] {
+    for w in [synth::locked_counter(cfg.wl_scale(), 4), synth::racy_counter(cfg.wl_scale(), 4)] {
         let r = mt_profile(&w, perf_cfg(4, cfg.perf_slots())).value;
         let hints = dp_analysis::find_races(&r);
         t.row(&[
@@ -665,7 +686,11 @@ pub fn ablate_redist(cfg: ExpConfig) -> String {
     let w = synth::skewed_strided(n, 8, n * 10, 8);
     let base = native_seq(&w);
     let mut t = Table::new(&[
-        "redistribution", "slowdown", "rounds", "moved addrs", "load imbalance (max/mean)",
+        "redistribution",
+        "slowdown",
+        "rounds",
+        "moved addrs",
+        "load imbalance (max/mean)",
     ]);
     for on in [false, true] {
         let mut c = perf_cfg(8, cfg.perf_slots()).with_redistribution(on);
@@ -759,7 +784,9 @@ pub fn ablate_sections(cfg: ExpConfig) -> String {
     let events = record_events(w);
     let m = cfg.perf_slots();
     let mut t = Table::new(&["granularity", "time ms", "distinct deps", "store KB"]);
-    for (label, shift) in [("statement (paper)", 0u8), ("section: 16 lines", 4), ("section: 256 lines", 8)] {
+    for (label, shift) in
+        [("statement (paper)", 0u8), ("section: 16 lines", 4), ("section: 256 lines", 8)]
+    {
         let r = replay(
             &events,
             SequentialProfiler::with_options(
@@ -790,9 +817,8 @@ pub fn ablate_sections(cfg: ExpConfig) -> String {
 /// (no loop-carried classification / race detection).
 pub fn ablate_sd3(cfg: ExpConfig) -> String {
     use dp_sig::StrideStore;
-    let mut t = Table::new(&[
-        "workload", "store", "time ms", "store memory KB", "dep FPR %", "dep FNR %",
-    ]);
+    let mut t =
+        Table::new(&["workload", "store", "time ms", "store memory KB", "dep FPR %", "dep FNR %"]);
     let strided = &starbench_suite(cfg.wl_scale())[5]; // rotate: affine walks
     let n_rand = ((50_000.0 * cfg.scale) as u64).max(5_000);
     let random = synth::uniform(n_rand, n_rand * 8);
@@ -832,6 +858,109 @@ pub fn ablate_sd3(cfg: ExpConfig) -> String {
     )
 }
 
+/// E15 / SPSC transport comparison — profiles sequential MiniVM
+/// workloads end-to-end over all three per-worker transports (SPSC ring,
+/// lock-free MPMC, lock-based) with 4 workers, checks that the merged
+/// dependence sets are bit-identical, and (when `out` is given) writes a
+/// machine-readable `BENCH_spsc.json` with the throughput numbers.
+pub fn spsc(cfg: ExpConfig, out: Option<&str>) -> String {
+    let slots = cfg.perf_slots();
+    let kinds = [TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock];
+    let mut t = Table::new(&[
+        "program",
+        "native ms",
+        "spsc Mev/s",
+        "lock-free Mev/s",
+        "lock-based Mev/s",
+        "spsc/mpmc",
+        "deps identical",
+    ]);
+    let suite: Vec<Workload> = if cfg.quick {
+        nas_suite(cfg.wl_scale())
+            .into_iter()
+            .take(2)
+            .chain(starbench_suite(cfg.wl_scale()).into_iter().take(2))
+            .collect()
+    } else {
+        nas_suite(cfg.wl_scale()).into_iter().chain(starbench_suite(cfg.wl_scale())).collect()
+    };
+    let mut json_rows = Vec::new();
+    let mut speedup_sum = 0.0f64;
+    for w in &suite {
+        let base = native_seq(w);
+        let mut elapsed = [0.0f64; 3];
+        let mut rates = [0.0f64; 3];
+        let mut events = 0u64;
+        let mut sets: Vec<Vec<_>> = Vec::with_capacity(3);
+        for (i, &k) in kinds.iter().enumerate() {
+            let r = parallel_with(w, perf_cfg(4, slots), k);
+            events = r.value.stats.accesses;
+            elapsed[i] = r.elapsed.as_secs_f64();
+            rates[i] = events as f64 / elapsed[i] / 1e6;
+            let mut set: Vec<_> = r.value.deps.dependences().map(|(d, e)| (d, e.count)).collect();
+            set.sort();
+            sets.push(set);
+        }
+        let identical = sets[0] == sets[1] && sets[1] == sets[2];
+        let speedup = elapsed[1] / elapsed[0];
+        speedup_sum += speedup;
+        t.row(&[
+            w.meta.name.clone(),
+            format!("{:.1}", base.as_secs_f64() * 1e3),
+            format!("{:.2}", rates[0]),
+            format!("{:.2}", rates[1]),
+            format!("{:.2}", rates[2]),
+            times(speedup),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+        let transports: Vec<String> = kinds
+            .iter()
+            .zip(rates)
+            .zip(elapsed)
+            .map(|((k, rate), el)| {
+                format!(
+                    "{{\"kind\":\"{}\",\"ms\":{:.3},\"events_per_sec\":{:.0}}}",
+                    k.name(),
+                    el * 1e3,
+                    rate * 1e6
+                )
+            })
+            .collect();
+        json_rows.push(format!(
+            "    {{\"name\":\"{}\",\"events\":{},\"native_ms\":{:.3},\"identical_deps\":{},\n     \"transports\":[{}]}}",
+            w.meta.name,
+            events,
+            base.as_secs_f64() * 1e3,
+            identical,
+            transports.join(",")
+        ));
+    }
+    let avg_speedup = speedup_sum / suite.len() as f64;
+    let json = format!(
+        "{{\n  \"experiment\": \"spsc-transport-comparison\",\n  \"scale\": {},\n  \"quick\": {},\n  \"workers\": 4,\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\"avg_spsc_vs_mpmc_speedup\": {:.3}}}\n}}\n",
+        cfg.scale,
+        cfg.quick,
+        json_rows.join(",\n"),
+        avg_speedup
+    );
+    let mut note = String::new();
+    if let Some(path) = out {
+        match std::fs::write(path, &json) {
+            Ok(()) => note = format!("\n(JSON written to {path})"),
+            Err(e) => note = format!("\n(failed to write {path}: {e})"),
+        }
+    }
+    format!(
+        "SPSC transport comparison (E15): sequential targets, 4 workers\n\
+         (same engine, same signatures; only the per-worker channel differs,\n\
+         so the throughput gap is the transport's synchronization cost.\n\
+         avg spsc vs lock-free speedup: {}){}\n\n{}",
+        times(avg_speedup),
+        note,
+        t.render()
+    )
+}
+
 /// Runs every experiment in order.
 pub fn all(cfg: ExpConfig) -> String {
     [
@@ -852,6 +981,7 @@ pub fn all(cfg: ExpConfig) -> String {
         ablate_slots(cfg),
         ablate_sections(cfg),
         ablate_sd3(cfg),
+        spsc(cfg, None),
     ]
     .join("\n\n============================================================\n\n")
 }
@@ -861,7 +991,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { scale: 0.02 }
+        ExpConfig { scale: 0.02, quick: true }
     }
 
     #[test]
@@ -888,5 +1018,19 @@ mod tests {
     fn merge_factors_large() {
         let s = merge(tiny());
         assert!(s.contains("BT"));
+    }
+
+    #[test]
+    fn spsc_comparison_deps_identical_and_json_wellformed() {
+        let dir = std::env::temp_dir().join("depprof-spsc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_spsc.json");
+        let s = spsc(tiny(), Some(path.to_str().unwrap()));
+        assert!(!s.contains("NO"), "dependence sets diverged across transports:\n{s}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"experiment\": \"spsc-transport-comparison\""));
+        assert!(json.contains("\"kind\":\"spsc\""));
+        assert!(json.contains("\"identical_deps\":true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

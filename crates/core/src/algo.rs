@@ -26,11 +26,11 @@
 use crate::exectree::{ExecNodeKind, ExecTree};
 use crate::loops::{CarrierInfo, LoopTracker};
 use crate::store::DepStore;
+use dp_sig::{AccessStore, SigEntry};
 use dp_types::{
     AccessKind, DepFlags, DepType, LoopId, MemAccess, SinkKey, SourceLoc, ThreadId, Timestamp,
     TraceEvent,
 };
-use dp_sig::{AccessStore, SigEntry};
 
 /// Counters every engine reports (merged into
 /// [`ProfileStats`](crate::ProfileStats)).
@@ -369,8 +369,8 @@ mod tests {
         let mut s = perfect();
         s.on_event(&acc(AccessKind::Read, 0x8, 1, 10));
         s.on_event(&acc(AccessKind::Write, 0x8, 2, 11)); // INIT (no WAR per Algorithm 1)
-        // Per the pseudocode the WAR is *not* built when the write slot is
-        // empty — the write is classified as initialization.
+                                                         // Per the pseudocode the WAR is *not* built when the write slot is
+                                                         // empty — the write is classified as initialization.
         let d = deps_of(&s);
         assert_eq!(d, vec![(DepType::Init, 11, 11)]);
     }
@@ -382,12 +382,7 @@ mod tests {
         s.on_event(&acc(AccessKind::Write, 0x10, 1, 2)); // init acc before loop
         s.on_event(&TraceEvent::LoopBegin { loop_id: 7, loc: loc(1, 4), thread: 0, ts: 2 });
         for it in 0..3u64 {
-            s.on_event(&TraceEvent::LoopIter {
-                loop_id: 7,
-                iter: it,
-                thread: 0,
-                ts: 3 + it * 10,
-            });
+            s.on_event(&TraceEvent::LoopIter { loop_id: 7, iter: it, thread: 0, ts: 3 + it * 10 });
             s.on_event(&acc(AccessKind::Read, 0x10, 4 + it * 10, 5));
             s.on_event(&acc(AccessKind::Write, 0x10, 5 + it * 10, 5));
         }
@@ -405,9 +400,7 @@ mod tests {
             .store
             .dependences()
             .find(|(d, _)| {
-                d.edge.dtype == DepType::Raw
-                    && d.sink.loc.line == 5
-                    && d.edge.source_loc.line == 5
+                d.edge.dtype == DepType::Raw && d.sink.loc.line == 5 && d.edge.source_loc.line == 5
             })
             .unwrap();
         assert!(raw.0.edge.flags.contains(DepFlags::LOOP_CARRIED));
@@ -429,12 +422,15 @@ mod tests {
             s.on_event(&acc(AccessKind::Read, addr, 3 + it * 10, 2));
             s.on_event(&acc(AccessKind::Write, addr, 4 + it * 10, 2));
         }
-        s.on_event(&TraceEvent::LoopEnd { loop_id: 1, loc: loc(1, 3), iters: 4, thread: 0, ts: 99 });
+        s.on_event(&TraceEvent::LoopEnd {
+            loop_id: 1,
+            loc: loc(1, 3),
+            iters: 4,
+            thread: 0,
+            ts: 99,
+        });
         for (d, _) in s.store.dependences() {
-            assert!(
-                !d.edge.flags.contains(DepFlags::LOOP_CARRIED),
-                "unexpected carried dep {d:?}"
-            );
+            assert!(!d.edge.flags.contains(DepFlags::LOOP_CARRIED), "unexpected carried dep {d:?}");
         }
     }
 

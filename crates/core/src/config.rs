@@ -1,5 +1,45 @@
 //! Profiler configuration.
 
+/// Which per-worker channel implementation the parallel pipeline routes
+/// events through. All three produce bit-identical dependence sets; they
+/// differ only in synchronization cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Single-producer single-consumer rings — the fast path for
+    /// sequential targets, where only the instrumented program's thread
+    /// produces. The profiler built on this is `!Sync`, so the
+    /// single-producer contract is compiler-enforced.
+    Spsc,
+    /// Lock-free MPMC queues (the paper's main configuration; required
+    /// when more than one target thread produces).
+    #[default]
+    Mpmc,
+    /// Mutex-protected queues — the lock-based comparator of Figure 5.
+    Lock,
+}
+
+impl TransportKind {
+    /// Short name as used in reports and on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Spsc => "spsc",
+            TransportKind::Mpmc => "lock-free",
+            TransportKind::Lock => "lock-based",
+        }
+    }
+
+    /// Parses a command-line spelling (`spsc`, `mpmc`/`lock-free`,
+    /// `lock`/`lock-based`/`lockq`).
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s {
+            "spsc" => Some(TransportKind::Spsc),
+            "mpmc" | "lock-free" | "lockfree" => Some(TransportKind::Mpmc),
+            "lock" | "lock-based" | "lockq" => Some(TransportKind::Lock),
+            _ => None,
+        }
+    }
+}
+
 /// Tunables shared by all engines. Defaults follow the paper's evaluation
 /// setup where one exists.
 #[derive(Debug, Clone)]
@@ -26,6 +66,8 @@ pub struct ProfilerConfig {
     /// How many hottest addresses to keep balanced ("the top ten most
     /// heavily accessed addresses").
     pub top_k: usize,
+    /// Per-worker channel implementation for the parallel pipeline.
+    pub transport: TransportKind,
 }
 
 impl Default for ProfilerConfig {
@@ -39,6 +81,7 @@ impl Default for ProfilerConfig {
             redistribution: true,
             redistribute_every: 50_000,
             top_k: 10,
+            transport: TransportKind::default(),
         }
     }
 }
@@ -78,6 +121,12 @@ impl ProfilerConfig {
         self.track_carried = on;
         self
     }
+
+    /// Builder-style setter for the transport.
+    pub fn with_transport(mut self, t: TransportKind) -> Self {
+        self.transport = t;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +150,18 @@ mod tests {
         assert_eq!(cfg.chunk_capacity, 1);
         assert!(!cfg.redistribution);
         assert!(!cfg.track_carried);
+        assert_eq!(cfg.transport, TransportKind::Mpmc);
+        let cfg = cfg.with_transport(TransportKind::Spsc);
+        assert_eq!(cfg.transport, TransportKind::Spsc);
+    }
+
+    #[test]
+    fn transport_names_round_trip() {
+        for k in [TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock] {
+            assert_eq!(TransportKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(TransportKind::parse("mpmc"), Some(TransportKind::Mpmc));
+        assert_eq!(TransportKind::parse("lockq"), Some(TransportKind::Lock));
+        assert_eq!(TransportKind::parse("bogus"), None);
     }
 }

@@ -12,9 +12,11 @@
 //!   (Section IV, Figure 2): the profiled program's thread routes accesses
 //!   into per-worker queues by `addr % W`; workers keep private signatures
 //!   and duplicate-free dependence maps; hot-address statistics trigger
-//!   redistribution. Generic over the queue, so the lock-free
-//!   ([`dp_queue::MpmcQueue`]) and lock-based ([`dp_queue::LockQueue`])
-//!   builds of Figure 5 share every other line of code.
+//!   redistribution. Generic over the per-worker transport
+//!   ([`TransportKind`]): the SPSC fast path for sequential targets,
+//!   the lock-free MPMC build ([`dp_queue::MpmcQueue`]) and the
+//!   lock-based comparator ([`dp_queue::LockQueue`]) of Figure 5 share
+//!   every other line of code.
 //! - [`mt`] — the multi-threaded-target engine (Section V): one tracer per
 //!   target thread, flush-on-unlock for the access/push atomicity of
 //!   Figure 4, and timestamp-reversal detection flagging potential data
@@ -40,12 +42,12 @@ pub mod seq;
 pub mod store;
 
 pub use algo::{AlgoOptions, AlgoState};
+pub use config::{ProfilerConfig, TransportKind};
 pub use exectree::{ExecNode, ExecNodeKind, ExecTree};
-pub use config::ProfilerConfig;
 pub use mt::MtProfiler;
-pub use parallel::{ParallelProfiler, WorkerMsg};
+pub use parallel::{AnyParallelProfiler, ParallelProfiler, SpscProfiler, WorkerMsg};
 pub use result::{MemoryReport, ProfileResult, ProfileStats};
-pub use seq::SequentialProfiler;
+pub use seq::{offload_sequential, SequentialProfiler};
 pub use store::{DepStore, EdgeVal, LoopRecord};
 
 /// Convenience alias: the default signature store (extended slots: source

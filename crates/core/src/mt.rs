@@ -24,12 +24,12 @@
 
 use crate::algo::{AlgoOptions, AlgoState};
 use crate::config::ProfilerConfig;
+use crate::parallel::WorkerMsg;
 use crate::result::{MemoryReport, ProfileResult, ProfileStats};
 use crate::store::DepStore;
-use crate::parallel::WorkerMsg;
 use dp_queue::{Backoff, Chunk, ChunkPool, MpmcQueue};
 use dp_sig::AccessStore;
-use dp_types::{ThreadId, Tracer, TraceEvent, TracerFactory};
+use dp_types::{ThreadId, TraceEvent, Tracer, TracerFactory};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -32,18 +32,24 @@
 //! at the router while the migration is in flight, so per-address temporal
 //! order is preserved across the move.
 //!
-//! The engine is generic over the queue ([`dp_queue::MpmcQueue`] = the
-//! lock-free build, [`dp_queue::LockQueue`] = the lock-based comparator of
-//! Figure 5); everything else is shared, so measured differences are
-//! attributable to the queues alone.
+//! The engine is generic over the per-worker [`Transport`]: the SPSC
+//! fast path ([`dp_queue::SpscTransport`] — sound here because a
+//! sequential target has exactly one producing thread), the lock-free
+//! MPMC build ([`dp_queue::MpmcQueue`] via [`Shared`]) and the
+//! lock-based comparator of Figure 5 ([`dp_queue::LockQueue`] via
+//! [`Shared`]); everything else is shared, so measured differences are
+//! attributable to the transport alone.
 
 use crate::algo::{AlgoCounters, AlgoOptions, AlgoState};
-use crate::config::ProfilerConfig;
+use crate::config::{ProfilerConfig, TransportKind};
 use crate::result::{MemoryReport, ProfileResult, ProfileStats};
 use crate::store::DepStore;
-use dp_queue::{Backoff, Chunk, ChunkPool, MpmcQueue, WorkerQueue};
+use dp_queue::{
+    Backoff, Chunk, ChunkPool, MpmcQueue, Shared, SpscTransport, Transport, TransportReceiver,
+    TransportSender,
+};
 use dp_sig::{AccessStore, SigEntry};
-use dp_types::{Address, FxHashMap, Tracer, TraceEvent};
+use dp_types::{Address, FxHashMap, TraceEvent, Tracer};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -89,8 +95,13 @@ struct Inflight {
 /// The parallel profiler. Implements [`Tracer`], so the instrumented
 /// program pushes events into it directly; call
 /// [`ParallelProfiler::finish`] afterwards.
-pub struct ParallelProfiler<S: AccessStore + 'static, Q: WorkerQueue<WorkerMsg> + 'static> {
-    queues: Vec<Arc<Q>>,
+///
+/// Generic over the per-worker [`Transport`]. With [`SpscTransport`] the
+/// senders are `!Sync`, which makes the whole profiler `!Sync`: the
+/// compiler enforces the single-producer contract the SPSC fast path
+/// relies on.
+pub struct ParallelProfiler<S: AccessStore + 'static, X: Transport<WorkerMsg>> {
+    senders: Vec<X::Sender>,
     pool: Arc<ChunkPool>,
     resp: Arc<MpmcQueue<RouterMsg>>,
     handles: Vec<JoinHandle<WorkerOutput>>,
@@ -106,10 +117,10 @@ pub struct ParallelProfiler<S: AccessStore + 'static, Q: WorkerQueue<WorkerMsg> 
     _store: std::marker::PhantomData<S>,
 }
 
-impl<S, Q> ParallelProfiler<S, Q>
+impl<S, X> ParallelProfiler<S, X>
 where
     S: AccessStore + 'static,
-    Q: WorkerQueue<WorkerMsg> + 'static,
+    X: Transport<WorkerMsg>,
 {
     /// Starts `cfg.workers` worker threads, building each worker's two
     /// signatures with `make_store` (called twice per worker).
@@ -117,10 +128,10 @@ where
         let w = cfg.workers.max(1);
         let pool = ChunkPool::new(w * cfg.queue_chunks * 2, cfg.chunk_capacity);
         let resp = Arc::new(MpmcQueue::new((cfg.top_k * 4).max(64)));
-        let mut queues = Vec::with_capacity(w);
+        let mut senders = Vec::with_capacity(w);
         let mut handles = Vec::with_capacity(w);
         for wid in 0..w {
-            let q = Arc::new(Q::with_capacity(cfg.queue_chunks));
+            let (tx, rx) = X::channel(cfg.queue_chunks);
             let algo = AlgoState::new(
                 make_store(),
                 make_store(),
@@ -133,15 +144,14 @@ where
                     section_shift: 0,
                 },
             );
-            let qc = q.clone();
             let poolc = pool.clone();
             let respc = resp.clone();
-            handles.push(std::thread::spawn(move || worker_loop(qc, poolc, respc, algo)));
-            queues.push(q);
+            handles.push(std::thread::spawn(move || worker_loop(rx, poolc, respc, algo)));
+            senders.push(tx);
         }
         let pending = (0..w).map(|_| pool.acquire()).collect();
         ParallelProfiler {
-            queues,
+            senders,
             pool,
             resp,
             handles,
@@ -166,16 +176,13 @@ where
         // 8) and send everything to worker 0 — shift the alignment out
         // first to get the even distribution the formula is meant to
         // achieve.
-        self.rules
-            .get(&addr)
-            .copied()
-            .unwrap_or(((addr >> 3) % self.queues.len() as u64) as usize)
+        self.rules.get(&addr).copied().unwrap_or(((addr >> 3) % self.senders.len() as u64) as usize)
     }
 
     fn push_blocking(&self, wid: usize, mut msg: WorkerMsg) {
         let mut backoff = Backoff::new();
         loop {
-            match self.queues[wid].push(msg) {
+            match self.senders[wid].push(msg) {
                 Ok(()) => return,
                 Err(back) => {
                     msg = back;
@@ -231,10 +238,8 @@ where
         }
         self.in_poll = true;
         while let Some(RouterMsg::Extracted { addr, read, write }) = self.resp.pop() {
-            let inf = self
-                .inflight
-                .remove(&addr)
-                .expect("extracted response for unknown migration");
+            let inf =
+                self.inflight.remove(&addr).expect("extracted response for unknown migration");
             self.push_blocking(inf.target, WorkerMsg::Inject { addr, read, write });
             for ev in inf.buffered {
                 self.append(inf.target, ev);
@@ -247,7 +252,7 @@ where
     fn maybe_redistribute(&mut self) {
         self.in_rebalance = true;
         let k = self.cfg.top_k;
-        let w = self.queues.len();
+        let w = self.senders.len();
         // Select the k hottest addresses (one linear pass).
         let mut top: Vec<(Address, u64)> = Vec::with_capacity(k + 1);
         for (&a, &c) in &self.counts {
@@ -297,7 +302,7 @@ where
             std::thread::yield_now();
         }
         self.flush_all();
-        for wid in 0..self.queues.len() {
+        for wid in 0..self.senders.len() {
             self.push_blocking(wid, WorkerMsg::Shutdown);
         }
         let mut stats = ProfileStats::default();
@@ -321,7 +326,7 @@ where
         let entry = std::mem::size_of::<(Address, u64)>() + 1;
         let memory = MemoryReport {
             signatures: sig_mem,
-            queues: self.queues.iter().map(|q| q.memory_usage()).sum(),
+            queues: self.senders.iter().map(|s| s.memory_usage()).sum(),
             chunks: self.pool.memory_usage(),
             dep_store: global.memory_usage(),
             stats_maps: self.counts.capacity() * entry + self.rules.capacity() * entry,
@@ -331,16 +336,16 @@ where
             exec_tree,
             stats,
             memory,
-            workers: self.queues.len(),
+            workers: self.senders.len(),
             per_worker_events,
         }
     }
 }
 
-impl<S, Q> Tracer for ParallelProfiler<S, Q>
+impl<S, X> Tracer for ParallelProfiler<S, X>
 where
     S: AccessStore + 'static,
-    Q: WorkerQueue<WorkerMsg> + 'static,
+    X: Transport<WorkerMsg>,
 {
     fn event(&mut self, ev: TraceEvent) {
         match ev {
@@ -356,7 +361,8 @@ where
                     self.append(wid, ev);
                 }
             }
-            TraceEvent::LoopBegin { .. } | TraceEvent::LoopIter { .. }
+            TraceEvent::LoopBegin { .. }
+            | TraceEvent::LoopIter { .. }
             | TraceEvent::LoopEnd { .. } => {
                 if self.cfg.track_carried {
                     // Loop context is needed by every worker for carried
@@ -388,8 +394,8 @@ where
     }
 }
 
-fn worker_loop<S: AccessStore, Q: WorkerQueue<WorkerMsg>>(
-    q: Arc<Q>,
+fn worker_loop<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
+    q: R,
     pool: Arc<ChunkPool>,
     resp: Arc<MpmcQueue<RouterMsg>>,
     mut algo: AlgoState<S>,
@@ -429,9 +435,76 @@ fn worker_loop<S: AccessStore, Q: WorkerQueue<WorkerMsg>>(
 }
 
 /// The lock-free build (the paper's main configuration).
-pub type LockFreeProfiler<S> = ParallelProfiler<S, MpmcQueue<WorkerMsg>>;
+pub type LockFreeProfiler<S> = ParallelProfiler<S, Shared<MpmcQueue<WorkerMsg>>>;
 /// The lock-based comparator build (Figure 5).
-pub type LockBasedProfiler<S> = ParallelProfiler<S, dp_queue::LockQueue<WorkerMsg>>;
+pub type LockBasedProfiler<S> = ParallelProfiler<S, Shared<dp_queue::LockQueue<WorkerMsg>>>;
+/// The SPSC fast-path build for sequential targets (one producing
+/// thread; the `!Sync` senders make misuse a compile error).
+pub type SpscProfiler<S> = ParallelProfiler<S, SpscTransport>;
+
+/// A parallel profiler whose transport is chosen at runtime from
+/// [`ProfilerConfig::transport`] ([`TransportKind`]). All variants share
+/// the same engine code and produce bit-identical dependence sets; only
+/// the per-worker channel implementation differs.
+pub enum AnyParallelProfiler<S: AccessStore + 'static> {
+    /// SPSC fast path ([`TransportKind::Spsc`]).
+    Spsc(SpscProfiler<S>),
+    /// Lock-free MPMC ([`TransportKind::Mpmc`]).
+    Mpmc(LockFreeProfiler<S>),
+    /// Lock-based comparator ([`TransportKind::Lock`]).
+    Lock(LockBasedProfiler<S>),
+}
+
+impl<S: AccessStore + 'static> AnyParallelProfiler<S> {
+    /// Starts the pipeline over the transport named by `cfg.transport`.
+    pub fn new(cfg: ProfilerConfig, make_store: impl Fn() -> S) -> Self {
+        match cfg.transport {
+            TransportKind::Spsc => Self::Spsc(ParallelProfiler::new(cfg, make_store)),
+            TransportKind::Mpmc => Self::Mpmc(ParallelProfiler::new(cfg, make_store)),
+            TransportKind::Lock => Self::Lock(ParallelProfiler::new(cfg, make_store)),
+        }
+    }
+
+    /// Short name of the active transport ("spsc", "lock-free",
+    /// "lock-based").
+    pub fn transport_kind(&self) -> &'static str {
+        match self {
+            Self::Spsc(_) => <SpscTransport as Transport<WorkerMsg>>::kind(),
+            Self::Mpmc(_) => <Shared<MpmcQueue<WorkerMsg>> as Transport<WorkerMsg>>::kind(),
+            Self::Lock(_) => {
+                <Shared<dp_queue::LockQueue<WorkerMsg>> as Transport<WorkerMsg>>::kind()
+            }
+        }
+    }
+
+    /// Completes migrations, drains the pipeline, joins the workers and
+    /// merges their results.
+    pub fn finish(self) -> ProfileResult {
+        match self {
+            Self::Spsc(p) => p.finish(),
+            Self::Mpmc(p) => p.finish(),
+            Self::Lock(p) => p.finish(),
+        }
+    }
+}
+
+impl<S: AccessStore + 'static> Tracer for AnyParallelProfiler<S> {
+    fn event(&mut self, ev: TraceEvent) {
+        match self {
+            Self::Spsc(p) => p.event(ev),
+            Self::Mpmc(p) => p.event(ev),
+            Self::Lock(p) => p.event(ev),
+        }
+    }
+
+    fn sync_point(&mut self) {
+        match self {
+            Self::Spsc(p) => p.sync_point(),
+            Self::Mpmc(p) => p.sync_point(),
+            Self::Lock(p) => p.sync_point(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -486,6 +559,64 @@ mod tests {
         }
         let r = p.finish();
         assert_eq!(r.stats.deps_merged, 2);
+    }
+
+    #[test]
+    fn spsc_build_equivalent() {
+        let mut p: SpscProfiler<PerfectSignature> =
+            ParallelProfiler::new(cfg(3), PerfectSignature::new);
+        for i in 0..32u64 {
+            p.event(acc(AccessKind::Write, i * 8, i * 2 + 1, 1));
+            p.event(acc(AccessKind::Read, i * 8, i * 2 + 2, 2));
+        }
+        let r = p.finish();
+        assert_eq!(r.stats.deps_merged, 2);
+        assert_eq!(r.stats.accesses, 64);
+    }
+
+    #[test]
+    fn spsc_redistribution_migrates_state_correctly() {
+        let mut c = cfg(4).with_redistribution(true);
+        c.redistribute_every = 2;
+        c.top_k = 4;
+        let mut p: SpscProfiler<PerfectSignature> = ParallelProfiler::new(c, PerfectSignature::new);
+        let addrs = [0x100u64, 0x200, 0x300, 0x400];
+        let mut ts = 0u64;
+        for round in 0..2000u64 {
+            for (k, &a) in addrs.iter().enumerate() {
+                ts += 1;
+                if round == 0 {
+                    p.event(acc(AccessKind::Write, a, ts, 10 + k as u32));
+                } else {
+                    p.event(acc(AccessKind::Read, a, ts, 20 + k as u32));
+                }
+            }
+        }
+        let r = p.finish();
+        assert!(r.stats.redistributions > 0, "redistribution never triggered");
+        assert_eq!(r.stats.deps_merged, 8, "{:?}", r.stats);
+        for (d, v) in r.deps.dependences() {
+            if d.edge.dtype == DepType::Raw {
+                assert_eq!(d.edge.source_loc.line, d.sink.loc.line - 10);
+                assert_eq!(v.count, 1999);
+            }
+        }
+    }
+
+    #[test]
+    fn any_profiler_dispatches_all_transports() {
+        for kind in [TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock] {
+            let c = cfg(2).with_transport(kind);
+            let mut p: AnyParallelProfiler<PerfectSignature> =
+                AnyParallelProfiler::new(c, PerfectSignature::new);
+            assert_eq!(p.transport_kind(), kind.name());
+            for i in 0..16u64 {
+                p.event(acc(AccessKind::Write, i * 8, i * 2 + 1, 1));
+                p.event(acc(AccessKind::Read, i * 8, i * 2 + 2, 2));
+            }
+            let r = p.finish();
+            assert_eq!(r.stats.deps_merged, 2, "transport {kind:?}");
+        }
     }
 
     #[test]

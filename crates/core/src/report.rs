@@ -138,8 +138,11 @@ pub fn variables(result: &ProfileResult, interner: &Interner) -> String {
         }
         row.carried |= d.edge.flags.contains(DepFlags::LOOP_CARRIED);
     }
-    let mut out = format!("{:<20} {:>6} {:>6} {:>6}  carried
-", "variable", "RAW", "WAR", "WAW");
+    let mut out = format!(
+        "{:<20} {:>6} {:>6} {:>6}  carried
+",
+        "variable", "RAW", "WAR", "WAW"
+    );
     for (name, r) in per {
         let _ = writeln!(
             out,

@@ -94,8 +94,8 @@ impl ProfileResult {
             return 1.0;
         }
         let max = *self.per_worker_events.iter().max().unwrap() as f64;
-        let mean = self.per_worker_events.iter().sum::<u64>() as f64
-            / self.per_worker_events.len() as f64;
+        let mean =
+            self.per_worker_events.iter().sum::<u64>() as f64 / self.per_worker_events.len() as f64;
         if mean == 0.0 {
             1.0
         } else {

@@ -12,7 +12,9 @@
 //! observed carried for. `deps_built` counts every pre-merge record, so
 //! the merge factor of experiment E9 is `deps_built / merged_len`.
 
-use dp_types::{DepEdge, DepFlags, DepType, Dependence, LoopId, SinkKey, SourceLoc, ThreadId, VarId};
+use dp_types::{
+    DepEdge, DepFlags, DepType, Dependence, LoopId, SinkKey, SourceLoc, ThreadId, VarId,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Merge key of an edge under one sink.

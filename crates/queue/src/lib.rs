@@ -40,7 +40,9 @@ pub use chunk::{Chunk, ChunkPool};
 pub use lockq::LockQueue;
 pub use mpmc::MpmcQueue;
 pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};
-pub use traits::WorkerQueue;
+pub use traits::{
+    Shared, SpscTransport, Transport, TransportReceiver, TransportSender, WorkerQueue,
+};
 
 /// Pads a value to a cache line to prevent false sharing between the
 /// producer and consumer indices of the queues.

@@ -232,9 +232,7 @@ mod tests {
                 s.spawn(move || loop {
                     if let Some(v) = q.pop() {
                         consumed.fetch_add(v, Ordering::Relaxed);
-                        if count.fetch_add(1, Ordering::Relaxed) + 1
-                            == PRODUCERS as u64 * PER
-                        {
+                        if count.fetch_add(1, Ordering::Relaxed) + 1 == PRODUCERS as u64 * PER {
                             return;
                         }
                     } else if count.load(Ordering::Relaxed) == PRODUCERS as u64 * PER {

@@ -93,6 +93,13 @@ impl<T> SpscProducer<T> {
     pub fn capacity(&self) -> usize {
         self.inner.mask + 1
     }
+
+    /// Bytes attributable to this ring (counted once, on the producer
+    /// side, which the profiling engine keeps alive for accounting after
+    /// the consumer has moved into its worker thread).
+    pub fn memory_usage(&self) -> usize {
+        (self.inner.mask + 1) * std::mem::size_of::<T>() + std::mem::size_of::<Inner<T>>()
+    }
 }
 
 impl<T> SpscConsumer<T> {

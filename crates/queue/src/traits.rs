@@ -1,11 +1,28 @@
-//! The queue abstraction the profiling engines are generic over.
+//! The queue and transport abstractions the profiling engines are
+//! generic over.
 //!
-//! The lock-free pipeline instantiates the engine with [`MpmcQueue`]; the
-//! lock-based comparator (Figure 5) instantiates the *same* engine with
-//! [`LockQueue`]. Nothing else differs between the two builds, so the
-//! measured gap is attributable to the queues — the claim of Section IV.
+//! Two layers:
+//!
+//! - [`WorkerQueue`] — a *shared* bounded queue: one object, safe to push
+//!   and pop from any thread. The lock-free pipeline instantiates the
+//!   engine with [`MpmcQueue`]; the lock-based comparator (Figure 5)
+//!   instantiates the *same* engine with [`LockQueue`]. Nothing else
+//!   differs between the two builds, so the measured gap is attributable
+//!   to the queues — the claim of Section IV.
+//! - [`Transport`] — a factory for *split* per-worker channels, each a
+//!   ([`TransportSender`], [`TransportReceiver`]) pair. This is what the
+//!   engine is actually generic over. Shared queues lift into it via
+//!   [`Shared`] (sender = receiver = `Arc<Q>`); the single-producer
+//!   fast path for sequential targets is [`SpscTransport`], whose
+//!   endpoint handles are the `!Sync` SPSC ring halves — the type system
+//!   itself enforces that only one thread feeds each worker, which is
+//!   exactly the situation of Figure 2 (one instrumented thread, W
+//!   workers).
 
+use crate::spsc::{spsc_ring, SpscConsumer, SpscProducer};
 use crate::{LockQueue, MpmcQueue};
+use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// A bounded multi-producer queue usable as a worker's inbox.
 pub trait WorkerQueue<T>: Send + Sync {
@@ -66,6 +83,118 @@ impl<T: Send> WorkerQueue<T> for LockQueue<T> {
     }
 }
 
+/// The producing endpoint of a per-worker channel, held by the router.
+///
+/// `Send` but deliberately **not** required to be `Sync`: a sender is
+/// owned by exactly one routing thread. Transports whose sender *is*
+/// shareable (the [`Shared`] adapter) simply don't exercise the freedom.
+pub trait TransportSender<T>: Send {
+    /// Attempts to enqueue; gives the value back when the channel is full
+    /// (the caller backs off, applying backpressure to the instrumented
+    /// program).
+    fn push(&self, value: T) -> Result<(), T>;
+    /// Bytes attributable to the channel (memory accounting, Figures
+    /// 7/8). Counted on the sender side because the engine keeps senders
+    /// alive until after the workers are joined.
+    fn memory_usage(&self) -> usize;
+}
+
+/// The consuming endpoint of a per-worker channel, moved into the worker.
+pub trait TransportReceiver<T>: Send {
+    /// Attempts to dequeue; `None` when currently empty.
+    fn pop(&self) -> Option<T>;
+}
+
+/// A factory for per-worker channels; the profiling engine is generic
+/// over this, so the SPSC, MPMC and lock-based builds share every other
+/// line of code.
+pub trait Transport<T>: 'static {
+    /// Endpoint kept by the router (the instrumented program's thread).
+    type Sender: TransportSender<T> + 'static;
+    /// Endpoint moved into the worker thread.
+    type Receiver: TransportReceiver<T> + 'static;
+
+    /// Creates one channel with room for at least `cap` elements.
+    fn channel(cap: usize) -> (Self::Sender, Self::Receiver);
+
+    /// Short human-readable name for reports ("spsc", "lock-free",
+    /// "lock-based").
+    fn kind() -> &'static str;
+}
+
+/// Lifts any shared [`WorkerQueue`] into a [`Transport`] by handing both
+/// endpoints the same `Arc<Q>`.
+pub struct Shared<Q>(PhantomData<Q>);
+
+impl<T: Send, Q: WorkerQueue<T> + 'static> Transport<T> for Shared<Q> {
+    type Sender = Arc<Q>;
+    type Receiver = Arc<Q>;
+
+    fn channel(cap: usize) -> (Arc<Q>, Arc<Q>) {
+        let q = Arc::new(Q::with_capacity(cap));
+        (q.clone(), q)
+    }
+
+    fn kind() -> &'static str {
+        Q::kind()
+    }
+}
+
+impl<T: Send, Q: WorkerQueue<T>> TransportSender<T> for Arc<Q> {
+    fn push(&self, value: T) -> Result<(), T> {
+        WorkerQueue::push(&**self, value)
+    }
+
+    fn memory_usage(&self) -> usize {
+        WorkerQueue::memory_usage(&**self)
+    }
+}
+
+impl<T: Send, Q: WorkerQueue<T>> TransportReceiver<T> for Arc<Q> {
+    fn pop(&self) -> Option<T> {
+        WorkerQueue::pop(&**self)
+    }
+}
+
+/// The single-producer single-consumer fast path (Section IV applied to
+/// Figure 2's sequential-target shape: exactly one producer exists, so
+/// the per-worker channel can drop all multi-producer synchronization —
+/// one relaxed load plus one release store per operation).
+///
+/// Only sound when a single thread feeds all workers; the endpoints are
+/// the `!Sync`, `!Clone` SPSC ring halves, so misuse is a compile error,
+/// not a data race.
+pub struct SpscTransport;
+
+impl<T: Send + 'static> Transport<T> for SpscTransport {
+    type Sender = SpscProducer<T>;
+    type Receiver = SpscConsumer<T>;
+
+    fn channel(cap: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+        spsc_ring(cap)
+    }
+
+    fn kind() -> &'static str {
+        "spsc"
+    }
+}
+
+impl<T: Send> TransportSender<T> for SpscProducer<T> {
+    fn push(&self, value: T) -> Result<(), T> {
+        SpscProducer::push(self, value)
+    }
+
+    fn memory_usage(&self) -> usize {
+        SpscProducer::memory_usage(self)
+    }
+}
+
+impl<T: Send> TransportReceiver<T> for SpscConsumer<T> {
+    fn pop(&self) -> Option<T> {
+        SpscConsumer::pop(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +214,24 @@ mod tests {
     fn both_impls_conform() {
         exercise::<MpmcQueue<u32>>();
         exercise::<LockQueue<u32>>();
+    }
+
+    fn exercise_transport<X: Transport<u32>>() {
+        let (tx, rx) = X::channel(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        assert!(tx.memory_usage() > 0);
+        assert!(!X::kind().is_empty());
+        // The receiver works from another thread (the worker).
+        let h = std::thread::spawn(move || rx.pop());
+        assert_eq!(h.join().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn all_transports_conform() {
+        exercise_transport::<Shared<MpmcQueue<u32>>>();
+        exercise_transport::<Shared<LockQueue<u32>>>();
+        exercise_transport::<SpscTransport>();
     }
 }

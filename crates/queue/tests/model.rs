@@ -4,7 +4,10 @@
 //! unit suites; these pin the sequential semantics the pipeline builds
 //! on: FIFO order, capacity behaviour, emptiness).
 
-use dp_queue::{spsc_ring, LockQueue, MpmcQueue, WorkerQueue};
+use dp_queue::{
+    spsc_ring, LockQueue, MpmcQueue, Shared, SpscTransport, Transport, TransportReceiver,
+    TransportSender, WorkerQueue,
+};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -51,12 +54,95 @@ fn check_against_model<Q: WorkerQueue<u32>>(cap_pow2: usize, ops: &[Op]) {
     assert_eq!(q.pop(), None);
 }
 
+/// The same model check, phrased against the split-endpoint [`Transport`]
+/// abstraction the engine is actually generic over. Capacities are powers
+/// of two so the SPSC ring's round-up doesn't change the bound.
+fn check_transport_model<X: Transport<u32>>(cap_pow2: usize, ops: &[Op]) {
+    let (tx, rx) = X::channel(cap_pow2);
+    let mut model: VecDeque<u32> = VecDeque::new();
+    for &op in ops {
+        match op {
+            Op::Push(v) => {
+                let model_full = model.len() >= cap_pow2;
+                match tx.push(v) {
+                    Ok(()) => {
+                        assert!(!model_full, "{}: push accepted beyond capacity", X::kind());
+                        model.push_back(v);
+                    }
+                    Err(back) => {
+                        assert_eq!(back, v, "{}: rejected push must return the value", X::kind());
+                        assert!(model_full, "{}: push rejected below capacity", X::kind());
+                    }
+                }
+            }
+            Op::Pop => {
+                assert_eq!(rx.pop(), model.pop_front(), "{}: FIFO order diverged", X::kind());
+            }
+        }
+    }
+    while let Some(expect) = model.pop_front() {
+        assert_eq!(rx.pop(), Some(expect));
+    }
+    assert_eq!(rx.pop(), None);
+    assert!(tx.memory_usage() >= cap_pow2 * std::mem::size_of::<u32>());
+}
+
+/// The pipeline's shutdown protocol: the router pushes its backlog and a
+/// sentinel, the worker (another thread) drains until the sentinel. Every
+/// transport must deliver the full backlog, in order, across the thread
+/// boundary.
+fn check_shutdown_drain<X: Transport<u32>>() {
+    const N: u32 = 10_000;
+    const SHUTDOWN: u32 = u32::MAX;
+    let (tx, rx) = X::channel(16);
+    let worker = std::thread::spawn(move || {
+        let mut got = Vec::new();
+        loop {
+            match rx.pop() {
+                Some(SHUTDOWN) => break,
+                Some(v) => got.push(v),
+                None => std::thread::yield_now(),
+            }
+        }
+        got
+    });
+    for i in 0..N {
+        let mut v = i;
+        while let Err(back) = tx.push(v) {
+            v = back;
+            std::thread::yield_now();
+        }
+    }
+    let mut s = SHUTDOWN;
+    while let Err(back) = tx.push(s) {
+        s = back;
+        std::thread::yield_now();
+    }
+    let got = worker.join().unwrap();
+    assert_eq!(got.len() as u32, N, "{}: events lost before shutdown", X::kind());
+    assert!(got.iter().copied().eq(0..N), "{}: drain order diverged", X::kind());
+}
+
+#[test]
+fn all_transports_drain_on_shutdown() {
+    check_shutdown_drain::<Shared<MpmcQueue<u32>>>();
+    check_shutdown_drain::<Shared<LockQueue<u32>>>();
+    check_shutdown_drain::<SpscTransport>();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn mpmc_matches_model(ops in ops(300), cap_shift in 1u32..6) {
         check_against_model::<MpmcQueue<u32>>(1 << cap_shift, &ops);
+    }
+
+    #[test]
+    fn transports_match_model(ops in ops(300), cap_shift in 1u32..6) {
+        check_transport_model::<Shared<MpmcQueue<u32>>>(1 << cap_shift, &ops);
+        check_transport_model::<Shared<LockQueue<u32>>>(1 << cap_shift, &ops);
+        check_transport_model::<SpscTransport>(1 << cap_shift, &ops);
     }
 
     #[test]
@@ -121,11 +207,7 @@ fn mpmc_per_producer_fifo_under_concurrency() {
         if let Some(v) = q.pop() {
             let p = (v >> 32) as usize;
             let i = v & 0xffff_ffff;
-            assert!(
-                i == 0 || i >= last[p],
-                "producer {p} out of order: {i} after {}",
-                last[p]
-            );
+            assert!(i == 0 || i >= last[p], "producer {p} out of order: {i} after {}", last[p]);
             last[p] = i;
             seen += 1;
         } else {

@@ -34,8 +34,6 @@ impl HashHistory {
 
     #[inline]
     fn bucket(&self, addr: Address) -> usize {
-        
-        
         (self.state.hash_one(addr) as usize) % self.buckets.len()
     }
 

@@ -80,10 +80,7 @@ impl AccessStore for ShadowMemory {
 
     fn put(&mut self, addr: Address, entry: SigEntry) {
         let (pg, off) = Self::split(addr);
-        let page = self
-            .pages
-            .entry(pg)
-            .or_insert_with(|| Box::new([EMPTY_CELL; PAGE_SIZE]));
+        let page = self.pages.entry(pg).or_insert_with(|| Box::new([EMPTY_CELL; PAGE_SIZE]));
         if page[off].loc == 0 {
             self.occupied += 1;
         }

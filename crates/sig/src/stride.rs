@@ -211,11 +211,7 @@ impl AccessStore for StrideStore {
         use std::mem::size_of;
         self.runs.len() * size_of::<Run>()
             + self.open_by_line.len() * (size_of::<(u32, usize)>() + 8)
-            + self
-                .buckets
-                .values()
-                .map(|v| v.capacity() * size_of::<usize>() + 24)
-                .sum::<usize>()
+            + self.buckets.values().map(|v| v.capacity() * size_of::<usize>() + 24).sum::<usize>()
             + self.removed.len() * (size_of::<Address>() + 8)
             + size_of::<Self>()
     }

@@ -9,8 +9,7 @@
 //! from debug metadata.
 
 use crate::ir::{
-    ArrayDecl, ArrayId, BinOp, Expr, FuncId, LocalId, LoopInfo, Program, ScalarDecl, ScalarId,
-    Stmt,
+    ArrayDecl, ArrayId, BinOp, Expr, FuncId, LocalId, LoopInfo, Program, ScalarDecl, ScalarId, Stmt,
 };
 use dp_types::{Address, Interner, LoopId, MutexId, SourceLoc};
 
@@ -42,9 +41,9 @@ impl ProgramBuilder {
     /// Starts a program called `name`. The value-RNG seed is derived from
     /// the name, so workloads are fully deterministic.
     pub fn new(name: &str) -> Self {
-        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x1_0000_01b3)
-        });
+        let seed = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1_0000_01b3));
         ProgramBuilder {
             name: name.to_owned(),
             interner: Interner::new(),
@@ -115,11 +114,7 @@ impl ProgramBuilder {
 
     /// Defines a function with an explicit name (shown in the call-tree
     /// representation).
-    pub fn named_func(
-        &mut self,
-        name: &str,
-        build: impl FnOnce(&mut FuncBuilder<'_>),
-    ) -> FuncId {
+    pub fn named_func(&mut self, name: &str, build: impl FnOnce(&mut FuncBuilder<'_>)) -> FuncId {
         let mut fb = FuncBuilder { pb: self, stmts: Vec::new() };
         build(&mut fb);
         let stmts = fb.stmts;

@@ -243,9 +243,8 @@ impl<'p> Interp<'p> {
                     }
                 }
                 Stmt::Spawn { nthreads, func } => {
-                    let factory = factory.expect(
-                        "spawn encountered in a sequential run; use Interp::run_mt",
-                    );
+                    let factory =
+                        factory.expect("spawn encountered in a sequential run; use Interp::run_mt");
                     // Thread creation is a synchronization edge: everything
                     // the parent did happens-before the children start, so
                     // the parent's pending events must reach the workers
@@ -298,11 +297,7 @@ impl<'p> Interp<'p> {
                                 ts: self.next_ts(),
                             });
                         }
-                        self.exec::<_, F>(
-                            &mut ctx,
-                            &self.prog.funcs[func as usize],
-                            Some(factory),
-                        );
+                        self.exec::<_, F>(&mut ctx, &self.prog.funcs[func as usize], Some(factory));
                         if ctx.tracer.enabled() {
                             ctx.tracer.event(TraceEvent::CallEnd {
                                 func,
@@ -337,13 +332,8 @@ impl<'p> Interp<'p> {
                 let v = arr[i].load(Ordering::Relaxed);
                 if ctx.tracer.enabled() {
                     let d = &self.prog.arrays[*a as usize];
-                    let ev = MemAccess::read(
-                        d.base + i as u64 * 8,
-                        self.next_ts(),
-                        *l,
-                        d.name,
-                        ctx.tid,
-                    );
+                    let ev =
+                        MemAccess::read(d.base + i as u64 * 8, self.next_ts(), *l, d.name, ctx.tid);
                     ctx.tracer.event(TraceEvent::Access(ev));
                 }
                 v
@@ -381,10 +371,8 @@ impl<'p> Interp<'p> {
             }
             Expr::Rand(bound) => {
                 let b = self.eval(ctx, bound).max(1) as u64;
-                ctx.rng = ctx
-                    .rng
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
+                ctx.rng =
+                    ctx.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 ((ctx.rng >> 33) % b) as i64
             }
         }
@@ -460,11 +448,8 @@ mod tests {
         assert_eq!(accesses[0].kind, AccessKind::Read);
         assert_eq!(accesses[1].kind, AccessKind::Write);
         assert_eq!(accesses[0].addr, accesses[1].addr);
-        let iters: Vec<_> = t
-            .events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::LoopIter { .. }))
-            .collect();
+        let iters: Vec<_> =
+            t.events.iter().filter(|e| matches!(e, TraceEvent::LoopIter { .. })).collect();
         assert_eq!(iters.len(), 3);
         assert!(matches!(t.events.first(), Some(TraceEvent::LoopBegin { .. })));
         assert!(matches!(t.events.last(), Some(TraceEvent::LoopEnd { iters: 3, .. })));
@@ -601,9 +586,6 @@ mod tests {
         let vm = Interp::new(&p);
         let mut t = CollectTracer::new();
         vm.run_seq(&mut t);
-        assert!(t
-            .events
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Dealloc { len: 8, .. })));
+        assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Dealloc { len: 8, .. })));
     }
 }

@@ -233,13 +233,8 @@ mod tests {
 
     #[test]
     fn loop_contains_line() {
-        let li = LoopInfo {
-            id: 0,
-            name: "l".into(),
-            begin: loc(1, 10),
-            end: loc(1, 20),
-            omp: false,
-        };
+        let li =
+            LoopInfo { id: 0, name: "l".into(), begin: loc(1, 10), end: loc(1, 20), omp: false };
         assert!(li.contains_line(loc(1, 10)));
         assert!(li.contains_line(loc(1, 15)));
         assert!(li.contains_line(loc(1, 20)));

@@ -253,8 +253,7 @@ mod tests {
         v2.set(0, 2);
         c.set(3);
         let (t, _) = h.finish();
-        let addrs: Vec<_> =
-            t.events.iter().filter_map(|e| e.as_access()).map(|a| a.addr).collect();
+        let addrs: Vec<_> = t.events.iter().filter_map(|e| e.as_access()).map(|a| a.addr).collect();
         assert_eq!(addrs.len(), 3);
         assert!(addrs[0] < addrs[1] && addrs[1] < addrs[2]);
     }
@@ -273,10 +272,7 @@ mod tests {
         let (t, _) = h.finish();
         assert!(matches!(t.events[0], TraceEvent::LoopBegin { loop_id: 0, .. }));
         assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Dealloc { len: 2, .. })));
-        assert!(matches!(
-            t.events[t.events.len() - 2],
-            TraceEvent::LoopEnd { iters: 2, .. }
-        ));
+        assert!(matches!(t.events[t.events.len() - 2], TraceEvent::LoopEnd { iters: 2, .. }));
     }
 
     #[test]

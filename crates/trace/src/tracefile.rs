@@ -242,11 +242,9 @@ impl<R: Read> TraceReader<R> {
                 thread: get!(u16),
                 ts: get!(u64),
             },
-            TAG_CALL_BEGIN => TraceEvent::CallBegin {
-                func: get!(u32),
-                thread: get!(u16),
-                ts: get!(u64),
-            },
+            TAG_CALL_BEGIN => {
+                TraceEvent::CallBegin { func: get!(u32), thread: get!(u16), ts: get!(u64) }
+            }
             TAG_CALL_END => {
                 TraceEvent::CallEnd { func: get!(u32), thread: get!(u16), ts: get!(u64) }
             }

@@ -162,10 +162,8 @@ mod tests {
 
     #[test]
     fn starbench_has_11_programs_with_paper_names() {
-        let names: Vec<_> = starbench_suite(Scale(0.05))
-            .iter()
-            .map(|w| w.meta.name.clone())
-            .collect();
+        let names: Vec<_> =
+            starbench_suite(Scale(0.05)).iter().map(|w| w.meta.name.clone()).collect();
         assert_eq!(
             names,
             [
@@ -208,18 +206,11 @@ mod tests {
             let f = F::default();
             vm.run_mt(&f);
             let all = f.all.into_inner();
-            let mut tids: Vec<_> = all
-                .iter()
-                .filter_map(|e| e.as_access())
-                .map(|a| a.thread)
-                .collect();
+            let mut tids: Vec<_> =
+                all.iter().filter_map(|e| e.as_access()).map(|a| a.thread).collect();
             tids.sort_unstable();
             tids.dedup();
-            assert!(
-                tids.iter().any(|&t| t >= 1),
-                "{}: no worker-thread accesses",
-                w.meta.name
-            );
+            assert!(tids.iter().any(|&t| t >= 1), "{}: no worker-thread accesses", w.meta.name);
         }
     }
 }

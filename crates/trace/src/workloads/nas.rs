@@ -356,9 +356,7 @@ mod tests {
                 .events
                 .iter()
                 .filter_map(|e| match e {
-                    dp_types::TraceEvent::LoopEnd { loop_id, iters, .. }
-                        if *loop_id == l.id =>
-                    {
+                    dp_types::TraceEvent::LoopEnd { loop_id, iters, .. } if *loop_id == l.id => {
                         Some(*iters)
                     }
                     _ => None,
@@ -378,12 +376,8 @@ mod tests {
     #[test]
     fn is_histograms_are_omp_annotated() {
         let w = is(Scale(0.02));
-        let hist_loops: Vec<_> = w
-            .program
-            .loops
-            .iter()
-            .filter(|l| l.name.starts_with("count_"))
-            .collect();
+        let hist_loops: Vec<_> =
+            w.program.loops.iter().filter(|l| l.name.starts_with("count_")).collect();
         assert_eq!(hist_loops.len(), 3);
         assert!(hist_loops.iter().all(|l| l.omp));
     }

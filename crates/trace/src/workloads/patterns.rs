@@ -92,7 +92,13 @@ pub fn scatter_perm(
 /// Fills `perm` with the permutation `i -> (i*stride) mod n` (`stride`
 /// coprime with `n` guarantees bijectivity; pass e.g. a prime ≠ factors
 /// of n).
-pub fn fill_perm(f: &mut FuncBuilder<'_>, name: &str, perm: ArrayId, n: i64, stride: i64) -> LoopId {
+pub fn fill_perm(
+    f: &mut FuncBuilder<'_>,
+    name: &str,
+    perm: ArrayId,
+    n: i64,
+    stride: i64,
+) -> LoopId {
     f.for_loop(name, true, c(0), c(n), |f, i| {
         f.store(perm, i.clone(), imod(i * c(stride), c(n)));
     })

@@ -58,8 +58,7 @@ pub fn water_spatial(scale: Scale, nthreads: u32) -> Workload {
             // molecules (cross-thread RAW to tid±1, ring topology).
             f.for_loop("boundary", true, c(0), c(box_elems / 8), |f, i| {
                 let right = imod((tid() + c(1)) * c(box_elems) + i.clone(), c(total));
-                let left =
-                    imod((tid() + c(t - 1)) * c(box_elems) + i.clone(), c(total));
+                let left = imod((tid() + c(t - 1)) * c(box_elems) + i.clone(), c(total));
                 let v = f.ld(mols, right) + f.ld(mols, left);
                 let idx = my_base.clone() + i;
                 let cur = f.ld(forces, idx.clone());
@@ -126,9 +125,7 @@ pub fn ocean(scale: Scale, nthreads: u32) -> Workload {
                 // north / south rows (clamped):
                 let north = crate::builder::emax(row.clone() - c(1), c(0));
                 let south = crate::builder::emin(row.clone() + c(1), c(1));
-                let nb = |r: crate::ir::Expr, cl: crate::ir::Expr| {
-                    (r * c(cols) + cl) * c(tile)
-                };
+                let nb = |r: crate::ir::Expr, cl: crate::ir::Expr| (r * c(cols) + cl) * c(tile);
                 let v = f.ld(grid, nb(row.clone(), east) + i.clone())
                     + f.ld(grid, nb(row.clone(), west) + i.clone())
                     + f.ld(grid, nb(north, col.clone()) + i.clone())

@@ -2,10 +2,9 @@
 
 use crate::ids::{Address, ThreadId, Timestamp, VarId};
 use crate::loc::SourceLoc;
-use serde::{Deserialize, Serialize};
 
 /// Whether a memory access reads or writes its address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -28,7 +27,7 @@ impl AccessKind {
 /// access kind, the source location and variable name of the accessing
 /// statement, the target-program thread that performed it, and the global
 /// timestamp taken inside the access's lock region (Section V).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccess {
     /// Accessed address.
     pub addr: Address,
@@ -47,13 +46,25 @@ pub struct MemAccess {
 impl MemAccess {
     /// Convenience constructor for a read access.
     #[inline]
-    pub fn read(addr: Address, ts: Timestamp, loc: SourceLoc, var: VarId, thread: ThreadId) -> Self {
+    pub fn read(
+        addr: Address,
+        ts: Timestamp,
+        loc: SourceLoc,
+        var: VarId,
+        thread: ThreadId,
+    ) -> Self {
         MemAccess { addr, ts, loc, var, thread, kind: AccessKind::Read }
     }
 
     /// Convenience constructor for a write access.
     #[inline]
-    pub fn write(addr: Address, ts: Timestamp, loc: SourceLoc, var: VarId, thread: ThreadId) -> Self {
+    pub fn write(
+        addr: Address,
+        ts: Timestamp,
+        loc: SourceLoc,
+        var: VarId,
+        thread: ThreadId,
+    ) -> Self {
         MemAccess { addr, ts, loc, var, thread, kind: AccessKind::Write }
     }
 }

@@ -14,7 +14,6 @@
 use crate::ids::{LoopId, ThreadId, VarId};
 use crate::loc::SourceLoc;
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// A tiny const-friendly bitflags implementation (avoids an extra
 /// dependency for three flags).
@@ -26,7 +25,7 @@ macro_rules! bitflags_lite {
         }
     ) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name($ty);
 
         impl $name {
@@ -57,7 +56,7 @@ macro_rules! bitflags_lite {
 }
 
 /// Dependence type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DepType {
     /// Read after write (true dependence).
     Raw,
@@ -98,7 +97,7 @@ bitflags_lite! {
 
 /// The aggregation key of the output: every dependence with the same sink
 /// (location + thread) is printed on one line (Figure 1/Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SinkKey {
     /// Sink source location.
     pub loc: SourceLoc,
@@ -109,7 +108,7 @@ pub struct SinkKey {
 /// One aggregated dependence edge: `{TYPE source|var}` plus qualifiers.
 ///
 /// `Ord` gives the deterministic output order used by the report writer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DepEdge {
     /// Dependence type.
     pub dtype: DepType,
@@ -129,7 +128,7 @@ pub struct DepEdge {
 /// A fully-resolved dependence: sink plus edge. This is the unit the
 /// accuracy evaluation (Table I) compares between the signature profiler
 /// and the perfect-signature baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Dependence {
     /// Aggregation key (later access).
     pub sink: SinkKey,

@@ -11,10 +11,9 @@
 use crate::access::MemAccess;
 use crate::ids::{Address, LoopId, ThreadId, Timestamp};
 use crate::loc::SourceLoc;
-use serde::{Deserialize, Serialize};
 
 /// One event of the instrumentation stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// An instrumented memory access.
     Access(MemAccess),

@@ -8,13 +8,12 @@
 //! for "empty slot".
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// A `file:line` source location.
 ///
 /// `file == 0, line == 0` is *not* a valid location; packed form `0` is the
 /// signature's empty-slot sentinel. File ids start at 1 by convention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SourceLoc {
     /// File identifier (1-based; 0 only in the sentinel).
     pub file: u8,

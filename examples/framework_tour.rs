@@ -7,9 +7,7 @@
 //! cargo run --release --example framework_tour [program]
 //! ```
 
-use depprof::analysis::{
-    privatization_candidates, Analysis, AnalysisContext, Framework, LoopMeta,
-};
+use depprof::analysis::{privatization_candidates, Analysis, AnalysisContext, Framework, LoopMeta};
 use depprof::trace::workloads::{nas_suite, Scale};
 
 /// A custom plugin: ranks the hottest dependences by dynamic count —
@@ -64,8 +62,7 @@ fn main() {
     // The framework: built-in plugins + a custom one.
     let mut fw = Framework::with_builtin();
     fw.register(Box::new(HotDeps { top: 5 }));
-    for (name, fragment) in fw.run(&result, &w.program.interner, &metas, &w.program.func_names, 0)
-    {
+    for (name, fragment) in fw.run(&result, &w.program.interner, &metas, &w.program.func_names, 0) {
         println!("== {name} ==\n{fragment}\n");
     }
 
@@ -76,11 +73,8 @@ fn main() {
     } else {
         println!("== privatization ==");
         for p in privs {
-            let lname = metas
-                .iter()
-                .find(|m| m.id == p.loop_id)
-                .map(|m| m.name.as_str())
-                .unwrap_or("?");
+            let lname =
+                metas.iter().find(|m| m.id == p.loop_id).map(|m| m.name.as_str()).unwrap_or("?");
             println!(
                 "  loop {lname}: privatize '{}' (carried WAR x{}, WAW x{})",
                 w.program.interner.get(p.var).unwrap_or("?"),

@@ -57,10 +57,7 @@ fn main() {
         let blockers = if v.blockers.is_empty() {
             String::new()
         } else {
-            format!(
-                "{} -> {}",
-                v.blockers[0].1, v.blockers[0].0
-            )
+            format!("{} -> {}", v.blockers[0].1, v.blockers[0].0)
         };
         println!(
             "{:<22} {:>6} {:>12} {:>10}  {}",

@@ -3,6 +3,7 @@
 //! ```text
 //! depprof list
 //! depprof profile <workload> [--engine serial|parallel|lock-based|perfect]
+//!                            [--transport spsc|mpmc|lock]
 //!                            [--workers N] [--slots N] [--scale F]
 //!                            [--report|--analyze|--dot|--csv]
 //! ```
@@ -14,10 +15,8 @@
 //! targets are profiled with the multi-threaded engine automatically.
 
 use depprof::analysis::{Framework, LoopMeta};
-use depprof::core::{report, ProfilerConfig};
-use depprof::trace::workloads::{
-    nas_suite, splash, starbench_suite, synth, Scale, Workload,
-};
+use depprof::core::{report, ProfilerConfig, TransportKind};
+use depprof::trace::workloads::{nas_suite, splash, starbench_suite, synth, Scale, Workload};
 
 struct Args {
     workload: String,
@@ -26,6 +25,7 @@ struct Args {
     slots: usize,
     scale: f64,
     mode: String,
+    transport: Option<TransportKind>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -41,14 +41,14 @@ fn parse() -> Result<Args, String> {
             slots: 1 << 20,
             scale: 0.25,
             mode: "trace".into(),
+            transport: None,
         };
         let mut i = 2;
         while i < argv.len() {
             match argv[i].as_str() {
                 "--scale" => {
                     i += 1;
-                    a.scale =
-                        argv.get(i).and_then(|s| s.parse().ok()).ok_or("--scale: float")?;
+                    a.scale = argv.get(i).and_then(|s| s.parse().ok()).ok_or("--scale: float")?;
                 }
                 "--slots" => {
                     i += 1;
@@ -72,6 +72,7 @@ fn parse() -> Result<Args, String> {
             slots: 0,
             scale: 0.0,
             mode: String::new(),
+            transport: None,
         });
     }
     if argv[0] != "profile" {
@@ -84,6 +85,7 @@ fn parse() -> Result<Args, String> {
         slots: 1 << 20,
         scale: 0.25,
         mode: "report".into(),
+        transport: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -91,6 +93,14 @@ fn parse() -> Result<Args, String> {
             "--engine" => {
                 i += 1;
                 a.engine = argv.get(i).cloned().ok_or("--engine needs a value")?;
+            }
+            "--transport" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--transport needs a value")?;
+                a.transport = Some(
+                    TransportKind::parse(v)
+                        .ok_or_else(|| format!("--transport: unknown kind '{v}'"))?,
+                );
             }
             "--workers" => {
                 i += 1;
@@ -138,7 +148,8 @@ fn main() {
             }
             eprintln!(
                 "usage:\n  depprof list\n  depprof profile <workload> \
-                 [--engine serial|parallel|lock-based|perfect] [--workers N] \
+                 [--engine serial|parallel|lock-based|perfect] \
+                 [--transport spsc|mpmc|lock] [--workers N] \
                  [--slots N] [--scale F] [--report|--analyze|--dot|--csv]"
             );
             std::process::exit(2);
@@ -217,9 +228,14 @@ fn main() {
                 depprof::profile_sequential_perfect(&w.program)
             }
             "parallel" => {
+                // The target is sequential (one producer), so the SPSC
+                // fast path is the default unless --transport overrides.
+                let cfg = cfg.with_transport(args.transport.unwrap_or(TransportKind::Spsc));
                 eprintln!(
-                    "profiling {} with the lock-free pipeline, {} workers ...",
-                    w.meta.name, args.workers
+                    "profiling {} with the parallel pipeline ({} transport), {} workers ...",
+                    w.meta.name,
+                    cfg.transport.name(),
+                    args.workers
                 );
                 depprof::profile_parallel(&w.program, cfg)
             }
@@ -228,15 +244,7 @@ fn main() {
                     "profiling {} with the lock-based pipeline, {} workers ...",
                     w.meta.name, args.workers
                 );
-                use depprof::core::parallel::LockBasedProfiler;
-                use depprof::core::ParallelProfiler;
-                use depprof::sig::{ExtendedSlot, Signature};
-                let vm = depprof::trace::Interp::new(&w.program);
-                let slots = cfg.slots_per_worker();
-                let mut prof: LockBasedProfiler<Signature<ExtendedSlot>> =
-                    ParallelProfiler::new(cfg, move || Signature::new(slots));
-                vm.run_seq(&mut prof);
-                prof.finish()
+                depprof::profile_parallel(&w.program, cfg.with_transport(TransportKind::Lock))
             }
             other => {
                 eprintln!("unknown engine '{other}'");

@@ -54,7 +54,7 @@ pub use dp_sig as sig;
 pub use dp_trace as trace;
 pub use dp_types as types;
 
-use dp_core::{MtProfiler, ProfileResult, ProfilerConfig, SequentialProfiler};
+use dp_core::{MtProfiler, ProfileResult, ProfilerConfig, SequentialProfiler, TransportKind};
 use dp_trace::{Interp, Program};
 
 /// Commonly used items, one `use` away.
@@ -65,7 +65,7 @@ pub mod prelude {
         SectionMeta,
     };
     pub use dp_core::{
-        DepStore, MtProfiler, ProfileResult, ProfilerConfig, SequentialProfiler,
+        DepStore, MtProfiler, ProfileResult, ProfilerConfig, SequentialProfiler, TransportKind,
     };
     pub use dp_sig::{predicted_fpr, AccessStore, PerfectSignature, Signature};
     pub use dp_trace::builder::{c, lv, nthreads, rnd, tid};
@@ -94,15 +94,24 @@ pub fn profile_sequential_perfect(program: &Program) -> ProfileResult {
     prof.finish()
 }
 
-/// Profiles a sequential MiniVM program with the lock-free parallel
-/// pipeline (Section IV).
+/// Profiles a sequential MiniVM program with the parallel pipeline
+/// (Section IV) over the transport named by [`ProfilerConfig::transport`]
+/// — SPSC fast path, lock-free MPMC, or the lock-based comparator. All
+/// three produce bit-identical dependence sets.
 pub fn profile_parallel(program: &Program, cfg: ProfilerConfig) -> ProfileResult {
     let vm = Interp::new(program);
     let slots = cfg.slots_per_worker();
-    let mut prof: dp_core::parallel::LockFreeProfiler<dp_sig::Signature<dp_sig::ExtendedSlot>> =
-        dp_core::ParallelProfiler::new(cfg, move || dp_sig::Signature::new(slots));
+    let mut prof: dp_core::AnyParallelProfiler<dp_sig::Signature<dp_sig::ExtendedSlot>> =
+        dp_core::AnyParallelProfiler::new(cfg, move || dp_sig::Signature::new(slots));
     vm.run_seq(&mut prof);
     prof.finish()
+}
+
+/// Profiles a sequential MiniVM program with the SPSC fast-path pipeline
+/// — the lowest-overhead transport, sound exactly because a sequential
+/// target has a single producing thread.
+pub fn profile_parallel_spsc(program: &Program, cfg: ProfilerConfig) -> ProfileResult {
+    profile_parallel(program, cfg.with_transport(TransportKind::Spsc))
 }
 
 /// Profiles a multi-threaded MiniVM program (Section V). Dependence
@@ -140,11 +149,28 @@ mod tests {
     fn facade_parallel_matches_perfect() {
         let p = demo_program();
         let base = profile_sequential_perfect(&p);
-        let par = profile_parallel(
-            &p,
-            ProfilerConfig::default().with_workers(2).with_slots(1 << 14),
-        );
+        let par =
+            profile_parallel(&p, ProfilerConfig::default().with_workers(2).with_slots(1 << 14));
         assert_eq!(base.stats.accesses, par.stats.accesses);
         assert_eq!(base.stats.deps_merged, par.stats.deps_merged);
+    }
+
+    #[test]
+    fn facade_spsc_matches_other_transports() {
+        let p = demo_program();
+        let cfg = || ProfilerConfig::default().with_workers(2).with_slots(1 << 14);
+        let spsc = profile_parallel_spsc(&p, cfg());
+        let mpmc = profile_parallel(&p, cfg().with_transport(TransportKind::Mpmc));
+        let lock = profile_parallel(&p, cfg().with_transport(TransportKind::Lock));
+        let sets: Vec<Vec<_>> = [&spsc, &mpmc, &lock]
+            .iter()
+            .map(|r| {
+                let mut v: Vec<_> = r.deps.dependences().map(|(d, e)| (d, e.count)).collect();
+                v.sort();
+                v
+            })
+            .collect();
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[1], sets[2]);
     }
 }

@@ -66,12 +66,7 @@ fn lockfree_equals_serial_on_all_sequential_workloads() {
     for w in nas_suite(scale).into_iter().chain(starbench_suite(scale)) {
         let s = serial(&w.program);
         let f = lockfree(&w.program, 4);
-        assert_eq!(
-            dep_map(&s),
-            dep_map(&f),
-            "{}: lock-free differs from serial",
-            w.meta.name
-        );
+        assert_eq!(dep_map(&s), dep_map(&f), "{}: lock-free differs from serial", w.meta.name);
         assert_eq!(s.stats.accesses, f.stats.accesses, "{}", w.meta.name);
         assert_eq!(s.stats.deps_built, f.stats.deps_built, "{}", w.meta.name);
     }
@@ -92,11 +87,7 @@ fn worker_count_does_not_change_dependences() {
     let w = synth::uniform(3000, 40_000);
     let baseline = dep_map(&serial(&w.program));
     for workers in [1usize, 2, 3, 7, 16] {
-        assert_eq!(
-            dep_map(&lockfree(&w.program, workers)),
-            baseline,
-            "{workers} workers"
-        );
+        assert_eq!(dep_map(&lockfree(&w.program, workers)), baseline, "{workers} workers");
     }
 }
 
@@ -122,10 +113,7 @@ fn loop_records_identical_across_engines() {
     let s = serial(&w.program);
     let f = lockfree(&w.program, 4);
     let recs = |r: &ProfileResult| {
-        r.deps
-            .loops()
-            .map(|(id, rec)| (*id, rec.instances, rec.total_iters))
-            .collect::<Vec<_>>()
+        r.deps.loops().map(|(id, rec)| (*id, rec.instances, rec.total_iters)).collect::<Vec<_>>()
     };
     assert_eq!(recs(&s), recs(&f));
 }

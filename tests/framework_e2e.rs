@@ -33,8 +33,7 @@ fn loop_table_matches_table2_for_ft() {
         .map(|row| row.verdict.meta.name.clone())
         .collect();
     assert_eq!(id.len(), 7, "{id:?}");
-    let red: Vec<_> =
-        t.reduction_candidates().map(|row| row.verdict.meta.name.clone()).collect();
+    let red: Vec<_> = t.reduction_candidates().map(|row| row.verdict.meta.name.clone()).collect();
     assert_eq!(red, ["checksum"]);
 }
 

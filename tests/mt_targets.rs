@@ -26,11 +26,8 @@ fn locked_counter_never_reports_races() {
 fn mt_records_carry_thread_ids() {
     let w = starbench_parallel_suite(Scale(0.05), 4).remove(6); // rot-cc
     let r = depprof::profile_mt(&w.program, cfg(4));
-    let mut threads: Vec<u16> = r
-        .deps
-        .dependences()
-        .flat_map(|(d, _)| [d.sink.thread, d.edge.source_thread])
-        .collect();
+    let mut threads: Vec<u16> =
+        r.deps.dependences().flat_map(|(d, _)| [d.sink.thread, d.edge.source_thread]).collect();
     threads.sort_unstable();
     threads.dedup();
     assert!(threads.len() >= 4, "expected records from several target threads: {threads:?}");
@@ -46,9 +43,7 @@ fn locked_shared_scalar_produces_cross_thread_deps() {
     let cross = r
         .deps
         .dependences()
-        .filter(|(d, _)| {
-            d.edge.dtype == DepType::Raw && d.sink.thread != d.edge.source_thread
-        })
+        .filter(|(d, _)| d.edge.dtype == DepType::Raw && d.sink.thread != d.edge.source_thread)
         .count();
     assert!(cross > 0, "no cross-thread RAW observed on the locked accumulator");
 }
@@ -71,8 +66,7 @@ fn water_spatial_matrix_is_neighbour_banded() {
             }
             let rp = (p - 1) as i64;
             let rc = (c - 1) as i64;
-            let ring_dist =
-                ((rp - rc).rem_euclid(n as i64)).min((rc - rp).rem_euclid(n as i64));
+            let ring_dist = ((rp - rc).rem_euclid(n as i64)).min((rc - rp).rem_euclid(n as i64));
             if ring_dist == 1 {
                 neighbour += m.get(p, c);
             } else {
@@ -96,12 +90,7 @@ fn mt_profile_counts_all_accesses() {
     let vm = Interp::new(&w.program);
     let fac = CollectFactory::default();
     vm.run_mt(&fac);
-    let expected = fac
-        .events
-        .lock()
-        .iter()
-        .filter(|e| e.as_access().is_some())
-        .count() as u64;
+    let expected = fac.events.lock().iter().filter(|e| e.as_access().is_some()).count() as u64;
     let r = depprof::profile_mt(&w.program, cfg(8));
     assert_eq!(r.stats.accesses, expected);
 }

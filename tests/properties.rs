@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) on the profiler's core invariants.
 
-use depprof::core::parallel::LockFreeProfiler;
-use depprof::core::{ParallelProfiler, ProfileResult, ProfilerConfig, SequentialProfiler};
+use depprof::core::parallel::{AnyParallelProfiler, LockFreeProfiler};
+use depprof::core::{
+    ParallelProfiler, ProfileResult, ProfilerConfig, SequentialProfiler, TransportKind,
+};
 use depprof::sig::{ExtendedSlot, PerfectSignature, Signature};
 use depprof::types::{loc::loc, AccessKind, DepType, MemAccess, TraceEvent};
 use proptest::prelude::*;
@@ -54,10 +56,7 @@ fn run_serial_perfect(evs: &[TraceEvent]) -> ProfileResult {
 }
 
 fn ident_counts(r: &ProfileResult) -> Vec<(String, u64)> {
-    r.deps
-        .dependences()
-        .map(|(d, v)| (format!("{:?}", d.identity()), v.count))
-        .collect()
+    r.deps.dependences().map(|(d, v)| (format!("{:?}", d.identity()), v.count)).collect()
 }
 
 proptest! {
@@ -78,6 +77,31 @@ proptest! {
         let par = par.finish();
         prop_assert_eq!(ident_counts(&serial), ident_counts(&par));
         prop_assert_eq!(serial.stats.deps_built, par.stats.deps_built);
+    }
+
+    /// Transport independence: the SPSC fast path, the lock-free MPMC
+    /// build and the lock-based comparator all produce the serial
+    /// engine's exact dependence set on any stream — the bit-identical
+    /// guarantee the transport abstraction promises.
+    #[test]
+    fn every_transport_equals_serial(evs in arb_stream(400), workers in 1usize..6) {
+        let serial = run_serial_perfect(&evs);
+        let expected = ident_counts(&serial);
+        for kind in [TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock] {
+            let cfg = ProfilerConfig::default()
+                .with_workers(workers)
+                .with_chunk_capacity(16)
+                .with_transport(kind);
+            let mut par: AnyParallelProfiler<PerfectSignature> =
+                AnyParallelProfiler::new(cfg, PerfectSignature::new);
+            for e in &evs {
+                use depprof::types::Tracer;
+                par.event(*e);
+            }
+            let par = par.finish();
+            prop_assert_eq!(&expected, &ident_counts(&par), "transport {:?}", kind);
+            prop_assert_eq!(serial.stats.deps_built, par.stats.deps_built);
+        }
     }
 
     /// deps_built always equals the sum of merged record counts.

@@ -48,6 +48,90 @@ impl Accuracy {
     }
 }
 
+/// Degradation report of a single run: how much of the event stream the
+/// profiler actually observed, and what that implies for completeness.
+///
+/// The paper's Formula 2 quantifies the accuracy a signature gives up for
+/// bounded memory; this is the same reporting discipline applied to the
+/// fault-tolerance path — when workers die or events are dropped under
+/// backpressure, the loss is *measured and bounded*, not silent. All
+/// numbers come from [`ProfileStats`](dp_core::ProfileStats); dependences
+/// that were reported remain exact, the loss is purely one of coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// Accesses the workers actually processed.
+    pub observed_events: u64,
+    /// Events the router dropped (dead/stalled workers).
+    pub dropped_events: u64,
+    /// Ids of workers lost mid-run.
+    pub failed_workers: Vec<usize>,
+    /// Total workers in the run.
+    pub workers: usize,
+}
+
+impl Degradation {
+    /// Extracts the degradation report from a run.
+    pub fn from_result(r: &ProfileResult) -> Self {
+        Degradation {
+            observed_events: r.stats.events,
+            dropped_events: r.stats.dropped_events,
+            failed_workers: r.stats.worker_failures.iter().map(|f| f.worker).collect(),
+            workers: r.workers,
+        }
+    }
+
+    /// True when anything was lost.
+    pub fn degraded(&self) -> bool {
+        self.dropped_events > 0 || !self.failed_workers.is_empty()
+    }
+
+    /// Fraction of the offered event stream that was lost, in percent
+    /// (dropped / (observed + dropped)).
+    pub fn loss_rate(&self) -> f64 {
+        let offered = self.observed_events + self.dropped_events;
+        if offered == 0 {
+            0.0
+        } else {
+            100.0 * self.dropped_events as f64 / offered as f64
+        }
+    }
+
+    /// Formula-2-style estimate of the false-negative rate the loss
+    /// induces, in percent: a dependence is observed only if both its
+    /// endpoints were, so under a uniform loss rate `p` the expected
+    /// fraction of missed dependences is `1 - (1 - p)²`. An estimate,
+    /// not a bound — losses concentrated on one worker's residue class
+    /// (the usual failure shape) miss that class's dependences entirely.
+    pub fn expected_fnr(&self) -> f64 {
+        let p = self.loss_rate() / 100.0;
+        100.0 * (1.0 - (1.0 - p) * (1.0 - p))
+    }
+
+    /// One-line human-readable summary (the CLI's degraded banner).
+    pub fn summary(&self) -> String {
+        if !self.degraded() {
+            return "profile complete (no events dropped, no worker failures)".to_string();
+        }
+        let workers = if self.failed_workers.is_empty() {
+            String::new()
+        } else {
+            let ids: Vec<String> = self.failed_workers.iter().map(|w| format!("{w}")).collect();
+            format!(
+                ", worker{} {} of {} failed",
+                if ids.len() == 1 { "" } else { "s" },
+                ids.join("/"),
+                self.workers
+            )
+        };
+        format!(
+            "profile degraded ({} events dropped, {:.2}% of stream{})",
+            self.dropped_events,
+            self.loss_rate(),
+            workers
+        )
+    }
+}
+
 fn ident_set(r: &ProfileResult) -> FxHashSet<Ident> {
     r.deps
         .dependences()
@@ -63,6 +147,11 @@ pub fn compare(baseline: &ProfileResult, profiled: &ProfileResult) -> Accuracy {
     let false_positives = prof.difference(&base).count();
     let false_negatives = base.difference(&prof).count();
     Accuracy { baseline: base.len(), profiled: prof.len(), false_positives, false_negatives }
+}
+
+/// Convenience: the degradation report of a run (see [`Degradation`]).
+pub fn degradation(r: &ProfileResult) -> Degradation {
+    Degradation::from_result(r)
 }
 
 #[cfg(test)]
@@ -153,6 +242,38 @@ mod tests {
             acc_big.fpr(),
             acc_big.fnr()
         );
+    }
+
+    #[test]
+    fn degradation_rates_and_summary() {
+        let mut r = ProfileResult { workers: 4, ..Default::default() };
+        r.stats.events = 900;
+        assert!(!degradation(&r).degraded());
+        assert_eq!(degradation(&r).loss_rate(), 0.0);
+        assert!(degradation(&r).summary().contains("complete"));
+
+        r.stats.dropped_events = 100;
+        r.stats.worker_failures.push(dp_core::WorkerFailure {
+            worker: 2,
+            workers: 4,
+            cause: dp_core::FailureCause::Unresponsive,
+        });
+        let d = degradation(&r);
+        assert!(d.degraded());
+        assert_eq!(d.loss_rate(), 10.0);
+        // 1 - 0.9² = 19%
+        assert!((d.expected_fnr() - 19.0).abs() < 1e-9, "{}", d.expected_fnr());
+        let s = d.summary();
+        assert!(s.contains("100 events dropped"), "{s}");
+        assert!(s.contains("worker 2 of 4 failed"), "{s}");
+    }
+
+    #[test]
+    fn degradation_of_empty_run_is_clean() {
+        let d = degradation(&ProfileResult::default());
+        assert_eq!(d.loss_rate(), 0.0);
+        assert_eq!(d.expected_fnr(), 0.0);
+        assert!(!d.degraded());
     }
 
     #[test]

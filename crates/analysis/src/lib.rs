@@ -28,7 +28,7 @@ pub mod races;
 pub mod schedule;
 pub mod unions;
 
-pub use accuracy::{compare, Accuracy};
+pub use accuracy::{compare, degradation, Accuracy, Degradation};
 pub use comm::{communication_matrix, CommMatrix};
 pub use framework::{Analysis, AnalysisContext, Framework};
 pub use graph::DepGraph;

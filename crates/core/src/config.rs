@@ -1,5 +1,50 @@
 //! Profiler configuration.
 
+use dp_queue::FaultPlan;
+
+/// What the router does when a worker's queue has been continuously full
+/// for longer than [`ProfilerConfig::stall_deadline_ms`].
+///
+/// The queues are bounded (Section IV: "a separate queue for each worker
+/// thread"), so a worker that stops consuming — a stall, a livelock, an
+/// injected fault — eventually propagates backpressure all the way to the
+/// instrumented program. `Block` preserves that strict behaviour; `Drop`
+/// trades completeness for forward progress and *accounts for the loss*:
+/// every dropped event is counted per worker and surfaced in
+/// `ProfileStats::dropped_per_worker`, mirroring how the paper's
+/// signatures trade accuracy for memory under Formula 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Spin (with backoff) until the worker drains its queue. Lossless;
+    /// a permanently stalled worker hangs the producer. This is the
+    /// paper's behaviour and the default.
+    #[default]
+    Block,
+    /// After the queue has been continuously full for the stall
+    /// deadline, drop events destined to the stalled worker and count
+    /// them. The profile is marked degraded but the run terminates.
+    Drop,
+}
+
+impl OverflowPolicy {
+    /// Short name as used in reports and on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            OverflowPolicy::Block => "block",
+            OverflowPolicy::Drop => "drop",
+        }
+    }
+
+    /// Parses a command-line spelling (`block`, `drop`).
+    pub fn parse(s: &str) -> Option<OverflowPolicy> {
+        match s {
+            "block" => Some(OverflowPolicy::Block),
+            "drop" => Some(OverflowPolicy::Drop),
+            _ => None,
+        }
+    }
+}
+
 /// Which per-worker channel implementation the parallel pipeline routes
 /// events through. All three produce bit-identical dependence sets; they
 /// differ only in synchronization cost.
@@ -68,6 +113,22 @@ pub struct ProfilerConfig {
     pub top_k: usize,
     /// Per-worker channel implementation for the parallel pipeline.
     pub transport: TransportKind,
+    /// What to do when a worker queue stays full past the stall deadline.
+    pub overflow: OverflowPolicy,
+    /// How long a queue must be *continuously* full before the owner is
+    /// presumed stalled (milliseconds). Under [`OverflowPolicy::Drop`]
+    /// this bounds the producer's wait; under `Block` it is only
+    /// consulted when delivering `Shutdown` at the end of a run.
+    pub stall_deadline_ms: u64,
+    /// Upper bound on the end-of-run drain (in-flight migrations,
+    /// worker joins) in milliseconds. Past it, pending migrations are
+    /// cancelled and unresponsive workers are abandoned rather than
+    /// hanging `finish()` forever.
+    pub drain_deadline_ms: u64,
+    /// Deterministic fault-injection script (testing only;
+    /// [`FaultPlan::none()`] — the default — injects nothing and the
+    /// hooks compile out unless the `fault-inject` feature is on).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ProfilerConfig {
@@ -82,6 +143,10 @@ impl Default for ProfilerConfig {
             redistribute_every: 50_000,
             top_k: 10,
             transport: TransportKind::default(),
+            overflow: OverflowPolicy::default(),
+            stall_deadline_ms: 100,
+            drain_deadline_ms: 2_000,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -127,6 +192,30 @@ impl ProfilerConfig {
         self.transport = t;
         self
     }
+
+    /// Builder-style setter for the overflow policy.
+    pub fn with_overflow(mut self, p: OverflowPolicy) -> Self {
+        self.overflow = p;
+        self
+    }
+
+    /// Builder-style setter for the stall deadline (milliseconds).
+    pub fn with_stall_deadline_ms(mut self, ms: u64) -> Self {
+        self.stall_deadline_ms = ms;
+        self
+    }
+
+    /// Builder-style setter for the drain deadline (milliseconds).
+    pub fn with_drain_deadline_ms(mut self, ms: u64) -> Self {
+        self.drain_deadline_ms = ms;
+        self
+    }
+
+    /// Builder-style setter for the fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +242,23 @@ mod tests {
         assert_eq!(cfg.transport, TransportKind::Mpmc);
         let cfg = cfg.with_transport(TransportKind::Spsc);
         assert_eq!(cfg.transport, TransportKind::Spsc);
+    }
+
+    #[test]
+    fn overflow_names_round_trip() {
+        for p in [OverflowPolicy::Block, OverflowPolicy::Drop] {
+            assert_eq!(OverflowPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(OverflowPolicy::parse("bogus"), None);
+        assert_eq!(ProfilerConfig::default().overflow, OverflowPolicy::Block);
+        assert!(ProfilerConfig::default().fault_plan.is_none());
+        let cfg = ProfilerConfig::default()
+            .with_overflow(OverflowPolicy::Drop)
+            .with_stall_deadline_ms(5)
+            .with_drain_deadline_ms(50);
+        assert_eq!(cfg.overflow, OverflowPolicy::Drop);
+        assert_eq!(cfg.stall_deadline_ms, 5);
+        assert_eq!(cfg.drain_deadline_ms, 50);
     }
 
     #[test]

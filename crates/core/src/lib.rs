@@ -42,11 +42,14 @@ pub mod seq;
 pub mod store;
 
 pub use algo::{AlgoOptions, AlgoState};
-pub use config::{ProfilerConfig, TransportKind};
+pub use config::{OverflowPolicy, ProfilerConfig, TransportKind};
 pub use exectree::{ExecNode, ExecNodeKind, ExecTree};
 pub use mt::MtProfiler;
 pub use parallel::{AnyParallelProfiler, ParallelProfiler, SpscProfiler, WorkerMsg};
-pub use result::{MemoryReport, ProfileResult, ProfileStats};
+pub use result::{FailureCause, MemoryReport, ProfileResult, ProfileStats, WorkerFailure};
+// Re-exported so downstream code can script faults without depending on
+// dp-queue directly.
+pub use dp_queue::{FaultPlan, WorkerFault};
 pub use seq::{offload_sequential, SequentialProfiler};
 pub use store::{DepStore, EdgeVal, LoopRecord};
 

@@ -21,39 +21,107 @@
 //!   context is not well defined); loop records still accumulate via
 //!   `LoopBegin`/`LoopEnd`, routed by `loop_id` so each loop is tracked by
 //!   exactly one worker.
+//!
+//! The failure model matches the sequential pipeline (see
+//! [`parallel`](crate::parallel)): workers run under `catch_unwind` and
+//! flag themselves dead, producers fail fast on dead workers (dropping and
+//! counting instead of spinning forever), and `finish()` salvages every
+//! surviving worker's results within the drain deadline. Unlike the
+//! sequential router, dead-worker traffic is *not* diverted to survivors:
+//! with many producers there is no single point that could preserve
+//! per-address order across the switch, so dropping-and-accounting is the
+//! honest choice.
 
 use crate::algo::{AlgoOptions, AlgoState};
-use crate::config::ProfilerConfig;
-use crate::parallel::WorkerMsg;
-use crate::result::{MemoryReport, ProfileResult, ProfileStats};
+use crate::config::{OverflowPolicy, ProfilerConfig};
+use crate::parallel::{panic_message, WorkerMsg};
+use crate::result::{FailureCause, MemoryReport, ProfileResult, ProfileStats, WorkerFailure};
 use crate::store::DepStore;
 use dp_queue::{Backoff, Chunk, ChunkPool, MpmcQueue};
 use dp_sig::AccessStore;
 use dp_types::{ThreadId, TraceEvent, Tracer, TracerFactory};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 type WorkerResult = (DepStore, crate::exectree::ExecTree, crate::algo::AlgoCounters, usize);
+
+/// How a supervised MT worker thread ended.
+enum MtExit {
+    Finished(WorkerResult),
+    Panicked { payload: String },
+}
 
 struct MtShared {
     queues: Vec<MpmcQueue<WorkerMsg>>,
     pool: Arc<ChunkPool>,
     chunks_pushed: AtomicU64,
+    /// `dead[w]`: worker `w` panicked (set by the worker itself).
+    dead: Vec<AtomicBool>,
+    /// `stalled[w]`: a producer timed out delivering to `w` under
+    /// [`OverflowPolicy::Drop`]; later producers fail fast until a push
+    /// succeeds again.
+    stalled: Vec<AtomicBool>,
+    /// Events dropped per destination worker (dead or stalled).
+    dropped: Vec<AtomicU64>,
+    overflow: OverflowPolicy,
+    stall_deadline_ms: u64,
 }
 
 impl MtShared {
-    fn push_blocking(&self, wid: usize, mut msg: WorkerMsg) {
+    fn drop_after(&self) -> Option<Duration> {
+        match self.overflow {
+            OverflowPolicy::Block => None,
+            OverflowPolicy::Drop => Some(Duration::from_millis(self.stall_deadline_ms)),
+        }
+    }
+
+    /// Delivers `msg` to `wid`, spinning with backoff while the queue is
+    /// full; gives the message back when the worker is dead, or — with
+    /// `drop_after` set — full past the deadline (the worker is then
+    /// marked stalled so other producers fail fast).
+    fn deliver(
+        &self,
+        wid: usize,
+        mut msg: WorkerMsg,
+        drop_after: Option<Duration>,
+    ) -> Result<(), WorkerMsg> {
         let mut backoff = Backoff::new();
+        let mut deadline: Option<Instant> = None;
         loop {
+            if self.dead[wid].load(Ordering::Acquire) {
+                return Err(msg);
+            }
             match self.queues[wid].push(msg) {
-                Ok(()) => return,
+                Ok(()) => {
+                    self.stalled[wid].store(false, Ordering::Relaxed);
+                    return Ok(());
+                }
                 Err(back) => {
                     msg = back;
+                    if let Some(limit) = drop_after {
+                        if self.stalled[wid].load(Ordering::Acquire) {
+                            return Err(msg);
+                        }
+                        let d = *deadline.get_or_insert_with(|| Instant::now() + limit);
+                        if Instant::now() >= d {
+                            self.stalled[wid].store(true, Ordering::Release);
+                            return Err(msg);
+                        }
+                    }
                     backoff.snooze();
                 }
             }
+        }
+    }
+
+    /// Drop accounting for an undeliverable message.
+    fn account_drop(&self, wid: usize, msg: WorkerMsg) {
+        if let WorkerMsg::Events(chunk) = msg {
+            self.dropped[wid].fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            self.pool.release(chunk);
         }
     }
 }
@@ -79,8 +147,13 @@ impl MtThreadTracer {
             return;
         }
         let chunk = std::mem::replace(&mut self.pending[wid], self.shared.pool.acquire());
-        self.shared.push_blocking(wid, WorkerMsg::Events(chunk));
-        self.shared.chunks_pushed.fetch_add(1, Ordering::Relaxed);
+        let drop_after = self.shared.drop_after();
+        match self.shared.deliver(wid, WorkerMsg::Events(chunk), drop_after) {
+            Ok(()) => {
+                self.shared.chunks_pushed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(msg) => self.shared.account_drop(wid, msg),
+        }
     }
 }
 
@@ -124,7 +197,8 @@ impl Tracer for MtThreadTracer {
 /// [`TracerFactory`] of `Interp::run_mt`, then call [`MtProfiler::finish`].
 pub struct MtProfiler {
     shared: Arc<MtShared>,
-    handles: Mutex<Vec<JoinHandle<WorkerResult>>>,
+    handles: Mutex<Vec<JoinHandle<MtExit>>>,
+    drain_deadline_ms: u64,
 }
 
 impl MtProfiler {
@@ -148,6 +222,11 @@ impl MtProfiler {
             queues: (0..w).map(|_| MpmcQueue::new(cfg.queue_chunks)).collect(),
             pool,
             chunks_pushed: AtomicU64::new(0),
+            dead: (0..w).map(|_| AtomicBool::new(false)).collect(),
+            stalled: (0..w).map(|_| AtomicBool::new(false)).collect(),
+            dropped: (0..w).map(|_| AtomicU64::new(0)).collect(),
+            overflow: cfg.overflow,
+            stall_deadline_ms: cfg.stall_deadline_ms,
         });
         let mut handles = Vec::with_capacity(w);
         for wid in 0..w {
@@ -163,34 +242,89 @@ impl MtProfiler {
                 },
             );
             let sh = shared.clone();
-            handles.push(std::thread::spawn(move || mt_worker(sh, wid, algo)));
+            let plan = cfg.fault_plan.clone();
+            handles.push(std::thread::spawn(move || mt_worker(sh, wid, algo, plan)));
         }
-        MtProfiler { shared, handles: Mutex::new(handles) }
+        MtProfiler {
+            shared,
+            handles: Mutex::new(handles),
+            drain_deadline_ms: cfg.drain_deadline_ms,
+        }
     }
 
-    /// Drains the pipeline, joins the workers and merges their results.
-    /// Call only after the target program has fully finished (all target
-    /// threads joined).
+    /// Drains the pipeline, joins the workers and merges their results —
+    /// salvaging survivors and bounding every wait by the drain deadline
+    /// when a worker was lost. Call only after the target program has
+    /// fully finished (all target threads joined).
     pub fn finish(self) -> ProfileResult {
-        for wid in 0..self.shared.queues.len() {
-            self.shared.push_blocking(wid, WorkerMsg::Shutdown);
-        }
+        let w = self.shared.queues.len();
+        let drain = Duration::from_millis(self.drain_deadline_ms.max(1));
+        let shutdown_ok: Vec<bool> = (0..w)
+            .map(|wid| self.shared.deliver(wid, WorkerMsg::Shutdown, Some(drain)).is_ok())
+            .collect();
         let mut stats = ProfileStats::default();
         let mut global = DepStore::new();
         let mut exec_tree = crate::exectree::ExecTree::new();
         let mut sig_mem = 0usize;
         let mut per_worker_events = Vec::new();
-        for h in self.handles.into_inner() {
-            let (store, tree, counters, mem) = h.join().expect("mt worker panicked");
-            stats.absorb(counters);
-            sig_mem += mem;
-            per_worker_events.push(counters.accesses);
-            global.merge(store);
-            exec_tree.merge(&tree);
+        let mut failures: Vec<WorkerFailure> = Vec::new();
+        let grace = Duration::from_millis(self.drain_deadline_ms.clamp(50, 500));
+        for (wid, h) in self.handles.into_inner().into_iter().enumerate() {
+            let wait = if shutdown_ok[wid] { drain } else { grace };
+            let end = Instant::now() + wait;
+            while !h.is_finished() && Instant::now() < end {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if !h.is_finished() {
+                // Unresponsive past the deadline: detach instead of
+                // hanging finish() forever.
+                failures.push(WorkerFailure {
+                    worker: wid,
+                    workers: w,
+                    cause: FailureCause::Unresponsive,
+                });
+                per_worker_events.push(0);
+                continue;
+            }
+            let exit = match h.join() {
+                Ok(e) => e,
+                Err(p) => MtExit::Panicked { payload: panic_message(&*p) },
+            };
+            match exit {
+                MtExit::Finished((store, tree, counters, mem)) => {
+                    if !shutdown_ok[wid] {
+                        failures.push(WorkerFailure {
+                            worker: wid,
+                            workers: w,
+                            cause: FailureCause::Unresponsive,
+                        });
+                    }
+                    stats.absorb(counters);
+                    sig_mem += mem;
+                    per_worker_events.push(counters.accesses);
+                    global.merge(store);
+                    exec_tree.merge(&tree);
+                }
+                MtExit::Panicked { payload } => {
+                    failures.push(WorkerFailure {
+                        worker: wid,
+                        workers: w,
+                        cause: FailureCause::Panic(payload),
+                    });
+                    per_worker_events.push(0);
+                }
+            }
         }
         stats.deps_built = global.deps_built();
         stats.deps_merged = global.merged_len();
         stats.chunks_pushed = self.shared.chunks_pushed.load(Ordering::Relaxed);
+        let dropped: Vec<u64> =
+            self.shared.dropped.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+        stats.dropped_events = dropped.iter().sum();
+        if stats.dropped_events > 0 {
+            stats.dropped_per_worker = dropped;
+        }
+        stats.worker_failures = failures;
         let memory = MemoryReport {
             signatures: sig_mem,
             queues: self.shared.queues.iter().map(|q| q.memory_usage()).sum(),
@@ -219,19 +353,58 @@ impl TracerFactory for MtProfiler {
     }
 }
 
+/// Injected panic hook for the MT engine (panic-only: stalls and reply
+/// drops are sequential-pipeline concepts).
+#[cfg(feature = "fault-inject")]
+fn mt_fault_panic(wid: usize, chunks_done: u64, plan: &dp_queue::FaultPlan) {
+    if let Some(f) = plan.panic_worker {
+        if f.worker == wid && chunks_done >= f.after_chunks {
+            panic!("injected fault: mt worker {wid} panicked after {} chunks", f.after_chunks);
+        }
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+fn mt_fault_panic(_: usize, _: u64, _: &dp_queue::FaultPlan) {}
+
 fn mt_worker<S: AccessStore>(
     shared: Arc<MtShared>,
     wid: usize,
+    algo: AlgoState<S>,
+    plan: dp_queue::FaultPlan,
+) -> MtExit {
+    let sh = shared.clone();
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        run_mt_worker(sh, wid, algo, plan)
+    }));
+    match out {
+        Ok(res) => MtExit::Finished(res),
+        Err(payload) => {
+            // Flag death before the thread exits so producers fail fast.
+            shared.dead[wid].store(true, Ordering::Release);
+            MtExit::Panicked { payload: panic_message(&*payload) }
+        }
+    }
+}
+
+fn run_mt_worker<S: AccessStore>(
+    shared: Arc<MtShared>,
+    wid: usize,
     mut algo: AlgoState<S>,
+    plan: dp_queue::FaultPlan,
 ) -> WorkerResult {
     let mut backoff = Backoff::new();
+    let mut chunks_done = 0u64;
     loop {
+        mt_fault_panic(wid, chunks_done, &plan);
         match shared.queues[wid].pop() {
             Some(WorkerMsg::Events(chunk)) => {
                 for ev in chunk.events() {
                     algo.on_event(ev);
                 }
                 shared.pool.release(chunk);
+                chunks_done += 1;
                 backoff.reset();
             }
             Some(WorkerMsg::Inject { addr, read, write }) => algo.inject(addr, read, write),
@@ -270,6 +443,7 @@ mod tests {
         prof.join(1, t1);
         prof.join(2, t2);
         let r = prof.finish();
+        assert!(!r.degraded(), "healthy MT run must not be degraded: {:?}", r.stats);
         let raw = r.deps.dependences().find(|(d, _)| d.edge.dtype == DepType::Raw).unwrap().0;
         assert_eq!(raw.sink.thread, 2);
         assert_eq!(raw.edge.source_thread, 1);
@@ -306,5 +480,28 @@ mod tests {
         let rec = r.deps.loop_record(3).unwrap();
         assert_eq!(rec.total_iters, 7);
         assert_eq!(rec.instances, 1);
+    }
+
+    /// A panicking MT worker degrades the run; survivors are salvaged.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn mt_worker_panic_degrades_instead_of_aborting() {
+        use dp_queue::FaultPlan;
+        let c =
+            cfg(2).with_fault_plan(FaultPlan::none().with_panic(1, 0)).with_drain_deadline_ms(500);
+        let prof = MtProfiler::new(c);
+        let mut t1 = prof.tracer(1);
+        // Worker 0 owns (addr >> 3) % 2 == 0; worker 1 the odd class.
+        t1.event(acc(AccessKind::Write, 0x80, 1, 5, 1)); // worker 0
+        t1.event(acc(AccessKind::Read, 0x80, 2, 6, 1)); // worker 0
+        t1.event(acc(AccessKind::Write, 0x88, 3, 7, 1)); // worker 1 (dying)
+        prof.join(1, t1);
+        let r = prof.finish();
+        assert!(r.degraded());
+        assert_eq!(r.stats.worker_failures.len(), 1);
+        assert_eq!(r.stats.worker_failures[0].worker, 1);
+        assert!(matches!(r.stats.worker_failures[0].cause, FailureCause::Panic(_)));
+        // The surviving worker's RAW is present.
+        assert!(r.deps.dependences().any(|(d, _)| d.edge.dtype == DepType::Raw));
     }
 }

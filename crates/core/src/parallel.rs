@@ -32,26 +32,49 @@
 //! at the router while the migration is in flight, so per-address temporal
 //! order is preserved across the move.
 //!
+//! ## Failure model
+//!
+//! Profiling must never take the target down with it. Worker loops run
+//! under `catch_unwind`; a panicking worker flags itself dead before its
+//! thread exits, and the router fails fast on dead workers instead of
+//! spinning on a queue nobody will drain. `finish()` is a supervisor: it
+//! salvages every surviving worker's dependence map, bounds all waits by
+//! [`ProfilerConfig::drain_deadline_ms`], and reports losses precisely —
+//! per-worker dropped-event counts, cancelled migrations and
+//! [`WorkerFailure`] records — in [`ProfileStats`], so a degraded profile
+//! says exactly *what* is missing (the dead worker's residue class under
+//! Formula 1) rather than failing silently. Under
+//! [`OverflowPolicy::Drop`] a stalled-but-alive worker is handled the
+//! same way: once its queue has been continuously full past the stall
+//! deadline, events destined for it are dropped *and counted* instead of
+//! blocking the target forever. This mirrors the paper's own philosophy
+//! of graceful degradation (signatures trade accuracy for memory,
+//! Formula 2) — here the trade is completeness for termination.
+//!
 //! The engine is generic over the per-worker [`Transport`]: the SPSC
 //! fast path ([`dp_queue::SpscTransport`] — sound here because a
 //! sequential target has exactly one producing thread), the lock-free
 //! MPMC build ([`dp_queue::MpmcQueue`] via [`Shared`]) and the
 //! lock-based comparator of Figure 5 ([`dp_queue::LockQueue`] via
 //! [`Shared`]); everything else is shared, so measured differences are
-//! attributable to the transport alone.
+//! attributable to the transport alone. Fault-injection tests swap in
+//! [`dp_queue::FailingTransport`] through
+//! [`ParallelProfiler::with_transport`].
 
 use crate::algo::{AlgoCounters, AlgoOptions, AlgoState};
-use crate::config::{ProfilerConfig, TransportKind};
-use crate::result::{MemoryReport, ProfileResult, ProfileStats};
+use crate::config::{OverflowPolicy, ProfilerConfig, TransportKind};
+use crate::result::{FailureCause, MemoryReport, ProfileResult, ProfileStats, WorkerFailure};
 use crate::store::DepStore;
 use dp_queue::{
-    Backoff, Chunk, ChunkPool, MpmcQueue, Shared, SpscTransport, Transport, TransportReceiver,
-    TransportSender,
+    Backoff, Chunk, ChunkPool, FaultPlan, MpmcQueue, Shared, SpscTransport, Transport,
+    TransportReceiver, TransportSender,
 };
 use dp_sig::{AccessStore, SigEntry};
 use dp_types::{Address, FxHashMap, TraceEvent, Tracer};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Messages flowing through a worker's queue.
 pub enum WorkerMsg {
@@ -87,8 +110,53 @@ struct WorkerOutput {
     sig_mem: usize,
 }
 
+/// How a supervised worker thread ended.
+enum WorkerExit {
+    /// Clean exit (or an abandoned stall that woke up): results salvaged.
+    Finished(WorkerOutput),
+    /// The worker panicked; `catch_unwind` contained it and the payload
+    /// is preserved for the [`WorkerFailure`] record.
+    Panicked { payload: String },
+}
+
+/// Router↔worker supervision flags, shared by `Arc`.
+struct Supervision {
+    /// `dead[w]`: worker `w` panicked. Set by the worker itself on the
+    /// way out (before its thread exits), read by the router to fail
+    /// fast instead of blocking on a queue nobody will drain.
+    dead: Vec<AtomicBool>,
+    /// `abandon[w]`: the supervisor gave up on worker `w`. A stalled
+    /// worker that is still responsive to this flag (the injected-stall
+    /// hook is) exits so its partial results can be salvaged.
+    abandon: Vec<AtomicBool>,
+}
+
+impl Supervision {
+    fn new(workers: usize) -> Self {
+        Supervision {
+            dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            abandon: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+}
+
+/// Runtime state of the fault-injection script: the plan plus the shared
+/// counter that makes "drop the *n*-th Extracted reply" global across
+/// workers. Always present (so [`ProfilerConfig`] needs no feature gate);
+/// every hook that consults it compiles to nothing without the
+/// `fault-inject` feature.
+struct FaultRt {
+    plan: FaultPlan,
+    extract_replies: AtomicU64,
+}
+
 struct Inflight {
+    /// Worker the state is being extracted from.
+    source: usize,
+    /// Worker the state is migrating to.
     target: usize,
+    /// Accesses of the migrating address, buffered until the `Inject`
+    /// has been sent so per-address temporal order survives the move.
     buffered: Vec<TraceEvent>,
 }
 
@@ -104,13 +172,22 @@ pub struct ParallelProfiler<S: AccessStore + 'static, X: Transport<WorkerMsg>> {
     senders: Vec<X::Sender>,
     pool: Arc<ChunkPool>,
     resp: Arc<MpmcQueue<RouterMsg>>,
-    handles: Vec<JoinHandle<WorkerOutput>>,
+    handles: Vec<JoinHandle<WorkerExit>>,
+    sup: Arc<Supervision>,
     pending: Vec<Chunk>,
     counts: FxHashMap<Address, u64>,
     rules: FxHashMap<Address, usize>,
     inflight: FxHashMap<Address, Inflight>,
     chunks_pushed: u64,
     redistributions: u64,
+    /// Router-side drop accounting, per destination worker.
+    dropped: Vec<u64>,
+    /// Continuously-full-since marker per worker queue; `None` while the
+    /// last push succeeded. The basis of stall detection.
+    full_since: Vec<Option<Instant>>,
+    rerouted_events: u64,
+    cancelled_migrations: u64,
+    spurious_replies: u64,
     in_rebalance: bool,
     in_poll: bool,
     cfg: ProfilerConfig,
@@ -124,14 +201,27 @@ where
 {
     /// Starts `cfg.workers` worker threads, building each worker's two
     /// signatures with `make_store` (called twice per worker).
-    pub fn new(cfg: ProfilerConfig, make_store: impl Fn() -> S) -> Self {
+    pub fn new(cfg: ProfilerConfig, make_store: impl Fn() -> S) -> Self
+    where
+        X: Default,
+    {
+        Self::with_transport(X::default(), cfg, make_store)
+    }
+
+    /// Like [`ParallelProfiler::new`], but over an explicit transport
+    /// instance — the entry point for fault-injection tests, which pass a
+    /// [`dp_queue::FailingTransport`] carrying a seeded chaos plan.
+    pub fn with_transport(transport: X, cfg: ProfilerConfig, make_store: impl Fn() -> S) -> Self {
         let w = cfg.workers.max(1);
         let pool = ChunkPool::new(w * cfg.queue_chunks * 2, cfg.chunk_capacity);
         let resp = Arc::new(MpmcQueue::new((cfg.top_k * 4).max(64)));
+        let sup = Arc::new(Supervision::new(w));
+        let fault =
+            Arc::new(FaultRt { plan: cfg.fault_plan.clone(), extract_replies: AtomicU64::new(0) });
         let mut senders = Vec::with_capacity(w);
         let mut handles = Vec::with_capacity(w);
         for wid in 0..w {
-            let (tx, rx) = X::channel(cfg.queue_chunks);
+            let (tx, rx) = transport.channel(wid, cfg.queue_chunks);
             let algo = AlgoState::new(
                 make_store(),
                 make_store(),
@@ -146,7 +236,11 @@ where
             );
             let poolc = pool.clone();
             let respc = resp.clone();
-            handles.push(std::thread::spawn(move || worker_loop(rx, poolc, respc, algo)));
+            let supc = sup.clone();
+            let faultc = fault.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_loop(wid, rx, poolc, respc, algo, supc, faultc)
+            }));
             senders.push(tx);
         }
         let pending = (0..w).map(|_| pool.acquire()).collect();
@@ -155,12 +249,18 @@ where
             pool,
             resp,
             handles,
+            sup,
             pending,
             counts: FxHashMap::default(),
             rules: FxHashMap::default(),
             inflight: FxHashMap::default(),
             chunks_pushed: 0,
             redistributions: 0,
+            dropped: vec![0; w],
+            full_since: vec![None; w],
+            rerouted_events: 0,
+            cancelled_migrations: 0,
+            spurious_replies: 0,
             in_rebalance: false,
             in_poll: false,
             cfg,
@@ -179,13 +279,81 @@ where
         self.rules.get(&addr).copied().unwrap_or(((addr >> 3) % self.senders.len() as u64) as usize)
     }
 
-    fn push_blocking(&self, wid: usize, mut msg: WorkerMsg) {
+    #[inline]
+    fn is_dead(&self, wid: usize) -> bool {
+        self.sup.dead[wid].load(Ordering::Acquire)
+    }
+
+    /// First live worker cyclically after `wid` (exclusive), if any.
+    fn next_live(&self, wid: usize) -> Option<usize> {
+        let w = self.senders.len();
+        (1..w).map(|k| (wid + k) % w).find(|&k| !self.is_dead(k))
+    }
+
+    /// [`Self::owner`], diverted away from dead workers: a surviving
+    /// worker adopts the dead worker's traffic (it sees only the suffix
+    /// after the death, so dependences it finds are exact; dependences
+    /// crossing the failure point are lost and the run is degraded).
+    fn route(&mut self, addr: Address) -> usize {
+        let wid = self.owner(addr);
+        if !self.is_dead(wid) {
+            return wid;
+        }
+        match self.next_live(wid) {
+            Some(f) => {
+                self.rerouted_events += 1;
+                f
+            }
+            // Every worker is dead; deliver() will drop and account.
+            None => wid,
+        }
+    }
+
+    /// How long a single delivery may stay blocked on a full queue. The
+    /// deadline is measured from when the queue *became* continuously
+    /// full (`full_since`), so after one paid deadline subsequent sends
+    /// to a still-stalled worker fail immediately.
+    fn event_drop_after(&self) -> Option<Duration> {
+        match self.cfg.overflow {
+            OverflowPolicy::Block => None,
+            OverflowPolicy::Drop => Some(Duration::from_millis(self.cfg.stall_deadline_ms)),
+        }
+    }
+
+    /// Delivers `msg` to `wid`, spinning with backoff while the queue is
+    /// full. Gives the message back instead of blocking forever when the
+    /// worker is dead (flagged or observed via a closed endpoint), or —
+    /// with `drop_after` set — when the queue has been continuously full
+    /// for that long.
+    fn deliver(
+        &mut self,
+        wid: usize,
+        mut msg: WorkerMsg,
+        drop_after: Option<Duration>,
+    ) -> Result<(), WorkerMsg> {
         let mut backoff = Backoff::new();
         loop {
+            if self.is_dead(wid) {
+                return Err(msg);
+            }
             match self.senders[wid].push(msg) {
-                Ok(()) => return,
+                Ok(()) => {
+                    self.full_since[wid] = None;
+                    return Ok(());
+                }
                 Err(back) => {
                     msg = back;
+                    if self.senders[wid].is_closed() {
+                        self.sup.dead[wid].store(true, Ordering::Release);
+                        return Err(msg);
+                    }
+                    let now = Instant::now();
+                    let since = *self.full_since[wid].get_or_insert(now);
+                    if let Some(limit) = drop_after {
+                        if now.duration_since(since) >= limit {
+                            return Err(msg);
+                        }
+                    }
                     backoff.snooze();
                 }
             }
@@ -205,8 +373,16 @@ where
             return;
         }
         let chunk = std::mem::replace(&mut self.pending[wid], self.pool.acquire());
-        self.push_blocking(wid, WorkerMsg::Events(chunk));
-        self.chunks_pushed += 1;
+        match self.deliver(wid, WorkerMsg::Events(chunk), self.event_drop_after()) {
+            Ok(()) => self.chunks_pushed += 1,
+            Err(WorkerMsg::Events(chunk)) => {
+                // Dead or stalled worker: account for every lost event so
+                // the degraded profile quantifies exactly what is missing.
+                self.dropped[wid] += chunk.len() as u64;
+                self.pool.release(chunk);
+            }
+            Err(_) => unreachable!("deliver returns the message it was given"),
+        }
         if !self.inflight.is_empty() {
             self.poll_responses();
         }
@@ -229,6 +405,21 @@ where
         }
     }
 
+    /// Delivers a migration's buffered accesses to `target` (diverted if
+    /// the target died), after the `Inject` — per-address order preserved.
+    fn replay_buffered(&mut self, target: usize, buffered: Vec<TraceEvent>) {
+        let dest = if self.is_dead(target) { self.next_live(target) } else { Some(target) };
+        match dest {
+            Some(t) => {
+                for ev in buffered {
+                    self.append(t, ev);
+                }
+            }
+            // Every worker is dead: the buffer is lost, but accounted.
+            None => self.dropped[target] += buffered.len() as u64,
+        }
+    }
+
     fn poll_responses(&mut self) {
         // Non-reentrant: appends below can flush, and flushing polls. The
         // outer invocation keeps draining, so skipping the nested call
@@ -237,15 +428,63 @@ where
             return;
         }
         self.in_poll = true;
+        self.resolve_dead_migrations();
         while let Some(RouterMsg::Extracted { addr, read, write }) = self.resp.pop() {
-            let inf =
-                self.inflight.remove(&addr).expect("extracted response for unknown migration");
-            self.push_blocking(inf.target, WorkerMsg::Inject { addr, read, write });
-            for ev in inf.buffered {
-                self.append(inf.target, ev);
+            // A reply with no pending migration (its migration was
+            // cancelled after the source was presumed dead, and the reply
+            // arrived anyway) is counted and ignored — it must not kill
+            // the router.
+            let Some(inf) = self.inflight.remove(&addr) else {
+                self.spurious_replies += 1;
+                continue;
+            };
+            let mut target = inf.target;
+            if self.is_dead(target) {
+                match self.next_live(target) {
+                    Some(f) => {
+                        // Divert the migration to a surviving worker.
+                        self.rules.insert(addr, f);
+                        target = f;
+                    }
+                    None => {
+                        self.cancelled_migrations += 1;
+                        self.dropped[inf.target] += inf.buffered.len() as u64;
+                        continue;
+                    }
+                }
             }
+            if self
+                .deliver(target, WorkerMsg::Inject { addr, read, write }, self.event_drop_after())
+                .is_err()
+            {
+                // Stalled target: the extracted state is lost; the
+                // buffered suffix still goes through normal (accounted)
+                // delivery below.
+                self.cancelled_migrations += 1;
+            }
+            self.replay_buffered(target, inf.buffered);
         }
         self.in_poll = false;
+    }
+
+    /// Cancels migrations whose source died before replying: the reply
+    /// will never come, so the buffered accesses are released to the
+    /// target with fresh state instead of being held forever.
+    fn resolve_dead_migrations(&mut self) {
+        if self.inflight.is_empty() {
+            return;
+        }
+        let stuck: Vec<Address> = self
+            .inflight
+            .iter()
+            .filter(|(_, inf)| self.sup.dead[inf.source].load(Ordering::Acquire))
+            .map(|(&a, _)| a)
+            .collect();
+        for addr in stuck {
+            let inf = self.inflight.remove(&addr).expect("collected from the same map");
+            self.cancelled_migrations += 1;
+            self.replay_buffered(inf.target, inf.buffered);
+        }
     }
 
     /// Section IV-A: keep the `top_k` hottest addresses evenly spread.
@@ -278,14 +517,33 @@ where
         let mut moved = false;
         for (rank, &(addr, _)) in top.iter().enumerate() {
             let desired = rank % w;
-            if self.owner(addr) != desired && !self.inflight.contains_key(&addr) {
-                let old = self.owner(addr);
-                // Order: everything routed so far must precede Extract.
-                self.flush(old);
-                self.rules.insert(addr, desired);
-                self.inflight.insert(addr, Inflight { target: desired, buffered: Vec::new() });
-                self.push_blocking(old, WorkerMsg::Extract { addr });
-                moved = true;
+            let old = self.owner(addr);
+            // A migration needs both endpoints alive: a dead source has
+            // no state to extract, a dead target nothing to inject into.
+            if old == desired
+                || self.inflight.contains_key(&addr)
+                || self.is_dead(old)
+                || self.is_dead(desired)
+            {
+                continue;
+            }
+            // Order: everything routed so far must precede Extract.
+            self.flush(old);
+            let prev = self.rules.insert(addr, desired);
+            self.inflight
+                .insert(addr, Inflight { source: old, target: desired, buffered: Vec::new() });
+            match self.deliver(old, WorkerMsg::Extract { addr }, self.event_drop_after()) {
+                Ok(()) => moved = true,
+                Err(_) => {
+                    // Unreachable source: cancel the migration and restore
+                    // the previous routing.
+                    self.inflight.remove(&addr);
+                    match prev {
+                        Some(p) => self.rules.insert(addr, p),
+                        None => self.rules.remove(&addr),
+                    };
+                    self.cancelled_migrations += 1;
+                }
             }
         }
         if moved {
@@ -295,34 +553,105 @@ where
     }
 
     /// Completes migrations, drains the pipeline, joins the workers and
-    /// merges their results.
+    /// merges their results. Every wait is bounded by
+    /// [`ProfilerConfig::drain_deadline_ms`]: a dead or unresponsive
+    /// worker degrades the profile (see [`ProfileStats::degraded`])
+    /// instead of hanging or aborting the caller.
     pub fn finish(mut self) -> ProfileResult {
-        while !self.inflight.is_empty() {
+        let drain = Duration::from_millis(self.cfg.drain_deadline_ms.max(1));
+        let deadline = Instant::now() + drain;
+        while !self.inflight.is_empty() && Instant::now() < deadline {
             self.poll_responses();
+            if self.inflight.is_empty() {
+                break;
+            }
             std::thread::yield_now();
         }
+        // Migrations still pending past the deadline (a dropped reply, a
+        // stalled source) are cancelled: the buffered accesses reach the
+        // target with fresh state rather than being lost in limbo.
+        if !self.inflight.is_empty() {
+            let addrs: Vec<Address> = self.inflight.keys().copied().collect();
+            for addr in addrs {
+                let inf = self.inflight.remove(&addr).expect("keys from the same map");
+                self.cancelled_migrations += 1;
+                self.replay_buffered(inf.target, inf.buffered);
+            }
+        }
         self.flush_all();
-        for wid in 0..self.senders.len() {
-            self.push_blocking(wid, WorkerMsg::Shutdown);
+        let w = self.senders.len();
+        let mut shutdown_ok = vec![false; w];
+        for (wid, ok) in shutdown_ok.iter_mut().enumerate() {
+            // Shutdown delivery is always bounded: nothing but a stalled
+            // worker can keep its queue full for the whole drain deadline
+            // once the producer has stopped feeding it.
+            match self.deliver(wid, WorkerMsg::Shutdown, Some(drain)) {
+                Ok(()) => *ok = true,
+                Err(_) => self.sup.abandon[wid].store(true, Ordering::Release),
+            }
         }
         let mut stats = ProfileStats::default();
         let mut global = DepStore::new();
         let mut exec_tree = crate::exectree::ExecTree::new();
         let mut sig_mem = 0usize;
-        let mut per_worker_events = Vec::with_capacity(self.handles.len());
-        for h in self.handles.drain(..) {
-            let out = h.join().expect("worker panicked");
-            stats.absorb(out.counters);
-            sig_mem += out.sig_mem;
-            per_worker_events.push(out.counters.accesses);
-            global.merge(out.store);
-            exec_tree.merge(&out.exec_tree);
+        let mut per_worker_events = Vec::with_capacity(w);
+        let mut failures: Vec<WorkerFailure> = Vec::new();
+        let grace = Duration::from_millis(self.cfg.drain_deadline_ms.clamp(50, 500));
+        let handles = std::mem::take(&mut self.handles);
+        for (wid, h) in handles.into_iter().enumerate() {
+            let wait = if shutdown_ok[wid] { drain } else { grace };
+            let (exit, abandoned) = join_within(h, &self.sup.abandon[wid], wait, grace);
+            let healthy = shutdown_ok[wid] && !abandoned;
+            match exit {
+                Some(WorkerExit::Finished(out)) => {
+                    if !healthy {
+                        // Partial results salvaged from a worker that had
+                        // to be abandoned (e.g. an injected stall).
+                        failures.push(WorkerFailure {
+                            worker: wid,
+                            workers: w,
+                            cause: FailureCause::Unresponsive,
+                        });
+                    }
+                    stats.absorb(out.counters);
+                    sig_mem += out.sig_mem;
+                    per_worker_events.push(out.counters.accesses);
+                    global.merge(out.store);
+                    exec_tree.merge(&out.exec_tree);
+                }
+                Some(WorkerExit::Panicked { payload }) => {
+                    failures.push(WorkerFailure {
+                        worker: wid,
+                        workers: w,
+                        cause: FailureCause::Panic(payload),
+                    });
+                    per_worker_events.push(0);
+                }
+                None => {
+                    // Never exited within the deadline; the thread is
+                    // detached rather than blocking finish() forever.
+                    failures.push(WorkerFailure {
+                        worker: wid,
+                        workers: w,
+                        cause: FailureCause::Unresponsive,
+                    });
+                    per_worker_events.push(0);
+                }
+            }
         }
         stats.deps_built = global.deps_built();
         stats.deps_merged = global.merged_len();
         stats.chunks_pushed = self.chunks_pushed;
         stats.redistributions = self.redistributions;
         stats.redistributed_addrs = self.rules.len() as u64;
+        stats.dropped_events = self.dropped.iter().sum();
+        if stats.dropped_events > 0 {
+            stats.dropped_per_worker = self.dropped.clone();
+        }
+        stats.rerouted_events = self.rerouted_events;
+        stats.cancelled_migrations = self.cancelled_migrations;
+        stats.spurious_replies = self.spurious_replies;
+        stats.worker_failures = failures;
         let entry = std::mem::size_of::<(Address, u64)>() + 1;
         let memory = MemoryReport {
             signatures: sig_mem,
@@ -357,7 +686,7 @@ where
                     inf.buffered.push(ev);
                     self.poll_responses();
                 } else {
-                    let wid = self.owner(a.addr);
+                    let wid = self.route(a.addr);
                     self.append(wid, ev);
                 }
             }
@@ -368,22 +697,30 @@ where
                     // Loop context is needed by every worker for carried
                     // classification.
                     for wid in 0..self.pending.len() {
-                        self.append(wid, ev);
+                        if !self.is_dead(wid) {
+                            self.append(wid, ev);
+                        }
                     }
                 } else {
-                    self.append(0, ev);
+                    let wid = if self.is_dead(0) { self.next_live(0).unwrap_or(0) } else { 0 };
+                    self.append(wid, ev);
                 }
             }
             TraceEvent::CallBegin { .. } | TraceEvent::CallEnd { .. } => {
                 // Structural events feed the execution tree, recorded by
-                // worker 0 only.
-                self.append(0, ev);
+                // worker 0 only. (If worker 0 died the tree is part of
+                // what the degraded run lost; the divert below just keeps
+                // delivery from blocking.)
+                let wid = if self.is_dead(0) { self.next_live(0).unwrap_or(0) } else { 0 };
+                self.append(wid, ev);
             }
             TraceEvent::Dealloc { .. } => {
                 // Every worker forgets the range (removing an address a
                 // worker never owned is a harmless no-op).
                 for wid in 0..self.pending.len() {
-                    self.append(wid, ev);
+                    if !self.is_dead(wid) {
+                        self.append(wid, ev);
+                    }
                 }
             }
         }
@@ -394,31 +731,163 @@ where
     }
 }
 
+/// Waits for a worker thread to end, escalating rather than blocking:
+/// poll for `wait`, then raise the abandon flag and poll for `grace`
+/// more, then give up and leave the thread detached. Returns the exit
+/// (None if the thread never finished) and whether it was abandoned.
+fn join_within(
+    h: JoinHandle<WorkerExit>,
+    abandon: &AtomicBool,
+    wait: Duration,
+    grace: Duration,
+) -> (Option<WorkerExit>, bool) {
+    let mut abandoned = abandon.load(Ordering::Acquire);
+    let end = Instant::now() + wait;
+    while !h.is_finished() && Instant::now() < end {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if !h.is_finished() && !abandoned {
+        abandon.store(true, Ordering::Release);
+        abandoned = true;
+        let end = Instant::now() + grace;
+        while !h.is_finished() && Instant::now() < end {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    if h.is_finished() {
+        let exit = match h.join() {
+            Ok(e) => e,
+            // A panic that somehow escaped the worker's catch_unwind.
+            Err(p) => WorkerExit::Panicked { payload: panic_message(&*p) },
+        };
+        (Some(exit), abandoned)
+    } else {
+        (None, abandoned)
+    }
+}
+
+/// Best-effort stringification of a panic payload.
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Injected panic/stall hook, called at the top of every worker-loop
+/// iteration. Returns true when an (injected) stalled worker has been
+/// abandoned and should exit so its partial results can be salvaged.
+#[cfg(feature = "fault-inject")]
+fn fault_pause_or_panic(
+    wid: usize,
+    chunks_done: u64,
+    fault: &FaultRt,
+    abandon: &AtomicBool,
+) -> bool {
+    if let Some(f) = fault.plan.panic_worker {
+        if f.worker == wid && chunks_done >= f.after_chunks {
+            panic!("injected fault: worker {wid} panicked after {} chunks", f.after_chunks);
+        }
+    }
+    if let Some(f) = fault.plan.stall_worker {
+        if f.worker == wid && chunks_done >= f.after_chunks {
+            // Stop consuming; stay alive until the supervisor gives up on
+            // us, then exit without draining (a stalled worker's queued
+            // events are part of what the degraded run lost).
+            while !abandon.load(Ordering::Acquire) {
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+fn fault_pause_or_panic(_: usize, _: u64, _: &FaultRt, _: &AtomicBool) -> bool {
+    false
+}
+
+/// Injected reply-loss hook: true when this `Extracted` reply is the one
+/// the plan says to swallow.
+#[cfg(feature = "fault-inject")]
+fn fault_drop_reply(fault: &FaultRt) -> bool {
+    match fault.plan.drop_nth_extract_reply {
+        Some(n) => fault.extract_replies.fetch_add(1, Ordering::Relaxed) == n,
+        None => false,
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+fn fault_drop_reply(_: &FaultRt) -> bool {
+    false
+}
+
+/// Supervised entry point of a worker thread: contains panics (flagging
+/// `dead[wid]` before the thread exits so the router fails fast) and
+/// reports the exit kind to the supervisor in `finish()`.
 fn worker_loop<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
+    wid: usize,
+    q: R,
+    pool: Arc<ChunkPool>,
+    resp: Arc<MpmcQueue<RouterMsg>>,
+    algo: AlgoState<S>,
+    sup: Arc<Supervision>,
+    fault: Arc<FaultRt>,
+) -> WorkerExit {
+    let supc = sup.clone();
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        run_worker(wid, q, pool, resp, algo, &supc, &fault)
+    }));
+    match out {
+        Ok(out) => WorkerExit::Finished(out),
+        Err(payload) => {
+            sup.dead[wid].store(true, Ordering::Release);
+            WorkerExit::Panicked { payload: panic_message(&*payload) }
+        }
+    }
+}
+
+fn run_worker<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
+    wid: usize,
     q: R,
     pool: Arc<ChunkPool>,
     resp: Arc<MpmcQueue<RouterMsg>>,
     mut algo: AlgoState<S>,
+    sup: &Supervision,
+    fault: &FaultRt,
 ) -> WorkerOutput {
     let mut backoff = Backoff::new();
+    let mut chunks_done = 0u64;
     loop {
+        if fault_pause_or_panic(wid, chunks_done, fault, &sup.abandon[wid]) {
+            break;
+        }
         match q.pop() {
             Some(WorkerMsg::Events(chunk)) => {
                 for ev in chunk.events() {
                     algo.on_event(ev);
                 }
                 pool.release(chunk);
+                chunks_done += 1;
                 backoff.reset();
             }
             Some(WorkerMsg::Extract { addr }) => {
                 let (read, write) = algo.extract(addr);
-                let mut msg = RouterMsg::Extracted { addr, read, write };
-                loop {
-                    match resp.push(msg) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            msg = back;
-                            std::thread::yield_now();
+                if !fault_drop_reply(fault) {
+                    let mut msg = RouterMsg::Extracted { addr, read, write };
+                    loop {
+                        match resp.push(msg) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                msg = back;
+                                std::thread::yield_now();
+                            }
                         }
                     }
                 }
@@ -541,6 +1010,7 @@ mod tests {
         let r = p.finish();
         assert_eq!(r.stats.accesses, 128);
         assert_eq!(r.workers, 4);
+        assert!(!r.degraded(), "healthy run must not be degraded: {:?}", r.stats);
         // One INIT record and one RAW record (all merged).
         assert_eq!(r.stats.deps_merged, 2);
         let raw = r.deps.dependences().find(|(d, _)| d.edge.dtype == DepType::Raw).unwrap();
@@ -693,5 +1163,63 @@ mod tests {
         let rec = r.deps.loop_record(1).unwrap();
         assert_eq!(rec.instances, 1);
         assert_eq!(rec.total_iters, 3);
+    }
+
+    /// An injected worker panic must degrade the profile, not abort the
+    /// process: the supervisor salvages every surviving worker's
+    /// dependences and records which residue class died.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn worker_panic_degrades_instead_of_aborting() {
+        let c =
+            cfg(4).with_fault_plan(FaultPlan::none().with_panic(2, 0)).with_drain_deadline_ms(500);
+        let mut p: LockFreeProfiler<PerfectSignature> =
+            ParallelProfiler::new(c, PerfectSignature::new);
+        // Worker k owns addresses with (addr >> 3) % 4 == k; give each
+        // worker its own address and a W→R pair on distinct lines.
+        for k in 0..4u64 {
+            let addr = 0x1000 + k * 8;
+            p.event(acc(AccessKind::Write, addr, k + 1, 10 + k as u32));
+        }
+        for k in 0..4u64 {
+            let addr = 0x1000 + k * 8;
+            p.event(acc(AccessKind::Read, addr, 100 + k, 20 + k as u32));
+        }
+        let r = p.finish();
+        assert!(r.degraded());
+        assert_eq!(r.stats.worker_failures.len(), 1);
+        let f = &r.stats.worker_failures[0];
+        assert_eq!(f.worker, 2);
+        assert_eq!(f.workers, 4);
+        assert!(matches!(&f.cause, FailureCause::Panic(m) if m.contains("injected fault")));
+        // Surviving workers' RAWs (lines 20, 21, 23) are all present.
+        for k in [0u32, 1, 3] {
+            assert!(
+                r.deps
+                    .dependences()
+                    .any(|(d, _)| d.edge.dtype == DepType::Raw && d.sink.loc.line == 20 + k),
+                "surviving worker {k}'s RAW missing"
+            );
+        }
+    }
+
+    /// A chaotic transport (seeded spurious full/empty) is lossless, so
+    /// the profile must be bit-identical to a clean run.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn chaotic_transport_profile_is_exact() {
+        use dp_queue::FailingTransport;
+        let plan = FaultPlan::none().with_seed(42).with_spurious(20, 20);
+        let transport = FailingTransport::new(SpscTransport, plan);
+        let mut p: ParallelProfiler<PerfectSignature, _> =
+            ParallelProfiler::with_transport(transport, cfg(3), PerfectSignature::new);
+        for i in 0..64u64 {
+            p.event(acc(AccessKind::Write, i * 8, i * 2 + 1, 1));
+            p.event(acc(AccessKind::Read, i * 8, i * 2 + 2, 2));
+        }
+        let r = p.finish();
+        assert!(!r.degraded(), "{:?}", r.stats);
+        assert_eq!(r.stats.deps_merged, 2);
+        assert_eq!(r.stats.accesses, 128);
     }
 }

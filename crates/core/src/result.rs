@@ -28,8 +28,49 @@ impl MemoryReport {
     }
 }
 
+/// Why a profiling worker was lost mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The worker's thread panicked; the payload (if it was a string) is
+    /// preserved for diagnostics.
+    Panic(String),
+    /// The worker stopped consuming its queue and did not exit within
+    /// the drain deadline; it was abandoned by the supervisor.
+    Unresponsive,
+}
+
+/// Record of a lost worker: which one, out of how many, and why. The
+/// worker id pins down exactly which addresses the degraded profile is
+/// missing — under Formula 1 (with the 8-byte alignment shifted out)
+/// worker `k` of `W` owns every address with `(addr >> 3) % W == k`,
+/// except where redistribution rules moved an address elsewhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// Id of the failed worker.
+    pub worker: usize,
+    /// Total workers in the run (so the owned residue class is
+    /// reconstructible from the record alone).
+    pub workers: usize,
+    /// What happened.
+    pub cause: FailureCause,
+}
+
+impl std::fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {}/{} (addresses with (addr>>3) % {} == {}) ",
+            self.worker, self.workers, self.workers, self.worker
+        )?;
+        match &self.cause {
+            FailureCause::Panic(msg) => write!(f, "panicked: {msg}"),
+            FailureCause::Unresponsive => write!(f, "unresponsive, abandoned"),
+        }
+    }
+}
+
 /// Aggregate run statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ProfileStats {
     /// Events processed across all workers.
     pub events: u64,
@@ -53,6 +94,23 @@ pub struct ProfileStats {
     pub reversed: u64,
     /// Addresses dropped by variable-lifetime analysis.
     pub lifetime_removals: u64,
+    /// Events the router dropped (dead or stalled workers under
+    /// [`OverflowPolicy::Drop`](crate::config::OverflowPolicy)); sum of
+    /// `dropped_per_worker`.
+    pub dropped_events: u64,
+    /// Per-worker breakdown of `dropped_events` (indexed by the worker
+    /// the events were destined for). Empty when nothing was dropped.
+    pub dropped_per_worker: Vec<u64>,
+    /// Events re-routed away from a dead worker to a surviving one.
+    pub rerouted_events: u64,
+    /// In-flight migrations cancelled because a participant died or the
+    /// drain deadline expired.
+    pub cancelled_migrations: u64,
+    /// `Extracted` replies that matched no pending migration (logged and
+    /// ignored instead of killing the router).
+    pub spurious_replies: u64,
+    /// Workers lost mid-run. Empty on a healthy run.
+    pub worker_failures: Vec<WorkerFailure>,
 }
 
 impl ProfileStats {
@@ -64,6 +122,13 @@ impl ProfileStats {
         self.writes += c.writes;
         self.reversed += c.reversed;
         self.lifetime_removals += c.lifetime_removals;
+    }
+
+    /// True when the profile is incomplete: a worker was lost or events
+    /// were dropped. Dependences present are still exact; dependences
+    /// involving lost events are missing.
+    pub fn degraded(&self) -> bool {
+        !self.worker_failures.is_empty() || self.dropped_events > 0
     }
 }
 
@@ -103,6 +168,12 @@ impl ProfileResult {
         }
     }
 
+    /// True when the run lost a worker or dropped events; see
+    /// [`ProfileStats::degraded`].
+    pub fn degraded(&self) -> bool {
+        self.stats.degraded()
+    }
+
     /// The E9 merge factor: dynamic records per distinct record.
     pub fn merge_factor(&self) -> f64 {
         if self.stats.deps_merged == 0 {
@@ -121,6 +192,24 @@ mod tests {
     fn memory_total_sums() {
         let m = MemoryReport { signatures: 1, queues: 2, chunks: 3, dep_store: 4, stats_maps: 5 };
         assert_eq!(m.total(), 15);
+    }
+
+    #[test]
+    fn degraded_flags() {
+        let mut r = ProfileResult::default();
+        assert!(!r.degraded());
+        r.stats.dropped_events = 1;
+        assert!(r.degraded());
+        let mut r = ProfileResult::default();
+        r.stats.worker_failures.push(WorkerFailure {
+            worker: 2,
+            workers: 8,
+            cause: FailureCause::Panic("boom".into()),
+        });
+        assert!(r.degraded());
+        let shown = r.stats.worker_failures[0].to_string();
+        assert!(shown.contains("worker 2/8"), "{shown}");
+        assert!(shown.contains("panicked: boom"), "{shown}");
     }
 
     #[test]

@@ -24,19 +24,28 @@
 //! - [`WorkerQueue`] — the trait the profiling engines are generic over,
 //!   so the lock-free and lock-based pipelines share all other code.
 //! - [`Backoff`] — bounded exponential spin/yield backoff for the
-//!   producer-full and consumer-empty paths.
+//!   producer-full and consumer-empty paths; [`DeadlineBackoff`] bounds
+//!   the wait itself, turning an unbounded hang on a stalled worker into
+//!   an accountable decision.
+//! - [`FaultPlan`] / [`fault`] — deterministic fault injection (worker
+//!   panics, stalls, dropped migration replies, seeded transport chaos)
+//!   so every recovery path is exercised by reproducible tests.
 
 #![warn(missing_docs)]
 
 pub mod backoff;
 pub mod chunk;
+pub mod fault;
 pub mod lockq;
 pub mod mpmc;
 pub mod spsc;
 pub mod traits;
 
-pub use backoff::Backoff;
+pub use backoff::{Backoff, DeadlineBackoff};
 pub use chunk::{Chunk, ChunkPool};
+#[cfg(feature = "fault-inject")]
+pub use fault::FailingTransport;
+pub use fault::{FaultPlan, WorkerFault};
 pub use lockq::LockQueue;
 pub use mpmc::MpmcQueue;
 pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};

@@ -94,6 +94,13 @@ impl<T> SpscProducer<T> {
         self.inner.mask + 1
     }
 
+    /// True once the [`SpscConsumer`] has been dropped (the worker thread
+    /// holding it exited). A full ring with a closed consumer will never
+    /// drain, so producers use this to fail fast instead of spinning.
+    pub fn is_closed(&self) -> bool {
+        Arc::strong_count(&self.inner) <= 1
+    }
+
     /// Bytes attributable to this ring (counted once, on the producer
     /// side, which the profiling engine keeps alive for accounting after
     /// the consumer has moved into its worker thread).
@@ -174,6 +181,14 @@ mod tests {
             }
         }
         h.join().unwrap();
+    }
+
+    #[test]
+    fn closed_consumer_is_observable() {
+        let (p, c) = spsc_ring::<u32>(4);
+        assert!(!p.is_closed());
+        drop(c);
+        assert!(p.is_closed());
     }
 
     #[test]

@@ -97,6 +97,12 @@ pub trait TransportSender<T>: Send {
     /// 7/8). Counted on the sender side because the engine keeps senders
     /// alive until after the workers are joined.
     fn memory_usage(&self) -> usize;
+    /// True once the receiving endpoint has been dropped — i.e. the
+    /// worker thread holding it has exited, cleanly or by panic. A full
+    /// queue whose sender is closed will never drain; producers check
+    /// this in their backoff loops so a dead worker fails pushes fast
+    /// instead of hanging the instrumented program forever.
+    fn is_closed(&self) -> bool;
 }
 
 /// The consuming endpoint of a per-worker channel, moved into the worker.
@@ -108,14 +114,22 @@ pub trait TransportReceiver<T>: Send {
 /// A factory for per-worker channels; the profiling engine is generic
 /// over this, so the SPSC, MPMC and lock-based builds share every other
 /// line of code.
+///
+/// Channel creation is an *instance* method so a transport can carry
+/// per-run state — the fault-injection wrapper
+/// ([`FailingTransport`](crate::fault::FailingTransport)) carries a
+/// [`FaultPlan`](crate::fault::FaultPlan) and derives each endpoint's
+/// seeded behaviour from the worker id it is built for. The plain
+/// transports are stateless unit values ([`Default`]).
 pub trait Transport<T>: 'static {
     /// Endpoint kept by the router (the instrumented program's thread).
     type Sender: TransportSender<T> + 'static;
     /// Endpoint moved into the worker thread.
     type Receiver: TransportReceiver<T> + 'static;
 
-    /// Creates one channel with room for at least `cap` elements.
-    fn channel(cap: usize) -> (Self::Sender, Self::Receiver);
+    /// Creates the channel feeding worker `wid`, with room for at least
+    /// `cap` elements.
+    fn channel(&self, wid: usize, cap: usize) -> (Self::Sender, Self::Receiver);
 
     /// Short human-readable name for reports ("spsc", "lock-free",
     /// "lock-based").
@@ -126,11 +140,17 @@ pub trait Transport<T>: 'static {
 /// endpoints the same `Arc<Q>`.
 pub struct Shared<Q>(PhantomData<Q>);
 
+impl<Q> Default for Shared<Q> {
+    fn default() -> Self {
+        Shared(PhantomData)
+    }
+}
+
 impl<T: Send, Q: WorkerQueue<T> + 'static> Transport<T> for Shared<Q> {
     type Sender = Arc<Q>;
     type Receiver = Arc<Q>;
 
-    fn channel(cap: usize) -> (Arc<Q>, Arc<Q>) {
+    fn channel(&self, _wid: usize, cap: usize) -> (Arc<Q>, Arc<Q>) {
         let q = Arc::new(Q::with_capacity(cap));
         (q.clone(), q)
     }
@@ -148,6 +168,12 @@ impl<T: Send, Q: WorkerQueue<T>> TransportSender<T> for Arc<Q> {
     fn memory_usage(&self) -> usize {
         WorkerQueue::memory_usage(&**self)
     }
+
+    fn is_closed(&self) -> bool {
+        // Exactly two clones exist per channel (sender, receiver); when
+        // the worker thread ends its clone drops and only ours remains.
+        Arc::strong_count(self) <= 1
+    }
 }
 
 impl<T: Send, Q: WorkerQueue<T>> TransportReceiver<T> for Arc<Q> {
@@ -164,13 +190,14 @@ impl<T: Send, Q: WorkerQueue<T>> TransportReceiver<T> for Arc<Q> {
 /// Only sound when a single thread feeds all workers; the endpoints are
 /// the `!Sync`, `!Clone` SPSC ring halves, so misuse is a compile error,
 /// not a data race.
+#[derive(Default)]
 pub struct SpscTransport;
 
 impl<T: Send + 'static> Transport<T> for SpscTransport {
     type Sender = SpscProducer<T>;
     type Receiver = SpscConsumer<T>;
 
-    fn channel(cap: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+    fn channel(&self, _wid: usize, cap: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
         spsc_ring(cap)
     }
 
@@ -186,6 +213,10 @@ impl<T: Send> TransportSender<T> for SpscProducer<T> {
 
     fn memory_usage(&self) -> usize {
         SpscProducer::memory_usage(self)
+    }
+
+    fn is_closed(&self) -> bool {
+        SpscProducer::is_closed(self)
     }
 }
 
@@ -216,16 +247,20 @@ mod tests {
         exercise::<LockQueue<u32>>();
     }
 
-    fn exercise_transport<X: Transport<u32>>() {
-        let (tx, rx) = X::channel(4);
+    fn exercise_transport<X: Transport<u32> + Default>() {
+        let (tx, rx) = X::default().channel(0, 4);
         tx.push(1).unwrap();
         tx.push(2).unwrap();
         assert_eq!(rx.pop(), Some(1));
         assert!(tx.memory_usage() > 0);
         assert!(!X::kind().is_empty());
+        assert!(!tx.is_closed(), "receiver is still alive");
         // The receiver works from another thread (the worker).
         let h = std::thread::spawn(move || rx.pop());
         assert_eq!(h.join().unwrap(), Some(2));
+        // The worker thread exited and dropped its endpoint: the sender
+        // must observe the closure (this is how dead workers are found).
+        assert!(tx.is_closed(), "{}: closed channel not detected", X::kind());
     }
 
     #[test]

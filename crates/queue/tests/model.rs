@@ -5,8 +5,8 @@
 //! on: FIFO order, capacity behaviour, emptiness).
 
 use dp_queue::{
-    spsc_ring, LockQueue, MpmcQueue, Shared, SpscTransport, Transport, TransportReceiver,
-    TransportSender, WorkerQueue,
+    spsc_ring, FailingTransport, FaultPlan, LockQueue, MpmcQueue, Shared, SpscTransport, Transport,
+    TransportReceiver, TransportSender, WorkerQueue,
 };
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -57,8 +57,8 @@ fn check_against_model<Q: WorkerQueue<u32>>(cap_pow2: usize, ops: &[Op]) {
 /// The same model check, phrased against the split-endpoint [`Transport`]
 /// abstraction the engine is actually generic over. Capacities are powers
 /// of two so the SPSC ring's round-up doesn't change the bound.
-fn check_transport_model<X: Transport<u32>>(cap_pow2: usize, ops: &[Op]) {
-    let (tx, rx) = X::channel(cap_pow2);
+fn check_transport_model<X: Transport<u32>>(transport: &X, cap_pow2: usize, ops: &[Op]) {
+    let (tx, rx) = transport.channel(0, cap_pow2);
     let mut model: VecDeque<u32> = VecDeque::new();
     for &op in ops {
         match op {
@@ -91,10 +91,10 @@ fn check_transport_model<X: Transport<u32>>(cap_pow2: usize, ops: &[Op]) {
 /// sentinel, the worker (another thread) drains until the sentinel. Every
 /// transport must deliver the full backlog, in order, across the thread
 /// boundary.
-fn check_shutdown_drain<X: Transport<u32>>() {
+fn check_shutdown_drain<X: Transport<u32>>(transport: &X) {
     const N: u32 = 10_000;
     const SHUTDOWN: u32 = u32::MAX;
-    let (tx, rx) = X::channel(16);
+    let (tx, rx) = transport.channel(0, 16);
     let worker = std::thread::spawn(move || {
         let mut got = Vec::new();
         loop {
@@ -125,9 +125,21 @@ fn check_shutdown_drain<X: Transport<u32>>() {
 
 #[test]
 fn all_transports_drain_on_shutdown() {
-    check_shutdown_drain::<Shared<MpmcQueue<u32>>>();
-    check_shutdown_drain::<Shared<LockQueue<u32>>>();
-    check_shutdown_drain::<SpscTransport>();
+    check_shutdown_drain(&Shared::<MpmcQueue<u32>>::default());
+    check_shutdown_drain(&Shared::<LockQueue<u32>>::default());
+    check_shutdown_drain(&SpscTransport);
+}
+
+/// The shutdown-drain protocol must also survive queue-level chaos: with
+/// seeded spurious full/empty results both sides retry, and every message
+/// still arrives exactly once, in order.
+#[test]
+fn chaotic_transports_still_drain_on_shutdown() {
+    for seed in [3u64, 17, 99] {
+        let plan = FaultPlan::none().with_seed(seed).with_spurious(25, 25);
+        check_shutdown_drain(&FailingTransport::new(SpscTransport, plan.clone()));
+        check_shutdown_drain(&FailingTransport::new(Shared::<MpmcQueue<u32>>::default(), plan));
+    }
 }
 
 proptest! {
@@ -140,9 +152,16 @@ proptest! {
 
     #[test]
     fn transports_match_model(ops in ops(300), cap_shift in 1u32..6) {
-        check_transport_model::<Shared<MpmcQueue<u32>>>(1 << cap_shift, &ops);
-        check_transport_model::<Shared<LockQueue<u32>>>(1 << cap_shift, &ops);
-        check_transport_model::<SpscTransport>(1 << cap_shift, &ops);
+        check_transport_model(&Shared::<MpmcQueue<u32>>::default(), 1 << cap_shift, &ops);
+        check_transport_model(&Shared::<LockQueue<u32>>::default(), 1 << cap_shift, &ops);
+        check_transport_model(&SpscTransport, 1 << cap_shift, &ops);
+        // A FailingTransport with no scheduled faults is transparent: it
+        // must satisfy the very same bounded-queue model.
+        check_transport_model(
+            &FailingTransport::new(SpscTransport, FaultPlan::none()),
+            1 << cap_shift,
+            &ops,
+        );
     }
 
     #[test]

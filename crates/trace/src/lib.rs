@@ -38,6 +38,6 @@ pub use builder::ProgramBuilder;
 pub use interp::Interp;
 pub use ir::{ArrayId, Expr, FuncId, LocalId, Program, ScalarId, Stmt};
 pub use traced::{TracedCell, TracedVec, TracerHandle};
-pub use tracefile::{TraceReader, TraceWriter};
+pub use tracefile::{TraceFileError, TraceReader, TraceWriter};
 pub use tracer::{CollectFactory, CollectTracer, NullFactory, NullTracer, Tracer, TracerFactory};
 pub use workloads::{Workload, WorkloadMeta};

@@ -10,15 +10,23 @@
 //!
 //! Format (little-endian): magic `DPTR`, a version byte, a variable-name
 //! table (so replayed reports resolve names without the original
-//! program), then one tag byte per event followed by the fields of that
-//! variant. Accesses — the overwhelming majority — encode in 27 bytes.
+//! program), then one record per event: a tag byte, the fixed-width
+//! fields of that variant, and a checksum byte (XOR of tag and fields).
+//! Accesses — the overwhelming majority — encode in 28 bytes.
+//!
+//! The reader fails typed, not loose: [`TraceFileError`] distinguishes a
+//! file that isn't a trace, an unsupported version, a corrupted record
+//! (checksum mismatch, with its byte offset), an unknown tag, and — the
+//! case that matters for crashed recordings — a *torn final record*
+//! (EOF mid-record) from a clean EOF at a record boundary.
 
 use crate::tracer::Tracer;
 use dp_types::{AccessKind, Interner, MemAccess, SourceLoc, TraceEvent};
+use std::fmt;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 
 const MAGIC: &[u8; 4] = b"DPTR";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 const TAG_READ: u8 = 0;
 const TAG_WRITE: u8 = 1;
@@ -29,9 +37,108 @@ const TAG_CALL_BEGIN: u8 = 5;
 const TAG_CALL_END: u8 = 6;
 const TAG_DEALLOC: u8 = 7;
 
+/// Payload size (fields only, excluding tag and checksum) of each record
+/// kind; `None` for tags the format does not define.
+fn payload_len(tag: u8) -> Option<usize> {
+    Some(match tag {
+        TAG_READ | TAG_WRITE => 8 + 8 + 4 + 4 + 2,
+        TAG_LOOP_BEGIN => 4 + 4 + 2 + 8,
+        TAG_LOOP_ITER => 4 + 8 + 2 + 8,
+        TAG_LOOP_END => 4 + 4 + 8 + 2 + 8,
+        TAG_CALL_BEGIN | TAG_CALL_END => 4 + 2 + 8,
+        TAG_DEALLOC => 8 + 8 + 2 + 8,
+        _ => return None,
+    })
+}
+
+const MAX_PAYLOAD: usize = 26;
+
+fn xor_fold(tag: u8, body: &[u8]) -> u8 {
+    body.iter().fold(tag, |x, b| x ^ b)
+}
+
+/// Why a trace file could not be read.
+///
+/// Replay is an offline workflow on files that may have been produced by
+/// a run that crashed mid-recording, copied over a flaky link, or handed
+/// in by mistake; each of those deserves a distinct, reportable error
+/// rather than a generic `InvalidData`.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// The underlying reader failed (not an EOF classified below).
+    Io(io::Error),
+    /// The file does not start with the `DPTR` magic (or is shorter than
+    /// a header) — it is not a depprof trace at all.
+    NotATrace,
+    /// The file is a depprof trace of a format version this build does
+    /// not understand.
+    UnsupportedVersion(u8),
+    /// The variable-name table in the header is malformed.
+    BadNameTable(&'static str),
+    /// A record starts with a tag byte the format does not define; the
+    /// offset is where the record starts.
+    UnknownTag {
+        /// The undefined tag byte.
+        tag: u8,
+        /// Byte offset of the record.
+        offset: u64,
+    },
+    /// A record's checksum byte does not match its contents — the file
+    /// was corrupted in place; the offset is where the record starts.
+    Checksum {
+        /// Byte offset of the record.
+        offset: u64,
+    },
+    /// The file ends in the middle of a record — the recording was cut
+    /// off (crash, full disk, truncated copy). Everything before the
+    /// offset replayed cleanly.
+    TornRecord {
+        /// Byte offset of the incomplete final record.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceFileError::NotATrace => write!(f, "not a depprof trace (bad magic)"),
+            TraceFileError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v} (this build reads version {VERSION})")
+            }
+            TraceFileError::BadNameTable(why) => write!(f, "bad variable-name table: {why}"),
+            TraceFileError::UnknownTag { tag, offset } => {
+                write!(f, "unknown event tag {tag} at byte {offset}")
+            }
+            TraceFileError::Checksum { offset } => {
+                write!(f, "checksum mismatch in record at byte {offset} (corrupted trace)")
+            }
+            TraceFileError::TornRecord { offset } => {
+                write!(f, "trace ends mid-record at byte {offset} (truncated recording)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
 /// Streams trace events to a byte sink.
 pub struct TraceWriter<W: Write> {
     out: BufWriter<W>,
+    rec: Vec<u8>,
     events: u64,
     error: Option<io::Error>,
 }
@@ -56,7 +163,7 @@ impl<W: Write> TraceWriter<W> {
             out.write_all(&(name.len() as u32).to_le_bytes())?;
             out.write_all(name)?;
         }
-        Ok(TraceWriter { out, events: 0, error: None })
+        Ok(TraceWriter { out, rec: Vec::with_capacity(1 + MAX_PAYLOAD), events: 0, error: None })
     }
 
     /// Events written so far.
@@ -74,58 +181,64 @@ impl<W: Write> TraceWriter<W> {
     }
 
     fn emit(&mut self, ev: &TraceEvent) -> io::Result<()> {
-        let o = &mut self.out;
+        // Records are staged in a scratch buffer so the trailing checksum
+        // byte covers exactly the bytes written.
+        let r = &mut self.rec;
+        r.clear();
         match *ev {
             TraceEvent::Access(a) => {
-                o.write_all(&[if a.kind.is_write() { TAG_WRITE } else { TAG_READ }])?;
-                o.write_all(&a.addr.to_le_bytes())?;
-                o.write_all(&a.ts.to_le_bytes())?;
-                o.write_all(&a.loc.pack().to_le_bytes())?;
-                o.write_all(&a.var.to_le_bytes())?;
-                o.write_all(&a.thread.to_le_bytes())?;
+                r.push(if a.kind.is_write() { TAG_WRITE } else { TAG_READ });
+                r.extend_from_slice(&a.addr.to_le_bytes());
+                r.extend_from_slice(&a.ts.to_le_bytes());
+                r.extend_from_slice(&a.loc.pack().to_le_bytes());
+                r.extend_from_slice(&a.var.to_le_bytes());
+                r.extend_from_slice(&a.thread.to_le_bytes());
             }
             TraceEvent::LoopBegin { loop_id, loc, thread, ts } => {
-                o.write_all(&[TAG_LOOP_BEGIN])?;
-                o.write_all(&loop_id.to_le_bytes())?;
-                o.write_all(&loc.pack().to_le_bytes())?;
-                o.write_all(&thread.to_le_bytes())?;
-                o.write_all(&ts.to_le_bytes())?;
+                r.push(TAG_LOOP_BEGIN);
+                r.extend_from_slice(&loop_id.to_le_bytes());
+                r.extend_from_slice(&loc.pack().to_le_bytes());
+                r.extend_from_slice(&thread.to_le_bytes());
+                r.extend_from_slice(&ts.to_le_bytes());
             }
             TraceEvent::LoopIter { loop_id, iter, thread, ts } => {
-                o.write_all(&[TAG_LOOP_ITER])?;
-                o.write_all(&loop_id.to_le_bytes())?;
-                o.write_all(&iter.to_le_bytes())?;
-                o.write_all(&thread.to_le_bytes())?;
-                o.write_all(&ts.to_le_bytes())?;
+                r.push(TAG_LOOP_ITER);
+                r.extend_from_slice(&loop_id.to_le_bytes());
+                r.extend_from_slice(&iter.to_le_bytes());
+                r.extend_from_slice(&thread.to_le_bytes());
+                r.extend_from_slice(&ts.to_le_bytes());
             }
             TraceEvent::LoopEnd { loop_id, loc, iters, thread, ts } => {
-                o.write_all(&[TAG_LOOP_END])?;
-                o.write_all(&loop_id.to_le_bytes())?;
-                o.write_all(&loc.pack().to_le_bytes())?;
-                o.write_all(&iters.to_le_bytes())?;
-                o.write_all(&thread.to_le_bytes())?;
-                o.write_all(&ts.to_le_bytes())?;
+                r.push(TAG_LOOP_END);
+                r.extend_from_slice(&loop_id.to_le_bytes());
+                r.extend_from_slice(&loc.pack().to_le_bytes());
+                r.extend_from_slice(&iters.to_le_bytes());
+                r.extend_from_slice(&thread.to_le_bytes());
+                r.extend_from_slice(&ts.to_le_bytes());
             }
             TraceEvent::CallBegin { func, thread, ts } => {
-                o.write_all(&[TAG_CALL_BEGIN])?;
-                o.write_all(&func.to_le_bytes())?;
-                o.write_all(&thread.to_le_bytes())?;
-                o.write_all(&ts.to_le_bytes())?;
+                r.push(TAG_CALL_BEGIN);
+                r.extend_from_slice(&func.to_le_bytes());
+                r.extend_from_slice(&thread.to_le_bytes());
+                r.extend_from_slice(&ts.to_le_bytes());
             }
             TraceEvent::CallEnd { func, thread, ts } => {
-                o.write_all(&[TAG_CALL_END])?;
-                o.write_all(&func.to_le_bytes())?;
-                o.write_all(&thread.to_le_bytes())?;
-                o.write_all(&ts.to_le_bytes())?;
+                r.push(TAG_CALL_END);
+                r.extend_from_slice(&func.to_le_bytes());
+                r.extend_from_slice(&thread.to_le_bytes());
+                r.extend_from_slice(&ts.to_le_bytes());
             }
             TraceEvent::Dealloc { base, len, thread, ts } => {
-                o.write_all(&[TAG_DEALLOC])?;
-                o.write_all(&base.to_le_bytes())?;
-                o.write_all(&len.to_le_bytes())?;
-                o.write_all(&thread.to_le_bytes())?;
-                o.write_all(&ts.to_le_bytes())?;
+                r.push(TAG_DEALLOC);
+                r.extend_from_slice(&base.to_le_bytes());
+                r.extend_from_slice(&len.to_le_bytes());
+                r.extend_from_slice(&thread.to_le_bytes());
+                r.extend_from_slice(&ts.to_le_bytes());
             }
         }
+        let ck = xor_fold(r[0], &r[1..]);
+        r.push(ck);
+        self.out.write_all(r)?;
         self.events += 1;
         Ok(())
     }
@@ -145,39 +258,47 @@ impl<W: Write> Tracer for TraceWriter<W> {
 pub struct TraceReader<R: Read> {
     input: BufReader<R>,
     interner: Interner,
+    /// Bytes consumed so far — the offset reported in record errors.
+    offset: u64,
     done: bool,
 }
 
 impl<R: Read> TraceReader<R> {
     /// Opens a trace, validating the header and loading the name table.
-    pub fn new(source: R) -> io::Result<Self> {
+    pub fn new(source: R) -> Result<Self, TraceFileError> {
         let mut input = BufReader::new(source);
         let mut hdr = [0u8; 5];
-        input.read_exact(&mut hdr)?;
+        match input.read_exact(&mut hdr) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(TraceFileError::NotATrace)
+            }
+            Err(e) => return Err(e.into()),
+        }
         if &hdr[..4] != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a depprof trace"));
+            return Err(TraceFileError::NotATrace);
         }
         if hdr[4] != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported trace version {}", hdr[4]),
-            ));
+            return Err(TraceFileError::UnsupportedVersion(hdr[4]));
         }
+        let mut offset = 5u64;
         let mut cnt = [0u8; 4];
-        input.read_exact(&mut cnt)?;
+        input.read_exact(&mut cnt).map_err(Self::name_table_eof)?;
+        offset += 4;
         let n = u32::from_le_bytes(cnt);
         let mut interner = Interner::new();
         for id in 0..n {
             let mut len = [0u8; 4];
-            input.read_exact(&mut len)?;
+            input.read_exact(&mut len).map_err(Self::name_table_eof)?;
             let len = u32::from_le_bytes(len) as usize;
             if len > 1 << 20 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "name too long"));
+                return Err(TraceFileError::BadNameTable("name longer than 1 MiB"));
             }
             let mut buf = vec![0u8; len];
-            input.read_exact(&mut buf)?;
+            input.read_exact(&mut buf).map_err(Self::name_table_eof)?;
+            offset += 4 + len as u64;
             let name = String::from_utf8(buf)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad name utf8"))?;
+                .map_err(|_| TraceFileError::BadNameTable("name is not valid UTF-8"))?;
             let got = interner.intern(&name);
             if got != id && id != 0 {
                 // id 0 is the pre-interned "*"; other collisions mean the
@@ -185,7 +306,15 @@ impl<R: Read> TraceReader<R> {
                 continue;
             }
         }
-        Ok(TraceReader { input, interner, done: false })
+        Ok(TraceReader { input, interner, offset, done: false })
+    }
+
+    fn name_table_eof(e: io::Error) -> TraceFileError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceFileError::BadNameTable("truncated name table")
+        } else {
+            TraceFileError::Io(e)
+        }
     }
 
     /// The variable names recorded in the trace.
@@ -193,21 +322,41 @@ impl<R: Read> TraceReader<R> {
         &self.interner
     }
 
-    fn read_event(&mut self) -> io::Result<Option<TraceEvent>> {
+    fn read_event(&mut self) -> Result<Option<TraceEvent>, TraceFileError> {
+        let rec_off = self.offset;
         let mut tag = [0u8; 1];
         match self.input.read_exact(&mut tag) {
-            Ok(()) => {}
+            // EOF at a record boundary is the one legitimate way for a
+            // trace to end.
+            Ok(()) => self.offset += 1,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.into()),
         }
+        let tag = tag[0];
+        let len = payload_len(tag).ok_or(TraceFileError::UnknownTag { tag, offset: rec_off })?;
+        let mut buf = [0u8; MAX_PAYLOAD + 1];
+        let body = &mut buf[..len + 1]; // payload + checksum byte
+        match self.input.read_exact(body) {
+            Ok(()) => self.offset += body.len() as u64,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(TraceFileError::TornRecord { offset: rec_off })
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let (body, ck) = (&buf[..len], buf[len]);
+        if xor_fold(tag, body) != ck {
+            return Err(TraceFileError::Checksum { offset: rec_off });
+        }
+        let mut pos = 0usize;
         macro_rules! get {
             ($ty:ty) => {{
-                let mut b = [0u8; std::mem::size_of::<$ty>()];
-                self.input.read_exact(&mut b)?;
-                <$ty>::from_le_bytes(b)
+                const N: usize = std::mem::size_of::<$ty>();
+                let v = <$ty>::from_le_bytes(body[pos..pos + N].try_into().unwrap());
+                pos += N;
+                v
             }};
         }
-        let ev = match tag[0] {
+        let ev = match tag {
             t @ (TAG_READ | TAG_WRITE) => {
                 let addr = get!(u64);
                 let ts = get!(u64);
@@ -254,21 +403,17 @@ impl<R: Read> TraceReader<R> {
                 thread: get!(u16),
                 ts: get!(u64),
             },
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unknown event tag {other}"),
-                ))
-            }
+            _ => unreachable!("payload_len admitted the tag"),
         };
+        debug_assert_eq!(pos, len);
         Ok(Some(ev))
     }
 }
 
 impl<R: Read> Iterator for TraceReader<R> {
-    type Item = io::Result<TraceEvent>;
+    type Item = Result<TraceEvent, TraceFileError>;
 
-    fn next(&mut self) -> Option<io::Result<TraceEvent>> {
+    fn next(&mut self) -> Option<Result<TraceEvent, TraceFileError>> {
         if self.done {
             return None;
         }
@@ -307,14 +452,17 @@ mod tests {
         ]
     }
 
+    fn record(events: &[TraceEvent]) -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        for ev in events {
+            w.event(*ev);
+        }
+        w.finish().unwrap()
+    }
+
     #[test]
     fn roundtrip_every_variant() {
-        let mut w = TraceWriter::new(Vec::new()).unwrap();
-        for ev in sample_events() {
-            w.event(ev);
-        }
-        assert_eq!(w.events(), 8);
-        let bytes = w.finish().unwrap();
+        let bytes = record(&sample_events());
         let back: Vec<TraceEvent> =
             TraceReader::new(&bytes[..]).unwrap().map(Result::unwrap).collect();
         assert_eq!(back, sample_events());
@@ -322,8 +470,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_version() {
-        assert!(TraceReader::new(&b"NOPE\x01rest"[..]).is_err());
-        assert!(TraceReader::new(&b"DPTR\x63"[..]).is_err());
+        assert!(matches!(TraceReader::new(&b"NOPE\x02rest"[..]), Err(TraceFileError::NotATrace)));
+        assert!(matches!(TraceReader::new(&b"DP"[..]), Err(TraceFileError::NotATrace)));
+        assert!(matches!(
+            TraceReader::new(&b"DPTR\x01"[..]),
+            Err(TraceFileError::UnsupportedVersion(1))
+        ));
     }
 
     #[test]
@@ -342,14 +494,78 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_yields_error() {
-        let mut w = TraceWriter::new(Vec::new()).unwrap();
-        w.event(sample_events()[2]);
-        let mut bytes = w.finish().unwrap();
-        bytes.truncate(bytes.len() - 3);
+    fn truncated_name_table_is_typed() {
+        let full = record(&[]);
+        // Cut inside the header's name-table count.
+        assert!(matches!(
+            TraceReader::new(&full[..7]),
+            Err(TraceFileError::BadNameTable("truncated name table"))
+        ));
+    }
+
+    #[test]
+    fn torn_final_record_is_distinguished_from_clean_eof() {
+        let bytes = record(&sample_events()[2..3]);
+        // Whole file: one event, clean end.
         let items: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
         assert_eq!(items.len(), 1);
-        assert!(items[0].is_err());
+        assert!(items[0].is_ok());
+        // Any cut inside the record is a torn record, never a clean EOF.
+        let header = bytes.len() - (1 + 26 + 1);
+        for cut in header + 1..bytes.len() {
+            let items: Vec<_> = TraceReader::new(&bytes[..cut]).unwrap().collect();
+            assert_eq!(items.len(), 1, "cut at {cut}");
+            assert!(
+                matches!(items[0], Err(TraceFileError::TornRecord { offset }) if offset == header as u64),
+                "cut at {cut}: {:?}",
+                items[0]
+            );
+        }
+        // Cut exactly at the record boundary: zero events, no error.
+        let items: Vec<_> = TraceReader::new(&bytes[..header]).unwrap().collect();
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn corrupted_record_fails_checksum_with_offset() {
+        let evs = sample_events();
+        let clean = record(&evs);
+        // Locate the first record by recording nothing.
+        let header = record(&[]).len();
+        // Flip one payload bit in the *second* record (the first — a
+        // LoopBegin — is tag + 18-byte payload + checksum = 20 bytes).
+        let second = header + 20;
+        let mut bad = clean.clone();
+        bad[second + 3] ^= 0x40;
+        let items: Vec<_> = TraceReader::new(&bad[..]).unwrap().collect();
+        assert!(items[0].is_ok(), "first record untouched");
+        assert!(
+            matches!(items[1], Err(TraceFileError::Checksum { offset }) if offset == second as u64),
+            "{:?}",
+            items[1]
+        );
+        assert_eq!(items.len(), 2, "iteration stops at the corrupt record");
+
+        // A flipped tag lands outside the defined tag range: UnknownTag.
+        let mut bad = clean;
+        bad[header] = 0x77;
+        let items: Vec<_> = TraceReader::new(&bad[..]).unwrap().collect();
+        assert!(
+            matches!(
+                items[0],
+                Err(TraceFileError::UnknownTag { tag: 0x77, offset }) if offset == header as u64
+            ),
+            "{:?}",
+            items[0]
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_failure() {
+        assert!(TraceFileError::TornRecord { offset: 9 }.to_string().contains("truncated"));
+        assert!(TraceFileError::Checksum { offset: 9 }.to_string().contains("corrupted"));
+        assert!(TraceFileError::UnsupportedVersion(1).to_string().contains("version 1"));
+        assert!(TraceFileError::NotATrace.to_string().contains("not a depprof trace"));
     }
 
     #[test]
@@ -370,11 +586,12 @@ mod tests {
         let vm = Interp::new(&p);
         let mut w = TraceWriter::new(Vec::new()).unwrap();
         vm.run_seq(&mut w);
+        assert_eq!(w.events() as usize, live.events.len());
         let bytes = w.finish().unwrap();
         let replayed: Vec<TraceEvent> =
             TraceReader::new(&bytes[..]).unwrap().map(Result::unwrap).collect();
         assert_eq!(replayed, live.events);
-        // ~26 bytes per access event on this workload
-        assert!(bytes.len() < live.events.len() * 32);
+        // ~28 bytes per access event on this workload
+        assert!(bytes.len() < live.events.len() * 33);
     }
 }

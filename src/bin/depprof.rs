@@ -4,7 +4,9 @@
 //! depprof list
 //! depprof profile <workload> [--engine serial|parallel|lock-based|perfect]
 //!                            [--transport spsc|mpmc|lock]
+//!                            [--overflow block|drop]
 //!                            [--workers N] [--slots N] [--scale F]
+//!                            [--inject-panic W@N] [--inject-stall W@N]
 //!                            [--report|--analyze|--dot|--csv]
 //! ```
 //!
@@ -13,10 +15,26 @@
 //! streamcluster tinyjpeg bodytrack h264dec; SPLASH: water-spatial;
 //! synthetic: racy-counter locked-counter). Parallel (pthread-style)
 //! targets are profiled with the multi-threaded engine automatically.
+//!
+//! Exit codes are distinct so scripts and CI can react to each failure
+//! class: `2` usage errors (bad flag, unknown engine), `3` missing or
+//! unopenable inputs (unknown workload, absent trace file), `4` a trace
+//! file that exists but is corrupt or truncated, `5` a profile that
+//! completed *degraded* (worker failures or dropped events — the report
+//! is still printed, with a `WARNING:` banner on stderr).
 
-use depprof::analysis::{Framework, LoopMeta};
-use depprof::core::{report, ProfilerConfig, TransportKind};
+use depprof::analysis::{degradation, Framework, LoopMeta};
+use depprof::core::{report, OverflowPolicy, ProfilerConfig, TransportKind, WorkerFault};
 use depprof::trace::workloads::{nas_suite, splash, starbench_suite, synth, Scale, Workload};
+
+/// Bad command line (unknown flag/engine/value).
+const EXIT_USAGE: i32 = 2;
+/// Input missing: unknown workload, or a file that cannot be opened.
+const EXIT_INPUT: i32 = 3;
+/// The trace file exists but is not a readable trace (corrupt/truncated).
+const EXIT_CORRUPT: i32 = 4;
+/// The run finished but the profile is degraded (losses were recorded).
+const EXIT_DEGRADED: i32 = 5;
 
 struct Args {
     workload: String,
@@ -26,6 +44,9 @@ struct Args {
     scale: f64,
     mode: String,
     transport: Option<TransportKind>,
+    overflow: Option<OverflowPolicy>,
+    inject_panic: Option<WorkerFault>,
+    inject_stall: Option<WorkerFault>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -42,6 +63,9 @@ fn parse() -> Result<Args, String> {
             scale: 0.25,
             mode: "trace".into(),
             transport: None,
+            overflow: None,
+            inject_panic: None,
+            inject_stall: None,
         };
         let mut i = 2;
         while i < argv.len() {
@@ -73,6 +97,9 @@ fn parse() -> Result<Args, String> {
             scale: 0.0,
             mode: String::new(),
             transport: None,
+            overflow: None,
+            inject_panic: None,
+            inject_stall: None,
         });
     }
     if argv[0] != "profile" {
@@ -86,6 +113,9 @@ fn parse() -> Result<Args, String> {
         scale: 0.25,
         mode: "report".into(),
         transport: None,
+        overflow: None,
+        inject_panic: None,
+        inject_stall: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -100,6 +130,30 @@ fn parse() -> Result<Args, String> {
                 a.transport = Some(
                     TransportKind::parse(v)
                         .ok_or_else(|| format!("--transport: unknown kind '{v}'"))?,
+                );
+            }
+            "--overflow" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--overflow needs a value")?;
+                a.overflow = Some(
+                    OverflowPolicy::parse(v)
+                        .ok_or_else(|| format!("--overflow: unknown policy '{v}' (block|drop)"))?,
+                );
+            }
+            "--inject-panic" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--inject-panic needs WORKER@CHUNKS")?;
+                a.inject_panic = Some(
+                    WorkerFault::parse(v)
+                        .ok_or_else(|| format!("--inject-panic: bad spec '{v}' (e.g. 2@5)"))?,
+                );
+            }
+            "--inject-stall" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--inject-stall needs WORKER@CHUNKS")?;
+                a.inject_stall = Some(
+                    WorkerFault::parse(v)
+                        .ok_or_else(|| format!("--inject-stall: bad spec '{v}' (e.g. 2@5)"))?,
                 );
             }
             "--workers" => {
@@ -149,10 +203,14 @@ fn main() {
             eprintln!(
                 "usage:\n  depprof list\n  depprof profile <workload> \
                  [--engine serial|parallel|lock-based|perfect] \
-                 [--transport spsc|mpmc|lock] [--workers N] \
-                 [--slots N] [--scale F] [--report|--analyze|--dot|--csv]"
+                 [--transport spsc|mpmc|lock] [--overflow block|drop] \
+                 [--workers N] [--slots N] [--scale F] \
+                 [--inject-panic W@N] [--inject-stall W@N] \
+                 [--report|--analyze|--dot|--csv]\n  \
+                 depprof record <workload> [--out trace.dptr] [--scale F]\n  \
+                 depprof replay <trace.dptr> [--slots N]"
             );
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
 
@@ -161,33 +219,66 @@ fn main() {
         let path = if args.mode == "trace" { "trace.dptr".to_string() } else { args.mode.clone() };
         let Some(w) = find_workload(&args.workload, Scale(args.scale)) else {
             eprintln!("unknown workload '{}'", args.workload);
-            std::process::exit(2);
+            std::process::exit(EXIT_INPUT);
         };
         if w.meta.parallel {
             eprintln!(
                 "recording multi-threaded targets is not supported (their event order \
                  is schedule-dependent); profile them live with `depprof profile`"
             );
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
-        let file = std::fs::File::create(&path).expect("cannot create trace file");
-        let mut wtr = depprof::trace::TraceWriter::with_names(file, &w.program.interner)
-            .expect("trace header");
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create trace file '{path}': {e}");
+                std::process::exit(EXIT_INPUT);
+            }
+        };
+        let mut wtr = match depprof::trace::TraceWriter::with_names(file, &w.program.interner) {
+            Ok(wtr) => wtr,
+            Err(e) => {
+                eprintln!("cannot write trace header to '{path}': {e}");
+                std::process::exit(EXIT_INPUT);
+            }
+        };
         let vm = depprof::trace::Interp::new(&w.program);
         vm.run_seq(&mut wtr);
         let events = wtr.events();
-        wtr.finish().expect("flush trace");
+        if let Err(e) = wtr.finish() {
+            eprintln!("cannot flush trace to '{path}': {e}");
+            std::process::exit(EXIT_INPUT);
+        }
         eprintln!("recorded {events} events of {} to {path}", w.meta.name);
         return;
     }
     if args.engine == "replay" {
         // `depprof replay trace.dptr [--slots N]`
-        let file = std::fs::File::open(&args.workload).expect("cannot open trace file");
-        let mut reader = depprof::trace::TraceReader::new(file).expect("trace header");
+        let path = &args.workload;
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open trace file '{path}': {e}");
+                std::process::exit(EXIT_INPUT);
+            }
+        };
+        let mut reader = match depprof::trace::TraceReader::new(file) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("'{path}': {e}");
+                std::process::exit(EXIT_CORRUPT);
+            }
+        };
         let interner = reader.interner().clone();
         let mut prof = depprof::core::SequentialProfiler::with_signature(args.slots);
         for ev in &mut reader {
-            prof.on_event(&ev.expect("corrupt trace"));
+            match ev {
+                Ok(ev) => prof.on_event(&ev),
+                Err(e) => {
+                    eprintln!("'{path}': {e}");
+                    std::process::exit(EXIT_CORRUPT);
+                }
+            }
         }
         let result = prof.finish();
         eprintln!("{}", report::summary(&result));
@@ -207,10 +298,21 @@ fn main() {
 
     let Some(w) = find_workload(&args.workload, Scale(args.scale)) else {
         eprintln!("unknown workload '{}' (try `depprof list`)", args.workload);
-        std::process::exit(2);
+        std::process::exit(EXIT_INPUT);
     };
 
-    let cfg = ProfilerConfig::default().with_workers(args.workers).with_slots(args.slots);
+    let mut cfg = ProfilerConfig::default().with_workers(args.workers).with_slots(args.slots);
+    if let Some(p) = args.overflow {
+        cfg = cfg.with_overflow(p);
+    }
+    let mut plan = depprof::core::FaultPlan::none();
+    if let Some(f) = args.inject_panic {
+        plan = plan.with_panic(f.worker, f.after_chunks);
+    }
+    if let Some(f) = args.inject_stall {
+        plan = plan.with_stall(f.worker, f.after_chunks);
+    }
+    cfg = cfg.with_fault_plan(plan);
     let result = if w.meta.parallel {
         eprintln!(
             "profiling {} ({} target threads) with the multi-threaded engine, {} workers ...",
@@ -248,7 +350,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown engine '{other}'");
-                std::process::exit(2);
+                std::process::exit(EXIT_USAGE);
             }
         }
     };
@@ -284,5 +386,16 @@ fn main() {
             }
         }
         _ => unreachable!(),
+    }
+
+    // The dependences that WERE reported are exact; the banner and exit
+    // code make the coverage loss impossible to miss in scripts and CI.
+    let d = degradation(&result);
+    if d.degraded() {
+        for f in &result.stats.worker_failures {
+            eprintln!("WARNING: {f}");
+        }
+        eprintln!("WARNING: {} — expected FNR ~{:.2}%", d.summary(), d.expected_fnr());
+        std::process::exit(EXIT_DEGRADED);
     }
 }

@@ -1,0 +1,249 @@
+//! Deterministic fault-injection suite (scripted via [`FaultPlan`]).
+//!
+//! Each test drives a recovery path of the fault-tolerant pipeline with a
+//! seeded, reproducible fault script: a worker panic mid-run, a stalled
+//! worker under the `drop` overflow policy, torn/corrupted trace files,
+//! and a transport that injects spurious failures. The invariants are the
+//! ones DESIGN.md's failure model promises: no fault ever aborts the
+//! process, losses are counted exactly, and a fault plan that never fires
+//! changes nothing.
+
+use std::time::Instant;
+
+use depprof::core::parallel::{AnyParallelProfiler, ParallelProfiler};
+use depprof::core::{
+    FailureCause, FaultPlan, OverflowPolicy, ProfileResult, ProfilerConfig, SequentialProfiler,
+    SpscProfiler, TransportKind,
+};
+use depprof::queue::{FailingTransport, SpscTransport};
+use depprof::sig::PerfectSignature;
+use depprof::trace::tracefile::TraceFileError;
+use depprof::trace::{TraceReader, TraceWriter};
+use depprof::types::{loc::loc, MemAccess, TraceEvent, Tracer};
+
+const WORKERS: usize = 4;
+
+/// Address owned by worker `k` (Formula 1: `(addr >> 3) % W`): `0x1000`
+/// is `%W`-aligned, so `0x1000 + (k + W*j) * 8` routes to `k`.
+fn addr_of(k: usize, j: u64) -> u64 {
+    0x1000 + (k as u64 + WORKERS as u64 * j) * 8
+}
+
+/// Sink lines encode their owner so baseline dependences can be filtered
+/// per worker: worker `k`'s reads sit at line `2000 + 10*k + j`.
+fn per_worker_stream() -> Vec<TraceEvent> {
+    let mut evs = Vec::new();
+    let mut ts = 0;
+    for k in 0..WORKERS {
+        for j in 0..8u64 {
+            ts += 1;
+            let line = (10 * k as u32) + j as u32;
+            evs.push(TraceEvent::Access(MemAccess::write(
+                addr_of(k, j),
+                ts,
+                loc(1, 1000 + line),
+                1,
+                0,
+            )));
+            ts += 1;
+            evs.push(TraceEvent::Access(MemAccess::read(
+                addr_of(k, j),
+                ts,
+                loc(1, 2000 + line),
+                1,
+                0,
+            )));
+        }
+    }
+    evs
+}
+
+fn run_serial(evs: &[TraceEvent]) -> ProfileResult {
+    let mut p = SequentialProfiler::perfect();
+    for e in evs {
+        p.on_event(e);
+    }
+    p.finish()
+}
+
+fn idents(r: &ProfileResult) -> Vec<(String, u64)> {
+    let mut v: Vec<_> =
+        r.deps.dependences().map(|(d, e)| (format!("{:?}", d.identity()), e.count)).collect();
+    v.sort();
+    v
+}
+
+/// ISSUE scenario: an injected worker panic must degrade the result, not
+/// abort the process, and 100% of the *surviving* workers' dependences
+/// must still be reported.
+#[test]
+fn worker_panic_preserves_all_surviving_workers_dependences() {
+    let evs = per_worker_stream();
+    let serial = run_serial(&evs);
+
+    let cfg = ProfilerConfig::default()
+        .with_workers(WORKERS)
+        .with_chunk_capacity(4)
+        .with_redistribution(false)
+        .with_fault_plan(FaultPlan::none().with_panic(2, 0));
+    let mut p: SpscProfiler<PerfectSignature> = ParallelProfiler::new(cfg, PerfectSignature::new);
+    for e in &evs {
+        p.event(*e);
+    }
+    let r = p.finish();
+
+    assert!(r.degraded(), "a dead worker must mark the profile degraded");
+    assert_eq!(r.stats.worker_failures.len(), 1);
+    let f = &r.stats.worker_failures[0];
+    assert_eq!(f.worker, 2);
+    assert_eq!(f.workers, WORKERS);
+    assert!(matches!(&f.cause, FailureCause::Panic(msg) if msg.contains("injected fault")), "{f}");
+
+    // Every baseline dependence whose sink belongs to a surviving worker
+    // must be present. Sink lines are `1000 + 10k + j` (writes) and
+    // `2000 + 10k + j` (reads), so the owner is `(line % 1000) / 10`.
+    let got = idents(&r);
+    let mut surviving = 0;
+    for (d, e) in serial.deps.dependences() {
+        let owner = (d.sink.loc.line as usize % 1000) / 10;
+        if owner == 2 {
+            continue; // the dead worker's residue class may be lost
+        }
+        surviving += 1;
+        let ident = (format!("{:?}", d.identity()), e.count);
+        assert!(got.contains(&ident), "surviving-worker dependence missing: {}", ident.0);
+    }
+    assert!(surviving > 0, "the filter must leave dependences to check");
+}
+
+/// ISSUE scenario: with `--overflow drop` and a stalled worker, the run
+/// terminates within its deadlines and the drop counters account for
+/// every lost event *exactly*: the ring holds `queue_chunks` chunks of
+/// `chunk_capacity` events, everything beyond that is dropped.
+#[test]
+fn drop_overflow_under_stalled_worker_counts_exactly() {
+    const CHUNK: usize = 16;
+    const QUEUE_CHUNKS: usize = 4; // power of two: the SPSC ring keeps it as-is
+    const N: u64 = 256;
+    let expected_drops = N - (QUEUE_CHUNKS * CHUNK) as u64;
+
+    let mut cfg = ProfilerConfig::default()
+        .with_workers(2)
+        .with_chunk_capacity(CHUNK)
+        .with_redistribution(false)
+        .with_overflow(OverflowPolicy::Drop)
+        .with_stall_deadline_ms(50)
+        .with_drain_deadline_ms(300)
+        .with_fault_plan(FaultPlan::none().with_stall(0, 0));
+    cfg.queue_chunks = QUEUE_CHUNKS;
+
+    let started = Instant::now();
+    let mut p: SpscProfiler<PerfectSignature> = ParallelProfiler::new(cfg, PerfectSignature::new);
+    for j in 0..N {
+        // (0x1000 + 16j) >> 3 is even: every event is owned by worker 0.
+        p.event(TraceEvent::Access(MemAccess::write(
+            0x1000 + j * 16,
+            j + 1,
+            loc(1, 1 + j as u32),
+            1,
+            0,
+        )));
+    }
+    let r = p.finish();
+    let elapsed = started.elapsed();
+
+    assert!(r.degraded());
+    assert_eq!(r.stats.dropped_events, expected_drops, "exact drop accounting");
+    assert_eq!(r.stats.dropped_per_worker, vec![expected_drops, 0]);
+    assert_eq!(r.stats.worker_failures.len(), 1);
+    assert_eq!(r.stats.worker_failures[0].worker, 0);
+    assert!(matches!(r.stats.worker_failures[0].cause, FailureCause::Unresponsive));
+    // 50ms stall deadline + 300ms drain deadline, generously bounded.
+    assert!(elapsed.as_secs() < 5, "blocked for {elapsed:?} despite drop policy");
+}
+
+/// ISSUE scenario: a truncated or corrupted trace is rejected with the
+/// right typed error, never a panic or a silent partial replay.
+#[test]
+fn damaged_traces_fail_typed() {
+    let mut w = TraceWriter::new(Vec::new()).unwrap();
+    for e in per_worker_stream() {
+        w.event(e);
+    }
+    let clean = w.finish().unwrap();
+
+    // Whole file replays.
+    let n = TraceReader::new(&clean[..]).unwrap().map(Result::unwrap).count();
+    assert_eq!(n, per_worker_stream().len());
+
+    // Truncated mid-record: everything before the tear replays, then a
+    // TornRecord — not a clean end, not an io::Error.
+    let cut = &clean[..clean.len() - 7];
+    let items: Vec<_> = TraceReader::new(cut).unwrap().collect();
+    assert_eq!(items.len(), n);
+    assert!(items[..n - 1].iter().all(Result::is_ok));
+    assert!(matches!(items[n - 1], Err(TraceFileError::TornRecord { .. })), "{:?}", items[n - 1]);
+
+    // One flipped payload bit: the record's checksum catches it.
+    let mut corrupt = clean.clone();
+    let last_record = corrupt.len() - 10;
+    corrupt[last_record] ^= 0x01;
+    let items: Vec<_> = TraceReader::new(&corrupt[..]).unwrap().collect();
+    assert!(matches!(items.last().unwrap(), Err(TraceFileError::Checksum { .. })));
+
+    // Not a trace at all.
+    assert!(matches!(
+        TraceReader::new(&b"PNG\x89 definitely not"[..]),
+        Err(TraceFileError::NotATrace)
+    ));
+}
+
+/// A fault plan that never fires must change nothing: every transport
+/// still reproduces the serial engine's exact dependence set.
+#[test]
+fn every_transport_equals_serial_with_inert_fault_plan() {
+    let evs = per_worker_stream();
+    let expected = idents(&run_serial(&evs));
+    for kind in [TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock] {
+        let cfg = ProfilerConfig::default()
+            .with_workers(3)
+            .with_chunk_capacity(8)
+            .with_transport(kind)
+            .with_fault_plan(FaultPlan::none());
+        let mut p: AnyParallelProfiler<PerfectSignature> =
+            AnyParallelProfiler::new(cfg, PerfectSignature::new);
+        for e in &evs {
+            p.event(*e);
+        }
+        let r = p.finish();
+        assert!(!r.degraded(), "transport {kind:?}: {:?}", r.stats.worker_failures);
+        assert_eq!(expected, idents(&r), "transport {kind:?}");
+    }
+}
+
+/// A transport that spuriously fails sends and receives (seeded, so
+/// reproducible) only costs retries: the dependence set stays exact and
+/// the run is NOT degraded. Several seeds, so CI sweeps distinct
+/// interleavings of the injected failures.
+#[test]
+fn chaotic_transport_stays_exact_across_seeds() {
+    let evs = per_worker_stream();
+    let expected = idents(&run_serial(&evs));
+    let seeds: Vec<u64> = match std::env::var("DEPPROF_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("DEPPROF_CHAOS_SEED must be an integer")],
+        Err(_) => vec![1, 7, 42, 1234],
+    };
+    for seed in seeds {
+        let plan = FaultPlan::none().with_seed(seed).with_spurious(25, 25);
+        let transport = FailingTransport::new(SpscTransport, plan);
+        let cfg = ProfilerConfig::default().with_workers(3).with_chunk_capacity(8);
+        let mut p: ParallelProfiler<PerfectSignature, _> =
+            ParallelProfiler::with_transport(transport, cfg, PerfectSignature::new);
+        for e in &evs {
+            p.event(*e);
+        }
+        let r = p.finish();
+        assert!(!r.degraded(), "seed {seed}: {:?}", r.stats.worker_failures);
+        assert_eq!(expected, idents(&r), "seed {seed}");
+    }
+}

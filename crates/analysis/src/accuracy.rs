@@ -63,6 +63,12 @@ pub struct Degradation {
     pub observed_events: u64,
     /// Events the router dropped (dead/stalled workers).
     pub dropped_events: u64,
+    /// Event copies the router diverted from a dead owner to a surviving
+    /// worker (coverage preserved, per-worker attribution changed).
+    pub rerouted_events: u64,
+    /// Events still sitting in abandoned workers' queues when the drain
+    /// deadline expired.
+    pub in_flight_at_shutdown: u64,
     /// Ids of workers lost mid-run.
     pub failed_workers: Vec<usize>,
     /// Total workers in the run.
@@ -75,6 +81,8 @@ impl Degradation {
         Degradation {
             observed_events: r.stats.events,
             dropped_events: r.stats.dropped_events,
+            rerouted_events: r.metrics.conservation.rerouted,
+            in_flight_at_shutdown: r.metrics.conservation.in_flight_at_shutdown,
             failed_workers: r.stats.worker_failures.iter().map(|f| f.worker).collect(),
             workers: r.workers,
         }
@@ -123,11 +131,17 @@ impl Degradation {
                 self.workers
             )
         };
+        let rerouted = if self.rerouted_events == 0 {
+            String::new()
+        } else {
+            format!(", {} events rerouted", self.rerouted_events)
+        };
         format!(
-            "profile degraded ({} events dropped, {:.2}% of stream{})",
+            "profile degraded ({} events dropped, {:.2}% of stream{}{})",
             self.dropped_events,
             self.loss_rate(),
-            workers
+            workers,
+            rerouted
         )
     }
 }
@@ -266,6 +280,11 @@ mod tests {
         let s = d.summary();
         assert!(s.contains("100 events dropped"), "{s}");
         assert!(s.contains("worker 2 of 4 failed"), "{s}");
+        // Rerouting is only mentioned when it happened.
+        assert!(!s.contains("rerouted"), "{s}");
+        r.metrics.conservation.rerouted = 7;
+        let s = degradation(&r).summary();
+        assert!(s.contains(", 7 events rerouted"), "{s}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::exectree::{ExecNodeKind, ExecTree};
 use crate::loops::{CarrierInfo, LoopTracker};
 use crate::store::DepStore;
+use dp_metrics::SigGauges;
 use dp_sig::{AccessStore, SigEntry};
 use dp_types::{
     AccessKind, DepFlags, DepType, LoopId, MemAccess, SinkKey, SourceLoc, ThreadId, Timestamp,
@@ -79,6 +80,23 @@ impl Default for AlgoOptions {
             section_shift: 0,
         }
     }
+}
+
+/// Formula 2 in reverse: from a signature's observed occupancy, estimate
+/// how many distinct addresses were inserted (`E[occ] = m(1 − (1−1/m)ⁿ)`
+/// solved for `n`), then feed that back through
+/// [`dp_sig::predicted_fpr`]. Exact stores (`m == 0`) report 0 — they
+/// have no false positives by construction.
+fn gauge_fpr_pct(m: usize, occupied: usize) -> f64 {
+    if m == 0 || occupied == 0 {
+        return 0.0;
+    }
+    if occupied >= m {
+        return 100.0;
+    }
+    let frac = occupied as f64 / m as f64;
+    let n = ((1.0 - frac).ln() / (1.0 - 1.0 / m as f64).ln()).ceil() as u64;
+    dp_sig::predicted_fpr(m, n) * 100.0
 }
 
 #[inline]
@@ -288,6 +306,23 @@ impl<S: AccessStore> AlgoState<S> {
     /// Read-side signature occupancy (diagnostics).
     pub fn occupancy(&self) -> (usize, usize) {
         (self.sig_read.occupied(), self.sig_write.occupied())
+    }
+
+    /// Observability gauges over both signatures: occupied slots, fixed
+    /// slot capacity (0 for exact stores), cumulative evictions and an
+    /// occupancy-based false-positive-rate estimate (Formula 2 inverted:
+    /// the observed occupancy pins down the effective insert count, which
+    /// [`dp_sig::predicted_fpr`] turns back into a rate). Must be read
+    /// before [`AlgoState::finish`] consumes the state.
+    pub fn sig_gauges(&self) -> SigGauges {
+        let est_read = gauge_fpr_pct(self.sig_read.slot_capacity(), self.sig_read.occupied());
+        let est_write = gauge_fpr_pct(self.sig_write.slot_capacity(), self.sig_write.occupied());
+        SigGauges {
+            occupied_slots: (self.sig_read.occupied() + self.sig_write.occupied()) as u64,
+            total_slots: (self.sig_read.slot_capacity() + self.sig_write.slot_capacity()) as u64,
+            evictions: self.sig_read.evictions() + self.sig_write.evictions(),
+            est_fpr_pct: est_read.max(est_write),
+        }
     }
 
     /// The sink location a dependence on `addr` would currently use as its
@@ -515,6 +550,34 @@ mod tests {
         let coarse = mk(4);
         assert!(coarse < fine, "coarse {coarse} fine {fine}");
         assert!(coarse <= 3, "coarse {coarse}"); // one INIT section + ~1 RAW section pair
+    }
+
+    #[test]
+    fn sig_gauges_cover_both_stores() {
+        let mut s = perfect();
+        s.on_event(&acc(AccessKind::Write, 0x8, 1, 10));
+        s.on_event(&acc(AccessKind::Write, 0x8, 2, 11)); // re-insert: 1 eviction
+        s.on_event(&acc(AccessKind::Read, 0x8, 3, 12));
+        let g = s.sig_gauges();
+        assert_eq!(g.occupied_slots, 2, "one read entry + one write entry");
+        assert_eq!(g.total_slots, 0, "exact stores have no fixed capacity");
+        assert_eq!(g.evictions, 1);
+        assert_eq!(g.est_fpr_pct, 0.0, "exact stores never produce false positives");
+
+        let sig = || Signature::<ExtendedSlot>::new(8);
+        let mut s = AlgoState::new(
+            sig(),
+            sig(),
+            AlgoOptions { track_carried: false, ..AlgoOptions::default() },
+        );
+        for i in 0..4u64 {
+            s.on_event(&acc(AccessKind::Write, 0x1000 + i * 8, i + 1, 1));
+        }
+        let g = s.sig_gauges();
+        assert_eq!(g.total_slots, 16, "read + write signatures of 8 slots each");
+        assert!(g.occupied_slots >= 1 && g.occupied_slots <= 4);
+        assert!(g.est_fpr_pct > 0.0, "a partially full signature has nonzero predicted FPR");
+        assert!(g.est_fpr_pct <= 100.0);
     }
 
     #[test]

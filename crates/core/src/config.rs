@@ -1,5 +1,6 @@
 //! Profiler configuration.
 
+use dp_metrics::ObserverHandle;
 use dp_queue::FaultPlan;
 
 /// What the router does when a worker's queue has been continuously full
@@ -129,6 +130,9 @@ pub struct ProfilerConfig {
     /// [`FaultPlan::none()`] — the default — injects nothing and the
     /// hooks compile out unless the `fault-inject` feature is on).
     pub fault_plan: FaultPlan,
+    /// Observer notified of redistribution rounds, worker failures and
+    /// the final metrics snapshot. Defaults to no observer.
+    pub observer: ObserverHandle,
 }
 
 impl Default for ProfilerConfig {
@@ -147,6 +151,7 @@ impl Default for ProfilerConfig {
             stall_deadline_ms: 100,
             drain_deadline_ms: 2_000,
             fault_plan: FaultPlan::none(),
+            observer: ObserverHandle::none(),
         }
     }
 }
@@ -214,6 +219,12 @@ impl ProfilerConfig {
     /// Builder-style setter for the fault-injection plan.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Builder-style setter for the pipeline observer.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
         self
     }
 }

@@ -50,6 +50,9 @@ pub use result::{FailureCause, MemoryReport, ProfileResult, ProfileStats, Worker
 // Re-exported so downstream code can script faults without depending on
 // dp-queue directly.
 pub use dp_queue::{FaultPlan, WorkerFault};
+// Re-exported so downstream code can read snapshots and install
+// observers without depending on dp-metrics directly.
+pub use dp_metrics::{Conservation, MetricsSnapshot, ObserverHandle, PipelineObserver, SigGauges};
 pub use seq::{offload_sequential, SequentialProfiler};
 pub use store::{DepStore, EdgeVal, LoopRecord};
 

@@ -34,10 +34,14 @@
 
 use crate::algo::{AlgoOptions, AlgoState};
 use crate::config::{OverflowPolicy, ProfilerConfig};
-use crate::parallel::{panic_message, WorkerMsg};
+use crate::parallel::{panic_message, EngineMetrics, WorkerMsg};
 use crate::result::{FailureCause, MemoryReport, ProfileResult, ProfileStats, WorkerFailure};
 use crate::store::DepStore;
-use dp_queue::{Backoff, Chunk, ChunkPool, MpmcQueue};
+use dp_metrics::{
+    ChunkStats, Conservation, MetricsSnapshot, ObserverHandle, PhaseTimings, SigGauges, Stopwatch,
+    WorkerMetrics,
+};
+use dp_queue::{Backoff, ChannelTap, Chunk, ChunkPool, MpmcQueue};
 use dp_sig::AccessStore;
 use dp_types::{ThreadId, TraceEvent, Tracer, TracerFactory};
 use parking_lot::Mutex;
@@ -46,7 +50,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-type WorkerResult = (DepStore, crate::exectree::ExecTree, crate::algo::AlgoCounters, usize);
+type WorkerResult =
+    (DepStore, crate::exectree::ExecTree, crate::algo::AlgoCounters, usize, SigGauges);
 
 /// How a supervised MT worker thread ended.
 enum MtExit {
@@ -68,6 +73,13 @@ struct MtShared {
     dropped: Vec<AtomicU64>,
     overflow: OverflowPolicy,
     stall_deadline_ms: u64,
+    /// Conservation ledger (same law as the sequential pipeline, with
+    /// `rerouted` pinned to zero — MT never diverts dead-worker traffic).
+    metrics: EngineMetrics,
+    /// Per-queue traffic taps. MT queues are raw [`MpmcQueue`]s shared by
+    /// many producers, so the taps are fed inline here instead of through
+    /// the `MeteredSender`/`MeteredReceiver` decorators.
+    taps: Vec<ChannelTap>,
 }
 
 impl MtShared {
@@ -90,6 +102,7 @@ impl MtShared {
     ) -> Result<(), WorkerMsg> {
         let mut backoff = Backoff::new();
         let mut deadline: Option<Instant> = None;
+        let mut waited_since: Option<Instant> = None;
         loop {
             if self.dead[wid].load(Ordering::Acquire) {
                 return Err(msg);
@@ -97,10 +110,18 @@ impl MtShared {
             match self.queues[wid].push(msg) {
                 Ok(()) => {
                     self.stalled[wid].store(false, Ordering::Relaxed);
+                    let tap = &self.taps[wid];
+                    let n = tap.pushes.inc();
+                    tap.high_water.record(n.saturating_sub(tap.pops.get()));
+                    if let Some(since) = waited_since {
+                        self.metrics.stall[wid].add(since.elapsed().as_nanos() as u64);
+                    }
                     return Ok(());
                 }
                 Err(back) => {
                     msg = back;
+                    self.taps[wid].push_fulls.inc();
+                    waited_since.get_or_insert_with(Instant::now);
                     if let Some(limit) = drop_after {
                         if self.stalled[wid].load(Ordering::Acquire) {
                             return Err(msg);
@@ -121,6 +142,7 @@ impl MtShared {
     fn account_drop(&self, wid: usize, msg: WorkerMsg) {
         if let WorkerMsg::Events(chunk) = msg {
             self.dropped[wid].fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            self.metrics.dropped[wid].add(chunk.len() as u64);
             self.pool.release(chunk);
         }
     }
@@ -136,6 +158,7 @@ pub struct MtThreadTracer {
 
 impl MtThreadTracer {
     fn append(&mut self, wid: usize, ev: TraceEvent) {
+        self.shared.metrics.pushed.inc();
         self.pending[wid].push(ev);
         if self.pending[wid].is_full() {
             self.flush(wid);
@@ -147,10 +170,12 @@ impl MtThreadTracer {
             return;
         }
         let chunk = std::mem::replace(&mut self.pending[wid], self.shared.pool.acquire());
+        let len = chunk.len() as u64;
         let drop_after = self.shared.drop_after();
         match self.shared.deliver(wid, WorkerMsg::Events(chunk), drop_after) {
             Ok(()) => {
                 self.shared.chunks_pushed.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.enqueued[wid].add(len);
             }
             Err(msg) => self.shared.account_drop(wid, msg),
         }
@@ -199,6 +224,8 @@ pub struct MtProfiler {
     shared: Arc<MtShared>,
     handles: Mutex<Vec<JoinHandle<MtExit>>>,
     drain_deadline_ms: u64,
+    observer: ObserverHandle,
+    timer: Stopwatch,
 }
 
 impl MtProfiler {
@@ -227,6 +254,8 @@ impl MtProfiler {
             dropped: (0..w).map(|_| AtomicU64::new(0)).collect(),
             overflow: cfg.overflow,
             stall_deadline_ms: cfg.stall_deadline_ms,
+            metrics: EngineMetrics::new(w),
+            taps: (0..w).map(|_| ChannelTap::default()).collect(),
         });
         let mut handles = Vec::with_capacity(w);
         for wid in 0..w {
@@ -249,6 +278,8 @@ impl MtProfiler {
             shared,
             handles: Mutex::new(handles),
             drain_deadline_ms: cfg.drain_deadline_ms,
+            observer: cfg.observer,
+            timer: Stopwatch::start(),
         }
     }
 
@@ -257,6 +288,8 @@ impl MtProfiler {
     /// when a worker was lost. Call only after the target program has
     /// fully finished (all target threads joined).
     pub fn finish(self) -> ProfileResult {
+        let feed_nanos = self.timer.elapsed_nanos();
+        let drain_timer = Stopwatch::start();
         let w = self.shared.queues.len();
         let drain = Duration::from_millis(self.drain_deadline_ms.max(1));
         let shutdown_ok: Vec<bool> = (0..w)
@@ -268,6 +301,7 @@ impl MtProfiler {
         let mut sig_mem = 0usize;
         let mut per_worker_events = Vec::new();
         let mut failures: Vec<WorkerFailure> = Vec::new();
+        let mut gauges = SigGauges::default();
         let grace = Duration::from_millis(self.drain_deadline_ms.clamp(50, 500));
         for (wid, h) in self.handles.into_inner().into_iter().enumerate() {
             let wait = if shutdown_ok[wid] { drain } else { grace };
@@ -291,7 +325,7 @@ impl MtProfiler {
                 Err(p) => MtExit::Panicked { payload: panic_message(&*p) },
             };
             match exit {
-                MtExit::Finished((store, tree, counters, mem)) => {
+                MtExit::Finished((store, tree, counters, mem, g)) => {
                     if !shutdown_ok[wid] {
                         failures.push(WorkerFailure {
                             worker: wid,
@@ -299,6 +333,10 @@ impl MtProfiler {
                             cause: FailureCause::Unresponsive,
                         });
                     }
+                    gauges.occupied_slots += g.occupied_slots;
+                    gauges.total_slots += g.total_slots;
+                    gauges.evictions += g.evictions;
+                    gauges.est_fpr_pct = gauges.est_fpr_pct.max(g.est_fpr_pct);
                     stats.absorb(counters);
                     sig_mem += mem;
                     per_worker_events.push(counters.accesses);
@@ -325,6 +363,9 @@ impl MtProfiler {
             stats.dropped_per_worker = dropped;
         }
         stats.worker_failures = failures;
+        for f in &stats.worker_failures {
+            self.observer.on_worker_failure(f.worker);
+        }
         let memory = MemoryReport {
             signatures: sig_mem,
             queues: self.shared.queues.iter().map(|q| q.memory_usage()).sum(),
@@ -333,7 +374,81 @@ impl MtProfiler {
             stats_maps: 0,
         };
         let workers = self.shared.queues.len();
-        ProfileResult { deps: global, exec_tree, stats, memory, workers, per_worker_events }
+        let metrics = if dp_metrics::ENABLED {
+            let m = &self.shared.metrics;
+            let mut conservation = Conservation { pushed: m.pushed.get(), ..Default::default() };
+            let mut per_worker = Vec::with_capacity(w);
+            let mut stall_total = 0u64;
+            let mut chunks_consumed = 0u64;
+            for wid in 0..w {
+                // Read `enqueued` first and clamp `consumed` to it: a
+                // worker abandoned as unresponsive may still be draining
+                // its queue concurrently with this snapshot, and the clamp
+                // keeps the consumed/in-flight split internally consistent
+                // (the producer-side counters are exact by construction).
+                let enqueued = m.enqueued[wid].get();
+                let consumed = m.consumed[wid].get().min(enqueued);
+                let in_flight = enqueued - consumed;
+                let dropped = m.dropped[wid].get();
+                let stall = m.stall[wid].get();
+                conservation.consumed += consumed;
+                conservation.dropped += dropped;
+                conservation.in_flight_at_shutdown += in_flight;
+                stall_total += stall;
+                chunks_consumed += m.consumed_chunks[wid].get();
+                per_worker.push(WorkerMetrics {
+                    worker: wid,
+                    enqueued,
+                    consumed,
+                    dropped,
+                    in_flight,
+                    consumed_chunks: m.consumed_chunks[wid].get(),
+                    stall_nanos: stall,
+                });
+            }
+            let drain_nanos = drain_timer.elapsed_nanos();
+            MetricsSnapshot {
+                enabled: true,
+                workers: w,
+                conservation,
+                chunks: ChunkStats {
+                    pushed: self.shared.chunks_pushed.load(Ordering::Relaxed),
+                    consumed: chunks_consumed,
+                    queue_highwater: self
+                        .shared
+                        .taps
+                        .iter()
+                        .map(|t| t.high_water.get())
+                        .max()
+                        .unwrap_or(0),
+                    push_retries: self.shared.taps.iter().map(|t| t.push_fulls.get()).sum(),
+                    empty_pops: self.shared.taps.iter().map(|t| t.empty_pops.get()).sum(),
+                },
+                stall_nanos: stall_total,
+                signatures: gauges,
+                // The MT router is distributed across target threads, so
+                // there is no central hot-address table to report.
+                hot_addresses: Vec::new(),
+                per_worker,
+                timings: PhaseTimings {
+                    feed_nanos,
+                    drain_nanos,
+                    total_nanos: feed_nanos + drain_nanos,
+                },
+            }
+        } else {
+            MetricsSnapshot::default()
+        };
+        self.observer.on_finish(&metrics);
+        ProfileResult {
+            deps: global,
+            exec_tree,
+            stats,
+            memory,
+            workers,
+            per_worker_events,
+            metrics,
+        }
     }
 }
 
@@ -398,8 +513,19 @@ fn run_mt_worker<S: AccessStore>(
     let mut chunks_done = 0u64;
     loop {
         mt_fault_panic(wid, chunks_done, &plan);
-        match shared.queues[wid].pop() {
+        let msg = shared.queues[wid].pop();
+        if msg.is_some() {
+            shared.taps[wid].pops.inc();
+        } else {
+            shared.taps[wid].empty_pops.inc();
+        }
+        match msg {
             Some(WorkerMsg::Events(chunk)) => {
+                // Consumed means *off the queue*: counted before
+                // processing, so events lost to a mid-chunk panic are
+                // still accounted as consumed rather than in-flight.
+                shared.metrics.consumed[wid].add(chunk.len() as u64);
+                shared.metrics.consumed_chunks[wid].inc();
                 for ev in chunk.events() {
                     algo.on_event(ev);
                 }
@@ -413,7 +539,9 @@ fn run_mt_worker<S: AccessStore>(
             None => backoff.snooze(),
         }
     }
-    algo.finish()
+    let gauges = algo.sig_gauges();
+    let (store, tree, counters, mem) = algo.finish();
+    (store, tree, counters, mem, gauges)
 }
 
 #[cfg(test)]

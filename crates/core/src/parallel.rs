@@ -65,9 +65,13 @@ use crate::algo::{AlgoCounters, AlgoOptions, AlgoState};
 use crate::config::{OverflowPolicy, ProfilerConfig, TransportKind};
 use crate::result::{FailureCause, MemoryReport, ProfileResult, ProfileStats, WorkerFailure};
 use crate::store::DepStore;
+use dp_metrics::{
+    ChunkStats, Conservation, Counter, HotAddress, MetricsSnapshot, PhaseTimings, SigGauges,
+    Stopwatch, WorkerMetrics,
+};
 use dp_queue::{
-    Backoff, Chunk, ChunkPool, FaultPlan, MpmcQueue, Shared, SpscTransport, Transport,
-    TransportReceiver, TransportSender,
+    Backoff, ChannelTap, Chunk, ChunkPool, FaultPlan, MeteredReceiver, MeteredSender, MpmcQueue,
+    Shared, SpscTransport, Transport, TransportReceiver, TransportSender,
 };
 use dp_sig::{AccessStore, SigEntry};
 use dp_types::{Address, FxHashMap, TraceEvent, Tracer};
@@ -108,6 +112,7 @@ struct WorkerOutput {
     exec_tree: crate::exectree::ExecTree,
     counters: AlgoCounters,
     sig_mem: usize,
+    gauges: SigGauges,
 }
 
 /// How a supervised worker thread ended.
@@ -145,6 +150,9 @@ impl Supervision {
 /// workers. Always present (so [`ProfilerConfig`] needs no feature gate);
 /// every hook that consults it compiles to nothing without the
 /// `fault-inject` feature.
+// Fields are only read by the `fault-inject` hooks; the struct is kept
+// unconditionally so call sites don't need feature gates.
+#[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
 struct FaultRt {
     plan: FaultPlan,
     extract_replies: AtomicU64,
@@ -160,6 +168,70 @@ struct Inflight {
     buffered: Vec<TraceEvent>,
 }
 
+/// The event-conservation ledger, shared by the router and every worker.
+///
+/// The invariant the counters are built to prove (and the metrics test
+/// suite checks across every transport and chaos seed):
+///
+/// ```text
+/// pushed == consumed + dropped + rerouted + in_flight_at_shutdown
+/// ```
+///
+/// where `in_flight[w] = enqueued[w] − consumed[w]`. Rerouted copies are
+/// a *terminal* disposition: they are counted once at routing time and
+/// marked in their chunk ([`Chunk::mark_rerouted`]), and every downstream
+/// tap (enqueue, drop, consume) excludes the marks, keeping the law's
+/// columns disjoint. All counters are `dp-metrics` primitives — relaxed
+/// atomics with the `metrics` feature, zero-sized no-ops without it.
+pub(crate) struct EngineMetrics {
+    /// Events appended to a pending chunk, plus migration buffers dropped
+    /// before ever reaching a chunk (those count `pushed` and `dropped`
+    /// at the same instant).
+    pub(crate) pushed: Counter,
+    /// Event copies diverted away from a dead owner at routing time.
+    pub(crate) rerouted: Counter,
+    /// Per worker: events inside successfully enqueued chunks, rerouted
+    /// marks excluded.
+    pub(crate) enqueued: Vec<Counter>,
+    /// Per worker: events dropped at the flush tap or from migration
+    /// buffers, rerouted marks excluded.
+    pub(crate) dropped: Vec<Counter>,
+    /// Per worker: events popped off the queue (counted at pop, before
+    /// processing — "consumed" means *removed from the queue*), rerouted
+    /// marks excluded.
+    pub(crate) consumed: Vec<Counter>,
+    /// Per worker: event chunks popped off the queue.
+    pub(crate) consumed_chunks: Vec<Counter>,
+    /// Per worker: nanoseconds the router spent blocked on the worker's
+    /// continuously-full queue.
+    pub(crate) stall: Vec<Counter>,
+}
+
+impl EngineMetrics {
+    pub(crate) fn new(workers: usize) -> Self {
+        let col = |_| Counter::new();
+        EngineMetrics {
+            pushed: Counter::new(),
+            rerouted: Counter::new(),
+            enqueued: (0..workers).map(col).collect(),
+            dropped: (0..workers).map(col).collect(),
+            consumed: (0..workers).map(col).collect(),
+            consumed_chunks: (0..workers).map(col).collect(),
+            stall: (0..workers).map(col).collect(),
+        }
+    }
+}
+
+/// Everything a worker thread shares with the router, bundled so the
+/// spawn path hands over one value.
+struct WorkerCtx {
+    pool: Arc<ChunkPool>,
+    resp: Arc<MpmcQueue<RouterMsg>>,
+    sup: Arc<Supervision>,
+    fault: Arc<FaultRt>,
+    metrics: Arc<EngineMetrics>,
+}
+
 /// The parallel profiler. Implements [`Tracer`], so the instrumented
 /// program pushes events into it directly; call
 /// [`ParallelProfiler::finish`] afterwards.
@@ -169,11 +241,18 @@ struct Inflight {
 /// compiler enforces the single-producer contract the SPSC fast path
 /// relies on.
 pub struct ParallelProfiler<S: AccessStore + 'static, X: Transport<WorkerMsg>> {
-    senders: Vec<X::Sender>,
+    senders: Vec<MeteredSender<X::Sender>>,
     pool: Arc<ChunkPool>,
     resp: Arc<MpmcQueue<RouterMsg>>,
     handles: Vec<JoinHandle<WorkerExit>>,
     sup: Arc<Supervision>,
+    /// Per-worker channel taps (push/pop/depth counters shared with the
+    /// metered endpoints).
+    taps: Vec<Arc<ChannelTap>>,
+    /// The conservation ledger shared with the workers.
+    metrics: Arc<EngineMetrics>,
+    /// Started at construction; splits feed from drain in the snapshot.
+    timer: Stopwatch,
     pending: Vec<Chunk>,
     counts: FxHashMap<Address, u64>,
     rules: FxHashMap<Address, usize>,
@@ -218,10 +297,16 @@ where
         let sup = Arc::new(Supervision::new(w));
         let fault =
             Arc::new(FaultRt { plan: cfg.fault_plan.clone(), extract_replies: AtomicU64::new(0) });
+        let metrics = Arc::new(EngineMetrics::new(w));
         let mut senders = Vec::with_capacity(w);
+        let mut taps = Vec::with_capacity(w);
         let mut handles = Vec::with_capacity(w);
         for wid in 0..w {
             let (tx, rx) = transport.channel(wid, cfg.queue_chunks);
+            let tap = ChannelTap::shared();
+            let tx = MeteredSender::new(tx, tap.clone());
+            let rx = MeteredReceiver::new(rx, tap.clone());
+            taps.push(tap);
             let algo = AlgoState::new(
                 make_store(),
                 make_store(),
@@ -234,13 +319,14 @@ where
                     section_shift: 0,
                 },
             );
-            let poolc = pool.clone();
-            let respc = resp.clone();
-            let supc = sup.clone();
-            let faultc = fault.clone();
-            handles.push(std::thread::spawn(move || {
-                worker_loop(wid, rx, poolc, respc, algo, supc, faultc)
-            }));
+            let ctx = WorkerCtx {
+                pool: pool.clone(),
+                resp: resp.clone(),
+                sup: sup.clone(),
+                fault: fault.clone(),
+                metrics: metrics.clone(),
+            };
+            handles.push(std::thread::spawn(move || worker_loop(wid, rx, algo, ctx)));
             senders.push(tx);
         }
         let pending = (0..w).map(|_| pool.acquire()).collect();
@@ -250,6 +336,9 @@ where
             resp,
             handles,
             sup,
+            taps,
+            metrics,
+            timer: Stopwatch::start(),
             pending,
             counts: FxHashMap::default(),
             rules: FxHashMap::default(),
@@ -294,18 +383,21 @@ where
     /// worker adopts the dead worker's traffic (it sees only the suffix
     /// after the death, so dependences it finds are exact; dependences
     /// crossing the failure point are lost and the run is degraded).
-    fn route(&mut self, addr: Address) -> usize {
+    /// The second element is true when the event was diverted — the
+    /// caller marks the copy rerouted in its chunk so the conservation
+    /// ledger's downstream taps can exclude it.
+    fn route(&mut self, addr: Address) -> (usize, bool) {
         let wid = self.owner(addr);
         if !self.is_dead(wid) {
-            return wid;
+            return (wid, false);
         }
         match self.next_live(wid) {
             Some(f) => {
                 self.rerouted_events += 1;
-                f
+                (f, true)
             }
             // Every worker is dead; deliver() will drop and account.
-            None => wid,
+            None => (wid, false),
         }
     }
 
@@ -338,7 +430,12 @@ where
             }
             match self.senders[wid].push(msg) {
                 Ok(()) => {
-                    self.full_since[wid] = None;
+                    if let Some(since) = self.full_since[wid].take() {
+                        // The queue had been continuously full: the wait
+                        // just ended, charge it to this worker's stall
+                        // account.
+                        self.metrics.stall[wid].add(since.elapsed().as_nanos() as u64);
+                    }
                     return Ok(());
                 }
                 Err(back) => {
@@ -362,7 +459,20 @@ where
 
     #[inline]
     fn append(&mut self, wid: usize, ev: TraceEvent) {
+        self.append_routed(wid, ev, false);
+    }
+
+    /// [`Self::append`] with the routing verdict: a diverted copy is
+    /// counted rerouted once, here, and marked in its chunk so the
+    /// enqueue/drop/consume taps exclude it downstream.
+    #[inline]
+    fn append_routed(&mut self, wid: usize, ev: TraceEvent, diverted: bool) {
+        self.metrics.pushed.inc();
         self.pending[wid].push(ev);
+        if diverted {
+            self.metrics.rerouted.inc();
+            self.pending[wid].mark_rerouted();
+        }
         if self.pending[wid].is_full() {
             self.flush(wid);
         }
@@ -373,12 +483,18 @@ where
             return;
         }
         let chunk = std::mem::replace(&mut self.pending[wid], self.pool.acquire());
+        // Rerouted copies were already accounted at routing time.
+        let unmarked = (chunk.len() - chunk.rerouted()) as u64;
         match self.deliver(wid, WorkerMsg::Events(chunk), self.event_drop_after()) {
-            Ok(()) => self.chunks_pushed += 1,
+            Ok(()) => {
+                self.chunks_pushed += 1;
+                self.metrics.enqueued[wid].add(unmarked);
+            }
             Err(WorkerMsg::Events(chunk)) => {
                 // Dead or stalled worker: account for every lost event so
                 // the degraded profile quantifies exactly what is missing.
                 self.dropped[wid] += chunk.len() as u64;
+                self.metrics.dropped[wid].add(unmarked);
                 self.pool.release(chunk);
             }
             Err(_) => unreachable!("deliver returns the message it was given"),
@@ -416,7 +532,13 @@ where
                 }
             }
             // Every worker is dead: the buffer is lost, but accounted.
-            None => self.dropped[target] += buffered.len() as u64,
+            // These events never reached a chunk, so the conservation
+            // ledger counts them pushed and dropped at the same instant.
+            None => {
+                self.dropped[target] += buffered.len() as u64;
+                self.metrics.pushed.add(buffered.len() as u64);
+                self.metrics.dropped[target].add(buffered.len() as u64);
+            }
         }
     }
 
@@ -449,6 +571,10 @@ where
                     None => {
                         self.cancelled_migrations += 1;
                         self.dropped[inf.target] += inf.buffered.len() as u64;
+                        // Never chunked: pushed and dropped at once, as in
+                        // replay_buffered's all-dead arm.
+                        self.metrics.pushed.add(inf.buffered.len() as u64);
+                        self.metrics.dropped[inf.target].add(inf.buffered.len() as u64);
                         continue;
                     }
                 }
@@ -514,7 +640,7 @@ where
             return; // already even
         }
         // Reassign round-robin by heat and migrate owners that change.
-        let mut moved = false;
+        let mut moved = 0usize;
         for (rank, &(addr, _)) in top.iter().enumerate() {
             let desired = rank % w;
             let old = self.owner(addr);
@@ -533,7 +659,7 @@ where
             self.inflight
                 .insert(addr, Inflight { source: old, target: desired, buffered: Vec::new() });
             match self.deliver(old, WorkerMsg::Extract { addr }, self.event_drop_after()) {
-                Ok(()) => moved = true,
+                Ok(()) => moved += 1,
                 Err(_) => {
                     // Unreachable source: cancel the migration and restore
                     // the previous routing.
@@ -546,8 +672,9 @@ where
                 }
             }
         }
-        if moved {
+        if moved > 0 {
             self.redistributions += 1;
+            self.cfg.observer.on_redistribution(moved);
         }
         self.in_rebalance = false;
     }
@@ -558,6 +685,9 @@ where
     /// worker degrades the profile (see [`ProfileStats::degraded`])
     /// instead of hanging or aborting the caller.
     pub fn finish(mut self) -> ProfileResult {
+        // Feed phase ends here; everything below is the drain.
+        let feed_nanos = self.timer.elapsed_nanos();
+        let drain_timer = Stopwatch::start();
         let drain = Duration::from_millis(self.cfg.drain_deadline_ms.max(1));
         let deadline = Instant::now() + drain;
         while !self.inflight.is_empty() && Instant::now() < deadline {
@@ -596,6 +726,7 @@ where
         let mut sig_mem = 0usize;
         let mut per_worker_events = Vec::with_capacity(w);
         let mut failures: Vec<WorkerFailure> = Vec::new();
+        let mut gauges = SigGauges::default();
         let grace = Duration::from_millis(self.cfg.drain_deadline_ms.clamp(50, 500));
         let handles = std::mem::take(&mut self.handles);
         for (wid, h) in handles.into_iter().enumerate() {
@@ -616,6 +747,11 @@ where
                     stats.absorb(out.counters);
                     sig_mem += out.sig_mem;
                     per_worker_events.push(out.counters.accesses);
+                    gauges.occupied_slots += out.gauges.occupied_slots;
+                    gauges.total_slots += out.gauges.total_slots;
+                    gauges.evictions += out.gauges.evictions;
+                    // The worst worker's predicted FPR bounds the run's.
+                    gauges.est_fpr_pct = gauges.est_fpr_pct.max(out.gauges.est_fpr_pct);
                     global.merge(out.store);
                     exec_tree.merge(&out.exec_tree);
                 }
@@ -652,6 +788,9 @@ where
         stats.cancelled_migrations = self.cancelled_migrations;
         stats.spurious_replies = self.spurious_replies;
         stats.worker_failures = failures;
+        for f in &stats.worker_failures {
+            self.cfg.observer.on_worker_failure(f.worker);
+        }
         let entry = std::mem::size_of::<(Address, u64)>() + 1;
         let memory = MemoryReport {
             signatures: sig_mem,
@@ -660,6 +799,8 @@ where
             dep_store: global.memory_usage(),
             stats_maps: self.counts.capacity() * entry + self.rules.capacity() * entry,
         };
+        let metrics = self.snapshot(feed_nanos, drain_timer.elapsed_nanos(), gauges);
+        self.cfg.observer.on_finish(&metrics);
         ProfileResult {
             deps: global,
             exec_tree,
@@ -667,6 +808,84 @@ where
             memory,
             workers: self.senders.len(),
             per_worker_events,
+            metrics,
+        }
+    }
+
+    /// Assembles the final [`MetricsSnapshot`] from the ledger, the
+    /// channel taps and the router's hot-address statistics. Returns the
+    /// all-zero default when the `metrics` feature is off.
+    fn snapshot(
+        &self,
+        feed_nanos: u64,
+        drain_nanos: u64,
+        signatures: SigGauges,
+    ) -> MetricsSnapshot {
+        if !dp_metrics::ENABLED {
+            return MetricsSnapshot::default();
+        }
+        let w = self.senders.len();
+        let m = &self.metrics;
+        let mut conservation = Conservation {
+            pushed: m.pushed.get(),
+            rerouted: m.rerouted.get(),
+            ..Conservation::default()
+        };
+        let mut per_worker = Vec::with_capacity(w);
+        let mut stall_total = 0u64;
+        let mut chunks_consumed = 0u64;
+        for wid in 0..w {
+            let enqueued = m.enqueued[wid].get();
+            // An abandoned-but-running worker may still be consuming while
+            // we snapshot; clamping to `enqueued` (read first) keeps the
+            // split between consumed and in-flight internally consistent.
+            let consumed = m.consumed[wid].get().min(enqueued);
+            let dropped = m.dropped[wid].get();
+            let in_flight = enqueued - consumed;
+            let stall_nanos = m.stall[wid].get();
+            let consumed_chunks = m.consumed_chunks[wid].get();
+            conservation.consumed += consumed;
+            conservation.dropped += dropped;
+            conservation.in_flight_at_shutdown += in_flight;
+            stall_total += stall_nanos;
+            chunks_consumed += consumed_chunks;
+            per_worker.push(WorkerMetrics {
+                worker: wid,
+                enqueued,
+                consumed,
+                dropped,
+                in_flight,
+                consumed_chunks,
+                stall_nanos,
+            });
+        }
+        let chunks = ChunkStats {
+            pushed: self.chunks_pushed,
+            consumed: chunks_consumed,
+            queue_highwater: self.taps.iter().map(|t| t.high_water.get()).max().unwrap_or(0),
+            push_retries: self.taps.iter().map(|t| t.push_fulls.get()).sum(),
+            empty_pops: self.taps.iter().map(|t| t.empty_pops.get()).sum(),
+        };
+        // Top-k hottest addresses from the Section IV-A statistics, count
+        // descending with the address as deterministic tie-break.
+        let mut hot_addresses: Vec<HotAddress> =
+            self.counts.iter().map(|(&addr, &count)| HotAddress { addr, count }).collect();
+        hot_addresses.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.addr.cmp(&b.addr)));
+        hot_addresses.truncate(self.cfg.top_k);
+        MetricsSnapshot {
+            enabled: true,
+            workers: w,
+            conservation,
+            chunks,
+            stall_nanos: stall_total,
+            signatures,
+            hot_addresses,
+            per_worker,
+            timings: PhaseTimings {
+                feed_nanos,
+                drain_nanos,
+                total_nanos: feed_nanos + drain_nanos,
+            },
         }
     }
 }
@@ -686,8 +905,8 @@ where
                     inf.buffered.push(ev);
                     self.poll_responses();
                 } else {
-                    let wid = self.route(a.addr);
-                    self.append(wid, ev);
+                    let (wid, diverted) = self.route(a.addr);
+                    self.append_routed(wid, ev, diverted);
                 }
             }
             TraceEvent::LoopBegin { .. }
@@ -834,15 +1053,12 @@ fn fault_drop_reply(_: &FaultRt) -> bool {
 fn worker_loop<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
     wid: usize,
     q: R,
-    pool: Arc<ChunkPool>,
-    resp: Arc<MpmcQueue<RouterMsg>>,
     algo: AlgoState<S>,
-    sup: Arc<Supervision>,
-    fault: Arc<FaultRt>,
+    ctx: WorkerCtx,
 ) -> WorkerExit {
-    let supc = sup.clone();
+    let sup = ctx.sup.clone();
     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        run_worker(wid, q, pool, resp, algo, &supc, &fault)
+        run_worker(wid, q, algo, &ctx)
     }));
     match out {
         Ok(out) => WorkerExit::Finished(out),
@@ -856,33 +1072,35 @@ fn worker_loop<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
 fn run_worker<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
     wid: usize,
     q: R,
-    pool: Arc<ChunkPool>,
-    resp: Arc<MpmcQueue<RouterMsg>>,
     mut algo: AlgoState<S>,
-    sup: &Supervision,
-    fault: &FaultRt,
+    ctx: &WorkerCtx,
 ) -> WorkerOutput {
     let mut backoff = Backoff::new();
     let mut chunks_done = 0u64;
     loop {
-        if fault_pause_or_panic(wid, chunks_done, fault, &sup.abandon[wid]) {
+        if fault_pause_or_panic(wid, chunks_done, &ctx.fault, &ctx.sup.abandon[wid]) {
             break;
         }
         match q.pop() {
             Some(WorkerMsg::Events(chunk)) => {
+                // Consumed means *off the queue*: count at pop (the
+                // counters live in the shared ledger, so they survive a
+                // mid-chunk panic) with rerouted marks excluded.
+                ctx.metrics.consumed[wid].add((chunk.len() - chunk.rerouted()) as u64);
+                ctx.metrics.consumed_chunks[wid].inc();
                 for ev in chunk.events() {
                     algo.on_event(ev);
                 }
-                pool.release(chunk);
+                ctx.pool.release(chunk);
                 chunks_done += 1;
                 backoff.reset();
             }
             Some(WorkerMsg::Extract { addr }) => {
                 let (read, write) = algo.extract(addr);
-                if !fault_drop_reply(fault) {
+                if !fault_drop_reply(&ctx.fault) {
                     let mut msg = RouterMsg::Extracted { addr, read, write };
                     loop {
-                        match resp.push(msg) {
+                        match ctx.resp.push(msg) {
                             Ok(()) => break,
                             Err(back) => {
                                 msg = back;
@@ -899,8 +1117,9 @@ fn run_worker<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
             None => backoff.snooze(),
         }
     }
+    let gauges = algo.sig_gauges();
     let (store, exec_tree, counters, sig_mem) = algo.finish();
-    WorkerOutput { store, exec_tree, counters, sig_mem }
+    WorkerOutput { store, exec_tree, counters, sig_mem, gauges }
 }
 
 /// The lock-free build (the paper's main configuration).

@@ -3,6 +3,7 @@
 use crate::algo::AlgoCounters;
 use crate::exectree::ExecTree;
 use crate::store::DepStore;
+use dp_metrics::MetricsSnapshot;
 
 /// Deterministic memory accounting of the profiler's own data structures —
 /// the quantity Figures 7 and 8 report (there via max-RSS; here summed
@@ -149,6 +150,10 @@ pub struct ProfileResult {
     /// Section IV-A (redistribution) and the imbalance discussion of
     /// Section VI-B1. Empty for the in-line serial engine.
     pub per_worker_events: Vec<u64>,
+    /// Pipeline observability counters (all-zero with `enabled: false`
+    /// when the `metrics` feature is off — the struct itself is always
+    /// present so `--stats` output has a stable shape).
+    pub metrics: MetricsSnapshot,
 }
 
 impl ProfileResult {

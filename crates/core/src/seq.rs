@@ -88,6 +88,7 @@ impl<S: AccessStore> SequentialProfiler<S> {
     /// Finishes the run.
     pub fn finish(self) -> ProfileResult {
         let mem_all = self.algo.memory_usage();
+        let gauges = self.algo.sig_gauges();
         let (store, exec_tree, counters, sig_mem) = self.algo.finish();
         let mut stats = ProfileStats::default();
         stats.absorb(counters);
@@ -100,6 +101,25 @@ impl<S: AccessStore> SequentialProfiler<S> {
             dep_store: store.memory_usage() + exec_tree.memory_usage(),
             stats_maps: mem_all.saturating_sub(sig_mem + store.memory_usage()),
         };
+        // The in-line engine has no queues: every event is "pushed" and
+        // "consumed" at the same program point, so the conservation law
+        // holds trivially — but the snapshot is still populated so
+        // `--stats` reports signature gauges for serial runs too.
+        let metrics = if dp_metrics::ENABLED {
+            dp_metrics::MetricsSnapshot {
+                enabled: true,
+                workers: 0,
+                conservation: dp_metrics::Conservation {
+                    pushed: stats.events,
+                    consumed: stats.events,
+                    ..dp_metrics::Conservation::default()
+                },
+                signatures: gauges,
+                ..dp_metrics::MetricsSnapshot::default()
+            }
+        } else {
+            dp_metrics::MetricsSnapshot::default()
+        };
         ProfileResult {
             deps: store,
             exec_tree,
@@ -107,6 +127,7 @@ impl<S: AccessStore> SequentialProfiler<S> {
             memory,
             workers: 0,
             per_worker_events: Vec::new(),
+            metrics,
         }
     }
 }

@@ -1,0 +1,678 @@
+//! Pipeline observability for the profiler (PR 3).
+//!
+//! The paper's parallel pipeline (Section IV, Figure 2) is steered by
+//! runtime statistics — hot-address counts drive the periodic
+//! redistribution of Section IV-A, and Formula 2 trades signature memory
+//! for measurable accuracy — yet none of that state is visible while a
+//! profile runs. This crate is the shared vocabulary for making it
+//! visible:
+//!
+//! - [`Counter`], [`MaxGauge`], [`Stopwatch`] — the instrumentation
+//!   primitives. With the `enabled` feature they are relaxed atomics and
+//!   monotonic clocks; without it they are zero-sized no-ops, so the
+//!   instrumented hot paths cost literally nothing in a disabled build.
+//! - [`MetricsSnapshot`] — the frozen end-of-run picture: the
+//!   event-conservation ledger ([`Conservation`]), chunk/queue stats,
+//!   signature gauges, hot-address top-K, per-worker rows and per-phase
+//!   timings, with stable-order JSON and text export.
+//! - [`PipelineObserver`] / [`ObserverHandle`] — a subscription hook so
+//!   benches and tests can watch redistribution, worker failures and the
+//!   final snapshot without parsing CLI output.
+//!
+//! The core invariant the engines maintain (and the test suite proves) is
+//! the conservation law: every event pushed into the pipeline is accounted
+//! for exactly once,
+//!
+//! ```text
+//! pushed == consumed + dropped + rerouted + in_flight_at_shutdown
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// True when the crate was built with the `enabled` feature — i.e. when
+/// the primitives below actually count. [`MetricsSnapshot::enabled`]
+/// mirrors this so consumers of an exported snapshot can tell zeros from
+/// "not measured".
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+// ---------------------------------------------------------------------------
+// Instrumentation primitives (cfg-switched; everything downstream of them
+// is plain data, so no other crate needs feature-conditional code).
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter, incremented from any thread.
+///
+/// `Relaxed` atomics when the `enabled` feature is on; a zero-sized no-op
+/// otherwise. No ordering is implied between counters — snapshots are
+/// taken after the counted threads are joined.
+#[cfg(feature = "enabled")]
+#[derive(Debug, Default)]
+pub struct Counter(std::sync::atomic::AtomicU64);
+
+#[cfg(feature = "enabled")]
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    /// Adds one; returns the new value (0 in a disabled build, where
+    /// nothing is counted).
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Current value (0 in a disabled build).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing counter, incremented from any thread.
+///
+/// `Relaxed` atomics when the `enabled` feature is on; a zero-sized no-op
+/// otherwise. No ordering is implied between counters — snapshots are
+/// taken after the counted threads are joined.
+#[cfg(not(feature = "enabled"))]
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counter;
+
+#[cfg(not(feature = "enabled"))]
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter
+    }
+
+    /// Adds one; returns the new value (0 in a disabled build, where
+    /// nothing is counted).
+    #[inline(always)]
+    pub fn inc(&self) -> u64 {
+        0
+    }
+
+    /// Adds `n`.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Current value (0 in a disabled build).
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// A gauge that remembers the maximum value ever recorded (queue
+/// high-water marks). Same zero-cost story as [`Counter`].
+#[cfg(feature = "enabled")]
+#[derive(Debug, Default)]
+pub struct MaxGauge(std::sync::atomic::AtomicU64);
+
+#[cfg(feature = "enabled")]
+impl MaxGauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        MaxGauge(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    /// Raises the maximum to `v` if `v` exceeds it.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.fetch_max(v, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Largest value recorded so far (0 in a disabled build).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// A gauge that remembers the maximum value ever recorded (queue
+/// high-water marks). Same zero-cost story as [`Counter`].
+#[cfg(not(feature = "enabled"))]
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaxGauge;
+
+#[cfg(not(feature = "enabled"))]
+impl MaxGauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        MaxGauge
+    }
+
+    /// Raises the maximum to `v` if `v` exceeds it.
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    /// Largest value recorded so far (0 in a disabled build).
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// A wall-clock stopwatch for phase timings. Reads the monotonic clock
+/// when the `enabled` feature is on; a zero-sized no-op otherwise.
+#[cfg(feature = "enabled")]
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+#[cfg(feature = "enabled")]
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`] (0 in a disabled build).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
+/// A wall-clock stopwatch for phase timings. Reads the monotonic clock
+/// when the `enabled` feature is on; a zero-sized no-op otherwise.
+#[cfg(not(feature = "enabled"))]
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch;
+
+#[cfg(not(feature = "enabled"))]
+impl Stopwatch {
+    /// Starts timing now.
+    #[inline(always)]
+    pub fn start() -> Self {
+        Stopwatch
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`] (0 in a disabled build).
+    #[inline(always)]
+    pub fn elapsed_nanos(&self) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot data model (always-present plain data; zeros when disabled).
+// ---------------------------------------------------------------------------
+
+/// The event-conservation ledger. Every event the router pushes into the
+/// pipeline ends in exactly one of four terminal states, so
+///
+/// ```text
+/// pushed == consumed + dropped + rerouted + in_flight_at_shutdown
+/// ```
+///
+/// `rerouted` counts event copies diverted away from a dead worker
+/// (supervision, DESIGN.md failure class 1/2); they are marked in their
+/// chunk and *excluded* from the downstream enqueue/consume/drop taps, so
+/// each column of the ledger is disjoint. [`Conservation::holds`] checks
+/// the law.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Conservation {
+    /// Events handed to the pipeline (every copy: broadcasts and replayed
+    /// migration buffers count once per destination).
+    pub pushed: u64,
+    /// Events popped and analyzed by worker threads.
+    pub consumed: u64,
+    /// Events dropped by the `drop` overflow policy or lost with a failed
+    /// worker's undrained queue contents at shutdown. Matches
+    /// `ProfileStats::dropped_events`.
+    pub dropped: u64,
+    /// Event copies diverted to a substitute worker because their owner
+    /// was already dead when they were routed.
+    pub rerouted: u64,
+    /// Events still sitting in the queues of failed or abandoned workers
+    /// when the run ended (a healthy shutdown drains everything, so this
+    /// is 0 unless the profile is degraded).
+    pub in_flight_at_shutdown: u64,
+}
+
+impl Conservation {
+    /// True when the conservation law balances.
+    pub fn holds(&self) -> bool {
+        self.pushed == self.consumed + self.dropped + self.rerouted + self.in_flight_at_shutdown
+    }
+}
+
+/// Chunk-level traffic through the per-worker queues.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Event chunks successfully enqueued by the router.
+    pub pushed: u64,
+    /// Event chunks popped and drained by workers.
+    pub consumed: u64,
+    /// Highest queue depth (messages) observed on any single worker queue.
+    pub queue_highwater: u64,
+    /// Push attempts bounced by a full queue (each is one backoff round).
+    pub push_retries: u64,
+    /// Worker pops that found an empty queue (idle spinning).
+    pub empty_pops: u64,
+}
+
+/// Signature occupancy and accuracy gauges (Section III-B), summed over
+/// the read and write stores of every worker.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SigGauges {
+    /// Occupied slots across all signatures.
+    pub occupied_slots: u64,
+    /// Total slots across all signatures (0 for exact stores, whose
+    /// capacity is unbounded).
+    pub total_slots: u64,
+    /// Insertions that displaced existing state: hash-collision
+    /// overwrites in a signature, re-inserts of an existing key in exact
+    /// stores.
+    pub evictions: u64,
+    /// Formula 2 estimate of the false-positive rate implied by the
+    /// current occupancy, in percent (0 for exact stores).
+    pub est_fpr_pct: f64,
+}
+
+/// One entry of the hot-address top-K (the router-side counts that drive
+/// Section IV-A redistribution).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotAddress {
+    /// The memory address.
+    pub addr: u64,
+    /// Accesses observed on it.
+    pub count: u64,
+}
+
+/// Per-worker row of the ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Worker index.
+    pub worker: usize,
+    /// Events enqueued to this worker (rerouted copies excluded).
+    pub enqueued: u64,
+    /// Events this worker popped and analyzed (rerouted copies excluded).
+    pub consumed: u64,
+    /// Events dropped on this worker's queue.
+    pub dropped: u64,
+    /// `enqueued - consumed` at shutdown (0 for a healthy worker).
+    pub in_flight: u64,
+    /// Event chunks this worker drained.
+    pub consumed_chunks: u64,
+    /// Nanoseconds the router spent blocked on this worker's full queue.
+    pub stall_nanos: u64,
+}
+
+/// Wall-clock phase timings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Construction of the profiler until `finish()` was called (the
+    /// feeding phase, overlapping the instrumented program).
+    pub feed_nanos: u64,
+    /// `finish()` entry until all workers were joined (the drain phase).
+    pub drain_nanos: u64,
+    /// Total: construction until the result was assembled.
+    pub total_nanos: u64,
+}
+
+/// The frozen end-of-run metrics picture, attached to every
+/// `ProfileResult`. All-zero (with `enabled == false`) when the metrics
+/// feature is compiled out.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Whether the counters were compiled in (distinguishes zeros from
+    /// "not measured").
+    pub enabled: bool,
+    /// Worker count of the run.
+    pub workers: usize,
+    /// The event-conservation ledger.
+    pub conservation: Conservation,
+    /// Chunk/queue traffic.
+    pub chunks: ChunkStats,
+    /// Total router stall time across all workers, nanoseconds.
+    pub stall_nanos: u64,
+    /// Signature gauges summed over all workers.
+    pub signatures: SigGauges,
+    /// Hot-address top-K, ordered by count descending then address
+    /// ascending.
+    pub hot_addresses: Vec<HotAddress>,
+    /// Per-worker ledger rows.
+    pub per_worker: Vec<WorkerMetrics>,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as pretty-printed JSON with a *stable* key
+    /// order (hand-rolled, not reflection-based, so goldens don't churn).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"enabled\": {},", self.enabled);
+        let _ = writeln!(s, "  \"workers\": {},", self.workers);
+        s.push_str("  \"conservation\": {\n");
+        let c = &self.conservation;
+        let _ = writeln!(s, "    \"pushed\": {},", c.pushed);
+        let _ = writeln!(s, "    \"consumed\": {},", c.consumed);
+        let _ = writeln!(s, "    \"dropped\": {},", c.dropped);
+        let _ = writeln!(s, "    \"rerouted\": {},", c.rerouted);
+        let _ = writeln!(s, "    \"in_flight_at_shutdown\": {}", c.in_flight_at_shutdown);
+        s.push_str("  },\n");
+        s.push_str("  \"chunks\": {\n");
+        let k = &self.chunks;
+        let _ = writeln!(s, "    \"pushed\": {},", k.pushed);
+        let _ = writeln!(s, "    \"consumed\": {},", k.consumed);
+        let _ = writeln!(s, "    \"queue_highwater\": {},", k.queue_highwater);
+        let _ = writeln!(s, "    \"push_retries\": {},", k.push_retries);
+        let _ = writeln!(s, "    \"empty_pops\": {}", k.empty_pops);
+        s.push_str("  },\n");
+        let _ = writeln!(s, "  \"stall_nanos\": {},", self.stall_nanos);
+        s.push_str("  \"signatures\": {\n");
+        let g = &self.signatures;
+        let _ = writeln!(s, "    \"occupied_slots\": {},", g.occupied_slots);
+        let _ = writeln!(s, "    \"total_slots\": {},", g.total_slots);
+        let _ = writeln!(s, "    \"evictions\": {},", g.evictions);
+        let _ = writeln!(s, "    \"est_fpr_pct\": {:.6}", g.est_fpr_pct);
+        s.push_str("  },\n");
+        s.push_str("  \"hot_addresses\": [");
+        for (i, h) in self.hot_addresses.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(s, "    {{ \"addr\": {}, \"count\": {} }}", h.addr, h.count);
+        }
+        s.push_str(if self.hot_addresses.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"per_worker\": [");
+        for (i, w) in self.per_worker.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    {{ \"worker\": {}, \"enqueued\": {}, \"consumed\": {}, \"dropped\": {}, \
+                 \"in_flight\": {}, \"consumed_chunks\": {}, \"stall_nanos\": {} }}",
+                w.worker,
+                w.enqueued,
+                w.consumed,
+                w.dropped,
+                w.in_flight,
+                w.consumed_chunks,
+                w.stall_nanos
+            );
+        }
+        s.push_str(if self.per_worker.is_empty() { "],\n" } else { "\n  ],\n" });
+        let t = &self.timings;
+        let _ = writeln!(
+            s,
+            "  \"timings_nanos\": {{ \"feed\": {}, \"drain\": {}, \"total\": {} }}",
+            t.feed_nanos, t.drain_nanos, t.total_nanos
+        );
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the snapshot as human-readable text (same field order as
+    /// the JSON form).
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(512);
+        let _ = writeln!(s, "metrics: {}", if self.enabled { "enabled" } else { "disabled" });
+        let _ = writeln!(s, "workers: {}", self.workers);
+        let c = &self.conservation;
+        let _ = writeln!(
+            s,
+            "conservation: pushed={} consumed={} dropped={} rerouted={} in_flight={} ({})",
+            c.pushed,
+            c.consumed,
+            c.dropped,
+            c.rerouted,
+            c.in_flight_at_shutdown,
+            if c.holds() { "law holds" } else { "LAW VIOLATED" }
+        );
+        let k = &self.chunks;
+        let _ = writeln!(
+            s,
+            "chunks: pushed={} consumed={} queue_highwater={} push_retries={} empty_pops={}",
+            k.pushed, k.consumed, k.queue_highwater, k.push_retries, k.empty_pops
+        );
+        let _ = writeln!(s, "stall: {} ns", self.stall_nanos);
+        let g = &self.signatures;
+        let _ = writeln!(
+            s,
+            "signatures: occupied={}/{} evictions={} est_fpr={:.4}%",
+            g.occupied_slots, g.total_slots, g.evictions, g.est_fpr_pct
+        );
+        if !self.hot_addresses.is_empty() {
+            let _ = writeln!(s, "hot addresses:");
+            for h in &self.hot_addresses {
+                let _ = writeln!(s, "  {:#x}  {}", h.addr, h.count);
+            }
+        }
+        if !self.per_worker.is_empty() {
+            let _ = writeln!(s, "per worker:");
+            for w in &self.per_worker {
+                let _ =
+                    writeln!(
+                    s,
+                    "  w{}: enqueued={} consumed={} dropped={} in_flight={} chunks={} stall={}ns",
+                    w.worker, w.enqueued, w.consumed, w.dropped, w.in_flight, w.consumed_chunks,
+                    w.stall_nanos
+                );
+            }
+        }
+        let t = &self.timings;
+        let _ = writeln!(
+            s,
+            "timings: feed={}ns drain={}ns total={}ns",
+            t.feed_nanos, t.drain_nanos, t.total_nanos
+        );
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observer hook.
+// ---------------------------------------------------------------------------
+
+/// Subscription hook into pipeline events, for benches and tests that
+/// want live visibility without parsing exported output. All methods
+/// default to no-ops; implement only what you watch. Called from the
+/// router thread (never from workers), so implementations need `Sync`
+/// only because the profiler itself may be moved across threads.
+pub trait PipelineObserver: Send + Sync {
+    /// A Section IV-A redistribution moved `moved` hot addresses to new
+    /// owners.
+    fn on_redistribution(&self, moved: usize) {
+        let _ = moved;
+    }
+
+    /// Worker `worker` was declared failed (panicked or unresponsive).
+    fn on_worker_failure(&self, worker: usize) {
+        let _ = worker;
+    }
+
+    /// The run finished; `snapshot` is the final metrics picture (also
+    /// attached to the returned `ProfileResult`).
+    fn on_finish(&self, snapshot: &MetricsSnapshot) {
+        let _ = snapshot;
+    }
+}
+
+/// An optional, shareable [`PipelineObserver`] — the form carried by the
+/// profiler configuration. The default is "no observer"; every dispatch
+/// through an empty handle is a branch on a `None`.
+#[derive(Clone, Default)]
+pub struct ObserverHandle(Option<Arc<dyn PipelineObserver>>);
+
+impl ObserverHandle {
+    /// Wraps an observer.
+    pub fn new(observer: Arc<dyn PipelineObserver>) -> Self {
+        ObserverHandle(Some(observer))
+    }
+
+    /// The empty handle (no observer subscribed).
+    pub fn none() -> Self {
+        ObserverHandle(None)
+    }
+
+    /// True when an observer is subscribed.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Forwards [`PipelineObserver::on_redistribution`].
+    #[inline]
+    pub fn on_redistribution(&self, moved: usize) {
+        if let Some(o) = &self.0 {
+            o.on_redistribution(moved);
+        }
+    }
+
+    /// Forwards [`PipelineObserver::on_worker_failure`].
+    #[inline]
+    pub fn on_worker_failure(&self, worker: usize) {
+        if let Some(o) = &self.0 {
+            o.on_worker_failure(worker);
+        }
+    }
+
+    /// Forwards [`PipelineObserver::on_finish`].
+    #[inline]
+    pub fn on_finish(&self, snapshot: &MetricsSnapshot) {
+        if let Some(o) = &self.0 {
+            o.on_finish(snapshot);
+        }
+    }
+}
+
+impl std::fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "ObserverHandle(set)" } else { "ObserverHandle(none)" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_matches_build_mode() {
+        let c = Counter::new();
+        let v = c.inc();
+        c.add(4);
+        if ENABLED {
+            assert_eq!(v, 1);
+            assert_eq!(c.get(), 5);
+        } else {
+            assert_eq!(v, 0);
+            assert_eq!(c.get(), 0);
+        }
+    }
+
+    #[test]
+    fn max_gauge_keeps_peak() {
+        let g = MaxGauge::new();
+        g.record(3);
+        g.record(7);
+        g.record(5);
+        assert_eq!(g.get(), if ENABLED { 7 } else { 0 });
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let w = Stopwatch::start();
+        let a = w.elapsed_nanos();
+        let b = w.elapsed_nanos();
+        assert!(b >= a);
+        if !ENABLED {
+            assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn conservation_law() {
+        let mut c = Conservation {
+            pushed: 100,
+            consumed: 80,
+            dropped: 10,
+            rerouted: 6,
+            in_flight_at_shutdown: 4,
+        };
+        assert!(c.holds());
+        c.dropped += 1;
+        assert!(!c.holds());
+    }
+
+    #[test]
+    fn json_has_stable_key_order() {
+        let snap = MetricsSnapshot {
+            enabled: true,
+            workers: 2,
+            hot_addresses: vec![HotAddress { addr: 0x1000, count: 9 }],
+            per_worker: vec![WorkerMetrics { worker: 0, ..Default::default() }],
+            ..Default::default()
+        };
+        let j = snap.to_json();
+        let keys = [
+            "\"enabled\"",
+            "\"workers\"",
+            "\"conservation\"",
+            "\"chunks\"",
+            "\"stall_nanos\"",
+            "\"signatures\"",
+            "\"hot_addresses\"",
+            "\"per_worker\"",
+            "\"timings_nanos\"",
+        ];
+        let mut last = 0;
+        for k in keys {
+            let at = j[last..].find(k).unwrap_or_else(|| panic!("{k} missing or out of order"));
+            last += at + k.len();
+        }
+        // Balanced and parseable-looking: every line ends in a JSON
+        // structural character, no trailing commas before closers.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n  }"));
+        assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn empty_lists_render_as_empty_arrays() {
+        let j = MetricsSnapshot::default().to_json();
+        assert!(j.contains("\"hot_addresses\": []"));
+        assert!(j.contains("\"per_worker\": []"));
+    }
+
+    #[test]
+    fn text_reports_violations() {
+        let mut snap = MetricsSnapshot { enabled: true, ..Default::default() };
+        snap.conservation.pushed = 5;
+        assert!(snap.to_text().contains("LAW VIOLATED"));
+        snap.conservation.consumed = 5;
+        assert!(snap.to_text().contains("law holds"));
+    }
+
+    #[test]
+    fn observer_handle_dispatches() {
+        #[derive(Default)]
+        struct Probe(std::sync::atomic::AtomicUsize);
+        impl PipelineObserver for Probe {
+            fn on_worker_failure(&self, _worker: usize) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let probe = Arc::new(Probe::default());
+        let h = ObserverHandle::new(probe.clone());
+        assert!(h.is_set());
+        assert_eq!(format!("{h:?}"), "ObserverHandle(set)");
+        h.on_worker_failure(1);
+        h.on_redistribution(3); // default no-op must not panic
+        h.on_finish(&MetricsSnapshot::default());
+        assert_eq!(probe.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+        let empty = ObserverHandle::none();
+        assert!(!empty.is_set());
+        assert_eq!(format!("{empty:?}"), "ObserverHandle(none)");
+        empty.on_finish(&MetricsSnapshot::default());
+    }
+}

@@ -19,12 +19,13 @@ use std::sync::Arc;
 pub struct Chunk {
     events: Vec<TraceEvent>,
     cap: usize,
+    rerouted: usize,
 }
 
 impl Chunk {
     /// Creates an empty chunk that holds up to `cap` events.
     pub fn new(cap: usize) -> Self {
-        Chunk { events: Vec::with_capacity(cap), cap }
+        Chunk { events: Vec::with_capacity(cap), cap, rerouted: 0 }
     }
 
     /// Appends an event. Callers check [`Chunk::is_full`] first; pushing
@@ -66,9 +67,27 @@ impl Chunk {
         self.cap
     }
 
+    /// Marks the most recently pushed event as *rerouted*: a copy
+    /// diverted to this chunk's worker because the event's owner is dead.
+    /// The observability ledger counts rerouted copies at routing time,
+    /// so downstream enqueue/consume/drop taps use
+    /// [`Chunk::rerouted`] to exclude them and keep the conservation
+    /// law's columns disjoint.
+    #[inline]
+    pub fn mark_rerouted(&mut self) {
+        self.rerouted += 1;
+    }
+
+    /// Number of events in this chunk marked rerouted.
+    #[inline]
+    pub fn rerouted(&self) -> usize {
+        self.rerouted
+    }
+
     /// Empties the chunk for reuse, keeping its allocation.
     pub fn reset(&mut self) {
         self.events.clear();
+        self.rerouted = 0;
     }
 }
 
@@ -152,9 +171,12 @@ mod tests {
         }
         assert!(c.is_full());
         assert_eq!(c.len(), 4);
+        c.mark_rerouted();
+        assert_eq!(c.rerouted(), 1);
         c.reset();
         assert!(c.is_empty());
         assert_eq!(c.capacity(), 4);
+        assert_eq!(c.rerouted(), 0, "reset clears the rerouted marks");
     }
 
     #[test]

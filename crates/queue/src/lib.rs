@@ -30,6 +30,11 @@
 //! - [`FaultPlan`] / [`fault`] — deterministic fault injection (worker
 //!   panics, stalls, dropped migration replies, seeded transport chaos)
 //!   so every recovery path is exercised by reproducible tests.
+//! - [`MeteredSender`] / [`MeteredReceiver`] / [`ChannelTap`] — the
+//!   observability taps: endpoint decorators counting pushes, pops,
+//!   full-queue bounces, empty polls and the depth high-water mark into
+//!   `dp-metrics` counters (zero-sized no-ops unless the `metrics`
+//!   feature is on), uniformly across all three transports.
 
 #![warn(missing_docs)]
 
@@ -37,6 +42,7 @@ pub mod backoff;
 pub mod chunk;
 pub mod fault;
 pub mod lockq;
+pub mod metered;
 pub mod mpmc;
 pub mod spsc;
 pub mod traits;
@@ -47,6 +53,7 @@ pub use chunk::{Chunk, ChunkPool};
 pub use fault::FailingTransport;
 pub use fault::{FaultPlan, WorkerFault};
 pub use lockq::LockQueue;
+pub use metered::{ChannelTap, MeteredReceiver, MeteredSender};
 pub use mpmc::MpmcQueue;
 pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};
 pub use traits::{

@@ -13,6 +13,7 @@ use dp_types::{Address, FxHashMap};
 #[derive(Debug, Default, Clone)]
 pub struct PerfectSignature {
     map: FxHashMap<Address, SigEntry>,
+    evictions: u64,
 }
 
 impl PerfectSignature {
@@ -23,7 +24,10 @@ impl PerfectSignature {
 
     /// Creates with capacity for `n` addresses.
     pub fn with_capacity(n: usize) -> Self {
-        PerfectSignature { map: FxHashMap::with_capacity_and_hasher(n, Default::default()) }
+        PerfectSignature {
+            map: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            evictions: 0,
+        }
     }
 
     /// Extracts (returns and removes) the entry for `addr`.
@@ -44,7 +48,9 @@ impl AccessStore for PerfectSignature {
 
     #[inline]
     fn put(&mut self, addr: Address, entry: SigEntry) {
-        self.map.insert(addr, entry);
+        if self.map.insert(addr, entry).is_some() {
+            self.evictions += 1;
+        }
     }
 
     #[inline]
@@ -58,6 +64,10 @@ impl AccessStore for PerfectSignature {
 
     fn occupied(&self) -> usize {
         self.map.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn memory_usage(&self) -> usize {
@@ -98,6 +108,20 @@ mod tests {
         p.put(0x8, e(2));
         p.remove(0x8);
         assert_eq!(p.get(0x8), None);
+    }
+
+    #[test]
+    fn evictions_count_reinserts_only() {
+        let mut p = PerfectSignature::new();
+        p.put(0x8, e(1));
+        p.put(0x10, e(2));
+        assert_eq!(p.evictions(), 0, "distinct keys never displace each other");
+        p.put(0x8, e(3));
+        assert_eq!(p.evictions(), 1);
+        p.remove(0x8);
+        p.put(0x8, e(4));
+        assert_eq!(p.evictions(), 1, "re-insert after removal hits an empty entry");
+        assert_eq!(p.slot_capacity(), 0, "exact stores have no fixed slot capacity");
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub struct Signature<S: Slot> {
     slots: Box<[S]>,
     hash: SigHash,
     occupied: usize,
+    evictions: u64,
 }
 
 impl<S: Slot> Signature<S> {
@@ -31,6 +32,7 @@ impl<S: Slot> Signature<S> {
             slots: vec![S::EMPTY; nslots].into_boxed_slice(),
             hash: SigHash::new(nslots),
             occupied: 0,
+            evictions: 0,
         }
     }
 
@@ -109,6 +111,8 @@ impl<S: Slot> AccessStore for Signature<S> {
         let idx = self.hash.index(addr);
         if self.slots[idx].is_empty() {
             self.occupied += 1;
+        } else {
+            self.evictions += 1;
         }
         self.slots[idx] = S::encode(entry);
     }
@@ -129,6 +133,14 @@ impl<S: Slot> AccessStore for Signature<S> {
 
     fn occupied(&self) -> usize {
         self.occupied
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn slot_capacity(&self) -> usize {
+        self.nslots()
     }
 
     fn memory_usage(&self) -> usize {
@@ -221,6 +233,20 @@ mod tests {
         for addr in (50..100u64).map(|i| 0x1000 + i * 8) {
             assert!(common.contains(&a.slot_of(addr)));
         }
+    }
+
+    #[test]
+    fn evictions_count_occupied_slot_overwrites() {
+        let mut s: Signature<ExtendedSlot> = Signature::new(1);
+        s.put(0xA, e(1, 0, 1));
+        assert_eq!(s.evictions(), 0, "put into a vacant slot is not an eviction");
+        s.put(0xB, e(2, 0, 2)); // collision overwrite
+        s.put(0xA, e(3, 0, 3)); // same-address update: indistinguishable, counts too
+        assert_eq!(s.evictions(), 2);
+        assert_eq!(s.slot_capacity(), 1);
+        s.remove(0xA);
+        s.put(0xB, e(4, 0, 4));
+        assert_eq!(s.evictions(), 2, "the freed slot was vacant again");
     }
 
     #[test]

@@ -38,6 +38,22 @@ pub trait AccessStore: Send {
     /// Number of occupied slots/entries (diagnostic).
     fn occupied(&self) -> usize;
 
+    /// Cumulative count of insertions that displaced existing state: a
+    /// put into an already-occupied slot (approximate stores cannot tell
+    /// a same-address update from a collision overwrite — the slot holds
+    /// no address) or a re-insert of an existing key (exact stores). In a
+    /// collision-free signature the two definitions coincide, which is
+    /// what the gauge tests exploit. Stores that don't track it report 0.
+    fn evictions(&self) -> u64 {
+        0
+    }
+
+    /// Fixed slot capacity for stores with one (the signature's `m` of
+    /// Formula 2); 0 for stores whose capacity grows with the footprint.
+    fn slot_capacity(&self) -> usize {
+        0
+    }
+
     /// Bytes of memory attributable to this store, for the accounting
     /// behind Figures 7/8.
     fn memory_usage(&self) -> usize;

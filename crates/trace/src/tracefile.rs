@@ -88,6 +88,9 @@ pub enum TraceFileError {
     Checksum {
         /// Byte offset of the record.
         offset: u64,
+        /// Records that replayed cleanly before the corrupt one — the
+        /// salvageable prefix a caller can keep.
+        records_read: u64,
     },
     /// The file ends in the middle of a record — the recording was cut
     /// off (crash, full disk, truncated copy). Everything before the
@@ -95,6 +98,9 @@ pub enum TraceFileError {
     TornRecord {
         /// Byte offset of the incomplete final record.
         offset: u64,
+        /// Records that replayed cleanly before the tear — the
+        /// salvageable prefix a caller can keep.
+        records_read: u64,
     },
 }
 
@@ -110,11 +116,19 @@ impl fmt::Display for TraceFileError {
             TraceFileError::UnknownTag { tag, offset } => {
                 write!(f, "unknown event tag {tag} at byte {offset}")
             }
-            TraceFileError::Checksum { offset } => {
-                write!(f, "checksum mismatch in record at byte {offset} (corrupted trace)")
+            TraceFileError::Checksum { offset, records_read } => {
+                write!(
+                    f,
+                    "checksum mismatch in record at byte {offset} (corrupted trace; \
+                     {records_read} records read cleanly before it)"
+                )
             }
-            TraceFileError::TornRecord { offset } => {
-                write!(f, "trace ends mid-record at byte {offset} (truncated recording)")
+            TraceFileError::TornRecord { offset, records_read } => {
+                write!(
+                    f,
+                    "trace ends mid-record at byte {offset} (truncated recording; \
+                     {records_read} records read cleanly before it)"
+                )
             }
         }
     }
@@ -260,6 +274,9 @@ pub struct TraceReader<R: Read> {
     interner: Interner,
     /// Bytes consumed so far — the offset reported in record errors.
     offset: u64,
+    /// Records decoded successfully so far — reported in record errors
+    /// so callers know how much of a damaged trace is salvageable.
+    records: u64,
     done: bool,
 }
 
@@ -306,7 +323,7 @@ impl<R: Read> TraceReader<R> {
                 continue;
             }
         }
-        Ok(TraceReader { input, interner, offset, done: false })
+        Ok(TraceReader { input, interner, offset, records: 0, done: false })
     }
 
     fn name_table_eof(e: io::Error) -> TraceFileError {
@@ -320,6 +337,13 @@ impl<R: Read> TraceReader<R> {
     /// The variable names recorded in the trace.
     pub fn interner(&self) -> &Interner {
         &self.interner
+    }
+
+    /// Records decoded successfully so far (the salvageable prefix when
+    /// iteration stopped on a [`TraceFileError::TornRecord`] or
+    /// [`TraceFileError::Checksum`]).
+    pub fn records_read(&self) -> u64 {
+        self.records
     }
 
     fn read_event(&mut self) -> Result<Option<TraceEvent>, TraceFileError> {
@@ -339,13 +363,16 @@ impl<R: Read> TraceReader<R> {
         match self.input.read_exact(body) {
             Ok(()) => self.offset += body.len() as u64,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                return Err(TraceFileError::TornRecord { offset: rec_off })
+                return Err(TraceFileError::TornRecord {
+                    offset: rec_off,
+                    records_read: self.records,
+                })
             }
             Err(e) => return Err(e.into()),
         }
         let (body, ck) = (&buf[..len], buf[len]);
         if xor_fold(tag, body) != ck {
-            return Err(TraceFileError::Checksum { offset: rec_off });
+            return Err(TraceFileError::Checksum { offset: rec_off, records_read: self.records });
         }
         let mut pos = 0usize;
         macro_rules! get {
@@ -418,7 +445,10 @@ impl<R: Read> Iterator for TraceReader<R> {
             return None;
         }
         match self.read_event() {
-            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(Some(ev)) => {
+                self.records += 1;
+                Some(Ok(ev))
+            }
             Ok(None) => {
                 self.done = true;
                 None
@@ -516,7 +546,11 @@ mod tests {
             let items: Vec<_> = TraceReader::new(&bytes[..cut]).unwrap().collect();
             assert_eq!(items.len(), 1, "cut at {cut}");
             assert!(
-                matches!(items[0], Err(TraceFileError::TornRecord { offset }) if offset == header as u64),
+                matches!(
+                    items[0],
+                    Err(TraceFileError::TornRecord { offset, records_read: 0 })
+                        if offset == header as u64
+                ),
                 "cut at {cut}: {:?}",
                 items[0]
             );
@@ -540,7 +574,11 @@ mod tests {
         let items: Vec<_> = TraceReader::new(&bad[..]).unwrap().collect();
         assert!(items[0].is_ok(), "first record untouched");
         assert!(
-            matches!(items[1], Err(TraceFileError::Checksum { offset }) if offset == second as u64),
+            matches!(
+                items[1],
+                Err(TraceFileError::Checksum { offset, records_read: 1 })
+                    if offset == second as u64
+            ),
             "{:?}",
             items[1]
         );
@@ -562,10 +600,54 @@ mod tests {
 
     #[test]
     fn error_messages_name_the_failure() {
-        assert!(TraceFileError::TornRecord { offset: 9 }.to_string().contains("truncated"));
-        assert!(TraceFileError::Checksum { offset: 9 }.to_string().contains("corrupted"));
+        let torn = TraceFileError::TornRecord { offset: 9, records_read: 4 };
+        assert!(torn.to_string().contains("truncated"));
+        assert!(torn.to_string().contains("4 records"), "{torn}");
+        let bad = TraceFileError::Checksum { offset: 9, records_read: 2 };
+        assert!(bad.to_string().contains("corrupted"));
+        assert!(bad.to_string().contains("2 records"), "{bad}");
         assert!(TraceFileError::UnsupportedVersion(1).to_string().contains("version 1"));
         assert!(TraceFileError::NotATrace.to_string().contains("not a depprof trace"));
+    }
+
+    /// Regression: record errors carry the count of records decoded
+    /// before the failure, and it matches both what the iterator yielded
+    /// and the reader's own counter — so a caller salvaging the prefix
+    /// of a damaged trace knows exactly how much it kept.
+    #[test]
+    fn damaged_trace_errors_report_salvageable_prefix() {
+        let evs = sample_events();
+        let clean = record(&evs);
+        // Torn mid-final-record: all 7 earlier records read cleanly.
+        let cut = &clean[..clean.len() - 3];
+        let mut r = TraceReader::new(cut).unwrap();
+        let mut ok = 0u64;
+        let mut torn_records = None;
+        for item in &mut r {
+            match item {
+                Ok(_) => ok += 1,
+                Err(TraceFileError::TornRecord { records_read, .. }) => {
+                    torn_records = Some(records_read)
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(ok, evs.len() as u64 - 1);
+        assert_eq!(torn_records, Some(ok), "error must carry the salvageable prefix");
+        assert_eq!(r.records_read(), ok);
+
+        // Corrupted third record: two records salvage.
+        let header = record(&[]).len();
+        let mut bad = clean.clone();
+        // LoopBegin (20 B) + LoopIter (24 B) precede the first access.
+        let third = header + 20 + 24;
+        bad[third + 2] ^= 0x10;
+        let items: Vec<_> = TraceReader::new(&bad[..]).unwrap().collect();
+        assert_eq!(items.len(), 3);
+        assert!(matches!(
+            items[2],
+            Err(TraceFileError::Checksum { records_read: 2, offset }) if offset == third as u64
+        ));
     }
 
     #[test]

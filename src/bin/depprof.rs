@@ -8,7 +8,14 @@
 //!                            [--workers N] [--slots N] [--scale F]
 //!                            [--inject-panic W@N] [--inject-stall W@N]
 //!                            [--report|--analyze|--dot|--csv]
+//!                            [--stats json|text]
 //! ```
+//!
+//! `--stats` replaces the normal report on stdout with the pipeline
+//! metrics snapshot (event-conservation counters, queue statistics,
+//! signature gauges, phase timings) — `json` emits a single stable-keyed
+//! JSON object suitable for `jq`, `text` a human-readable table. The
+//! engine banner and any degradation warnings stay on stderr.
 //!
 //! `<workload>` is any bundled mini (NAS: bt sp lu is ep cg mg ft;
 //! Starbench: c-ray kmeans md5 ray-rot rgbyuv rotate rot-cc
@@ -47,6 +54,7 @@ struct Args {
     overflow: Option<OverflowPolicy>,
     inject_panic: Option<WorkerFault>,
     inject_stall: Option<WorkerFault>,
+    stats: Option<String>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -66,6 +74,7 @@ fn parse() -> Result<Args, String> {
             overflow: None,
             inject_panic: None,
             inject_stall: None,
+            stats: None,
         };
         let mut i = 2;
         while i < argv.len() {
@@ -100,6 +109,7 @@ fn parse() -> Result<Args, String> {
             overflow: None,
             inject_panic: None,
             inject_stall: None,
+            stats: None,
         });
     }
     if argv[0] != "profile" {
@@ -116,6 +126,7 @@ fn parse() -> Result<Args, String> {
         overflow: None,
         inject_panic: None,
         inject_stall: None,
+        stats: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -168,6 +179,14 @@ fn parse() -> Result<Args, String> {
                 i += 1;
                 a.scale = argv.get(i).and_then(|s| s.parse().ok()).ok_or("--scale: float")?;
             }
+            "--stats" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--stats needs a format (json|text)")?;
+                if v != "json" && v != "text" {
+                    return Err(format!("--stats: unknown format '{v}' (json|text)"));
+                }
+                a.stats = Some(v.clone());
+            }
             "--report" => a.mode = "report".into(),
             "--analyze" => a.mode = "analyze".into(),
             "--dot" => a.mode = "dot".into(),
@@ -206,7 +225,7 @@ fn main() {
                  [--transport spsc|mpmc|lock] [--overflow block|drop] \
                  [--workers N] [--slots N] [--scale F] \
                  [--inject-panic W@N] [--inject-stall W@N] \
-                 [--report|--analyze|--dot|--csv]\n  \
+                 [--report|--analyze|--dot|--csv] [--stats json|text]\n  \
                  depprof record <workload> [--out trace.dptr] [--scale F]\n  \
                  depprof replay <trace.dptr> [--slots N]"
             );
@@ -356,6 +375,23 @@ fn main() {
     };
 
     eprintln!("{}\n", report::summary(&result));
+    if let Some(fmt) = &args.stats {
+        // Stats mode replaces the report: stdout carries *only* the
+        // snapshot so `depprof ... --stats json | jq` works unpiped.
+        match fmt.as_str() {
+            "json" => println!("{}", result.metrics.to_json()),
+            _ => println!("{}", result.metrics.to_text()),
+        }
+        let d = degradation(&result);
+        if d.degraded() {
+            for f in &result.stats.worker_failures {
+                eprintln!("WARNING: {f}");
+            }
+            eprintln!("WARNING: {} — expected FNR ~{:.2}%", d.summary(), d.expected_fnr());
+            std::process::exit(EXIT_DEGRADED);
+        }
+        return;
+    }
     match args.mode.as_str() {
         "report" => {
             println!("{}", report::render(&result, &w.program.interner, w.meta.parallel));

@@ -1,0 +1,255 @@
+//! Property-based proof of the pipeline's event-conservation law.
+//!
+//! Every event the router accepts is accounted for exactly once in the
+//! metrics snapshot:
+//!
+//! ```text
+//! pushed == consumed + dropped + rerouted + in_flight_at_shutdown
+//! ```
+//!
+//! The suite drives random event streams through every transport kind
+//! (SPSC fast path, lock-free MPMC, lock-based comparator) under random
+//! fault plans — inert, worker panic, worker stall under the `drop`
+//! overflow policy — plus a chaos sweep over a transport that injects
+//! seeded spurious send/receive failures. In every case the ledger must
+//! balance and the metrics-side drop count must agree exactly with the
+//! engine's own `dropped_events` statistic.
+//!
+//! The assertions are live when the `metrics` feature (default) is on;
+//! with metrics compiled out the snapshot is all-zero and the suite
+//! degenerates to a crash test of the same fault matrix.
+
+use depprof::core::parallel::{AnyParallelProfiler, ParallelProfiler};
+use depprof::core::{
+    FaultPlan, MetricsSnapshot, OverflowPolicy, ProfileResult, ProfilerConfig, TransportKind,
+};
+use depprof::queue::{FailingTransport, SpscTransport};
+use depprof::sig::PerfectSignature;
+use depprof::types::{loc::loc, AccessKind, MemAccess, TraceEvent, Tracer};
+use proptest::prelude::*;
+
+/// What the generated fault plan does, so the config can be shaped to
+/// terminate quickly (stalls need the `drop` overflow policy and tight
+/// deadlines; panics drain fine under the default `block`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PlanKind {
+    Inert,
+    Panic { worker: usize, after_chunks: u64 },
+    Stall { worker: usize, after_chunks: u64 },
+}
+
+fn arb_plan() -> impl Strategy<Value = PlanKind> {
+    prop_oneof![
+        4 => Just(PlanKind::Inert),
+        3 => (0usize..4, 0u64..4)
+            .prop_map(|(worker, after_chunks)| PlanKind::Panic { worker, after_chunks }),
+        1 => (0usize..4, 0u64..3)
+            .prop_map(|(worker, after_chunks)| PlanKind::Stall { worker, after_chunks }),
+    ]
+}
+
+/// Random well-formed access stream: monotone timestamps over a bounded
+/// address set so every worker's residue class gets traffic.
+fn arb_stream() -> impl Strategy<Value = Vec<TraceEvent>> {
+    prop::collection::vec((0u64..96, any::<bool>(), 1u32..60), 1..500).prop_map(|steps| {
+        let mut ts = 0u64;
+        steps
+            .into_iter()
+            .map(|(slot, is_write, line)| {
+                ts += 1;
+                TraceEvent::Access(MemAccess {
+                    addr: 0x1000 + slot * 8,
+                    ts,
+                    loc: loc(1, line),
+                    var: 1,
+                    thread: 0,
+                    kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                })
+            })
+            .collect()
+    })
+}
+
+/// The two counter invariants every run must satisfy, whatever the fault
+/// plan did: the conservation ledger balances, and the metrics-side drop
+/// count equals the engine's own loss statistic (both count the same
+/// events — in the tested matrix no dropped chunk ever carries rerouted
+/// marks, because diversion only happens *away* from dead workers and
+/// survivors' chunks are delivered, not dropped).
+fn assert_conserved(r: &ProfileResult, ctx: &str) -> Result<(), TestCaseError> {
+    let m: &MetricsSnapshot = &r.metrics;
+    if !m.enabled {
+        return Ok(()); // metrics feature off: nothing to prove
+    }
+    prop_assert!(m.conservation.holds(), "{ctx}: conservation violated: {:?}", m.conservation);
+    prop_assert_eq!(
+        m.conservation.dropped,
+        r.stats.dropped_events,
+        "{ctx}: metrics dropped != stats.dropped_events"
+    );
+    let per_worker_consumed: u64 = m.per_worker.iter().map(|w| w.consumed).sum();
+    prop_assert_eq!(
+        per_worker_consumed,
+        m.conservation.consumed,
+        "{ctx}: per-worker consumed must sum to the ledger total"
+    );
+    Ok(())
+}
+
+fn cfg_for(plan: PlanKind, workers: usize) -> ProfilerConfig {
+    let mut cfg = ProfilerConfig::default()
+        .with_workers(workers)
+        .with_chunk_capacity(8)
+        .with_redistribution(false);
+    cfg.queue_chunks = 4;
+    match plan {
+        PlanKind::Inert => cfg,
+        PlanKind::Panic { worker, after_chunks } => cfg
+            .with_fault_plan(FaultPlan::none().with_panic(worker % workers, after_chunks))
+            .with_drain_deadline_ms(500),
+        PlanKind::Stall { worker, after_chunks } => cfg
+            .with_fault_plan(FaultPlan::none().with_stall(worker % workers, after_chunks))
+            .with_overflow(OverflowPolicy::Drop)
+            .with_stall_deadline_ms(10)
+            .with_drain_deadline_ms(100),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// THE headline invariant: for every transport kind and every fault
+    /// plan, `pushed == consumed + dropped + rerouted +
+    /// in_flight_at_shutdown`, and losses agree with the engine's own
+    /// accounting.
+    #[test]
+    fn conservation_holds_across_transports_and_faults(
+        evs in arb_stream(),
+        plan in arb_plan(),
+        workers in 2usize..5,
+    ) {
+        for kind in [TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock] {
+            let cfg = cfg_for(plan, workers).with_transport(kind);
+            let mut p: AnyParallelProfiler<PerfectSignature> =
+                AnyParallelProfiler::new(cfg, PerfectSignature::new);
+            for e in &evs {
+                p.event(*e);
+            }
+            let r = p.finish();
+            assert_conserved(&r, &format!("{kind:?}/{plan:?}/w{workers}"))?;
+            if plan == PlanKind::Inert && r.metrics.enabled {
+                // A healthy run loses nothing: everything pushed was
+                // consumed and the queues drained empty.
+                prop_assert_eq!(r.metrics.conservation.pushed, evs.len() as u64);
+                prop_assert_eq!(r.metrics.conservation.consumed, evs.len() as u64);
+                prop_assert_eq!(r.metrics.conservation.in_flight_at_shutdown, 0);
+                prop_assert_eq!(r.metrics.chunks.pushed, r.metrics.chunks.consumed);
+            }
+        }
+    }
+}
+
+/// Chaos sweep: a transport that injects seeded spurious send failures
+/// and empty receives only costs retries — the ledger still balances,
+/// nothing is dropped, and the snapshot records the retry traffic. Eight
+/// seeds by default; `DEPPROF_CHAOS_SEED` pins one for reproduction.
+#[test]
+fn conservation_holds_under_chaotic_transport_seeds() {
+    let evs: Vec<TraceEvent> = (0..400u64)
+        .map(|i| {
+            TraceEvent::Access(MemAccess::write(
+                0x1000 + (i % 64) * 8,
+                i + 1,
+                loc(1, 1 + (i % 50) as u32),
+                1,
+                0,
+            ))
+        })
+        .collect();
+    let seeds: Vec<u64> = match std::env::var("DEPPROF_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("DEPPROF_CHAOS_SEED must be an integer")],
+        Err(_) => vec![1, 7, 42, 1234, 2025, 31337, 86243, 216091],
+    };
+    for seed in seeds {
+        let plan = FaultPlan::none().with_seed(seed).with_spurious(25, 25);
+        let transport = FailingTransport::new(SpscTransport, plan);
+        let mut cfg = ProfilerConfig::default()
+            .with_workers(3)
+            .with_chunk_capacity(8)
+            .with_redistribution(false);
+        cfg.queue_chunks = 4;
+        let mut p: ParallelProfiler<PerfectSignature, _> =
+            ParallelProfiler::with_transport(transport, cfg, PerfectSignature::new);
+        for e in &evs {
+            p.event(*e);
+        }
+        let r = p.finish();
+        assert!(!r.degraded(), "seed {seed}: {:?}", r.stats.worker_failures);
+        if !r.metrics.enabled {
+            continue;
+        }
+        let c = &r.metrics.conservation;
+        assert!(c.holds(), "seed {seed}: conservation violated: {c:?}");
+        assert_eq!(c.pushed, evs.len() as u64, "seed {seed}");
+        assert_eq!(c.consumed, evs.len() as u64, "seed {seed}");
+        assert_eq!(c.dropped, 0, "seed {seed}");
+        assert_eq!(c.rerouted, 0, "seed {seed}");
+    }
+}
+
+/// The panic path attributes losses per worker: the dead worker's queue
+/// residue shows up as `dropped` + `in_flight_at_shutdown`, never as a
+/// silent imbalance, and the surviving workers' ledgers stay clean.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn panic_losses_are_attributed_not_silent() {
+    const WORKERS: usize = 4;
+    let evs: Vec<TraceEvent> = (0..512u64)
+        .map(|i| {
+            TraceEvent::Access(MemAccess::write(
+                0x1000 + (i % 64) * 8,
+                i + 1,
+                loc(1, 1 + (i % 40) as u32),
+                1,
+                0,
+            ))
+        })
+        .collect();
+    let cfg = ProfilerConfig::default()
+        .with_workers(WORKERS)
+        .with_chunk_capacity(8)
+        .with_redistribution(false)
+        .with_fault_plan(FaultPlan::none().with_panic(2, 0))
+        .with_drain_deadline_ms(500)
+        .with_transport(TransportKind::Mpmc);
+    let mut p: AnyParallelProfiler<PerfectSignature> =
+        AnyParallelProfiler::new(cfg, PerfectSignature::new);
+    // Feed a first slice, then give the supervisor time to notice the
+    // (immediate) death of worker 2, so the rest of its residue class is
+    // *diverted* rather than enqueued to a corpse.
+    let (first, rest) = evs.split_at(64);
+    for e in first {
+        p.event(*e);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    for e in rest {
+        p.event(*e);
+    }
+    let r = p.finish();
+    assert!(r.degraded());
+    if !r.metrics.enabled {
+        return;
+    }
+    let c = &r.metrics.conservation;
+    assert!(c.holds(), "conservation violated: {c:?}");
+    assert_eq!(c.dropped, r.stats.dropped_events);
+    // Worker 2 died before consuming anything, yet traffic to its residue
+    // class after the death is diverted to a survivor and *marked*: those
+    // copies appear in `rerouted` and nowhere else.
+    assert!(c.rerouted > 0, "diverted traffic must be ledgered: {c:?}");
+    for w in &r.metrics.per_worker {
+        if w.worker != 2 {
+            assert_eq!(w.dropped, 0, "survivor {} must not drop", w.worker);
+        }
+    }
+}

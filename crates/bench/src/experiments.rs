@@ -945,7 +945,9 @@ pub fn spsc(cfg: ExpConfig, out: Option<&str>) -> String {
     );
     let mut note = String::new();
     if let Some(path) = out {
-        match std::fs::write(path, &json) {
+        // Atomic temp-file + rename: an interrupted bench run never
+        // leaves a truncated JSON artifact for dashboards to choke on.
+        match dp_types::wire::atomic_write(std::path::Path::new(path), json.as_bytes()) {
             Ok(()) => note = format!("\n(JSON written to {path})"),
             Err(e) => note = format!("\n(failed to write {path}: {e})"),
         }

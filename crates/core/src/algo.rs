@@ -29,8 +29,8 @@ use crate::store::DepStore;
 use dp_metrics::SigGauges;
 use dp_sig::{AccessStore, SigEntry};
 use dp_types::{
-    AccessKind, DepFlags, DepType, LoopId, MemAccess, SinkKey, SourceLoc, ThreadId, Timestamp,
-    TraceEvent,
+    AccessKind, ByteReader, ByteWriter, DepFlags, DepType, LoopId, MemAccess, SinkKey, SourceLoc,
+    ThreadId, Timestamp, TraceEvent, WireError,
 };
 
 /// Counters every engine reports (merged into
@@ -301,6 +301,75 @@ impl<S: AccessStore> AlgoState<S> {
     pub fn finish(self) -> (DepStore, ExecTree, AlgoCounters, usize) {
         let sig_mem = self.sig_read.memory_usage() + self.sig_write.memory_usage();
         (self.store, self.exec_tree, self.counters, sig_mem)
+    }
+
+    /// Serializes the complete extraction state — both signatures, the
+    /// local dependence map, the execution tree, the loop stacks and the
+    /// counters — for a crash-safe checkpoint. Returns `false` without
+    /// writing anything useful when the access store does not support
+    /// checkpointing (see [`AccessStore::save_state`]).
+    ///
+    /// The behaviour switches ([`AlgoOptions`]) are *not* serialized: a
+    /// resumed engine reconstructs the state with the same configuration
+    /// (recorded in the checkpoint header at the engine layer) before
+    /// calling [`AlgoState::restore_state`].
+    pub fn save_state(&self, out: &mut ByteWriter) -> bool {
+        let mut sig_r = ByteWriter::new();
+        if !self.sig_read.save_state(&mut sig_r) {
+            return false;
+        }
+        let mut sig_w = ByteWriter::new();
+        if !self.sig_write.save_state(&mut sig_w) {
+            return false;
+        }
+        out.blob(&sig_r.into_bytes());
+        out.blob(&sig_w.into_bytes());
+        let mut b = ByteWriter::new();
+        self.store.save(&mut b);
+        out.blob(&b.into_bytes());
+        let mut b = ByteWriter::new();
+        self.exec_tree.save(&mut b);
+        out.blob(&b.into_bytes());
+        let mut b = ByteWriter::new();
+        self.loops.save(&mut b);
+        out.blob(&b.into_bytes());
+        out.u64(self.counters.events);
+        out.u64(self.counters.accesses);
+        out.u64(self.counters.reads);
+        out.u64(self.counters.writes);
+        out.u64(self.counters.reversed);
+        out.u64(self.counters.lifetime_removals);
+        true
+    }
+
+    /// Restores state previously produced by [`AlgoState::save_state`] on
+    /// an identically-configured state (same store dimensions and
+    /// [`AlgoOptions`]).
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = ByteReader::new(bytes);
+        let sig_r = r.blob()?;
+        let sig_w = r.blob()?;
+        let store = DepStore::load(r.blob()?)?;
+        let exec_tree = ExecTree::load(r.blob()?)?;
+        let loops = LoopTracker::load(r.blob()?)?;
+        let counters = AlgoCounters {
+            events: r.u64()?,
+            accesses: r.u64()?,
+            reads: r.u64()?,
+            writes: r.u64()?,
+            reversed: r.u64()?,
+            lifetime_removals: r.u64()?,
+        };
+        if !r.is_done() {
+            return Err(WireError::Invalid("trailing bytes after algorithm state"));
+        }
+        self.sig_read.restore_state(sig_r)?;
+        self.sig_write.restore_state(sig_w)?;
+        self.store = store;
+        self.exec_tree = exec_tree;
+        self.loops = loops;
+        self.counters = counters;
+        Ok(())
     }
 
     /// Read-side signature occupancy (diagnostics).
@@ -578,6 +647,83 @@ mod tests {
         assert!(g.occupied_slots >= 1 && g.occupied_slots <= 4);
         assert!(g.est_fpr_pct > 0.0, "a partially full signature has nonzero predicted FPR");
         assert!(g.est_fpr_pct <= 100.0);
+    }
+
+    #[test]
+    fn save_restore_resumes_identically() {
+        // Feed a prefix (including a still-open loop), checkpoint, then
+        // feed the identical suffix to the original and the restored
+        // state: dependences, loop records and counters must match.
+        let mut a = perfect();
+        a.on_event(&acc(AccessKind::Write, 0x8, 1, 10));
+        a.on_event(&TraceEvent::LoopBegin { loop_id: 7, loc: loc(1, 4), thread: 0, ts: 2 });
+        a.on_event(&TraceEvent::LoopIter { loop_id: 7, iter: 0, thread: 0, ts: 3 });
+        a.on_event(&acc(AccessKind::Read, 0x8, 4, 5));
+        a.on_event(&acc(AccessKind::Write, 0x8, 5, 5));
+        let mut out = ByteWriter::new();
+        assert!(a.save_state(&mut out));
+        let bytes = out.into_bytes();
+        let mut b = perfect();
+        b.restore_state(&bytes).unwrap();
+        let suffix = |s: &mut Perfect| {
+            s.on_event(&TraceEvent::LoopIter { loop_id: 7, iter: 1, thread: 0, ts: 13 });
+            s.on_event(&acc(AccessKind::Read, 0x8, 14, 5)); // carried RAW
+            s.on_event(&acc(AccessKind::Write, 0x8, 15, 5));
+            s.on_event(&TraceEvent::LoopEnd {
+                loop_id: 7,
+                loc: loc(1, 6),
+                iters: 2,
+                thread: 0,
+                ts: 20,
+            });
+        };
+        suffix(&mut a);
+        suffix(&mut b);
+        assert_eq!(a.counters(), b.counters());
+        let deps =
+            |s: &Perfect| s.store.dependences().map(|(d, v)| (d, v.clone())).collect::<Vec<_>>();
+        assert_eq!(deps(&a), deps(&b));
+        assert_eq!(a.store.loop_record(7), b.store.loop_record(7));
+        let carried = deps(&b);
+        assert!(
+            carried
+                .iter()
+                .any(|(d, _)| d.edge.flags.contains(DepFlags::LOOP_CARRIED)
+                    && d.edge.carrier == Some(7)),
+            "loop nest survived the checkpoint: {carried:?}"
+        );
+    }
+
+    #[test]
+    fn save_restore_works_for_signature_stores() {
+        let sig = || Signature::<ExtendedSlot>::new(64);
+        let mk = || {
+            AlgoState::new(
+                sig(),
+                sig(),
+                AlgoOptions { check_reversal: true, ..AlgoOptions::default() },
+            )
+        };
+        let mut a = mk();
+        for i in 0..40u64 {
+            a.on_event(&acc(AccessKind::Write, 0x1000 + i * 8, i * 2 + 1, 1 + i as u32));
+            a.on_event(&acc(AccessKind::Read, 0x1000 + i * 8, i * 2 + 2, 50));
+        }
+        let mut out = ByteWriter::new();
+        assert!(a.save_state(&mut out));
+        let bytes = out.into_bytes();
+        let mut b = mk();
+        b.restore_state(&bytes).unwrap();
+        assert_eq!(a.occupancy(), b.occupancy());
+        assert_eq!(a.counters(), b.counters());
+        // Identical state re-serializes to identical bytes.
+        let mut again = ByteWriter::new();
+        assert!(b.save_state(&mut again));
+        assert_eq!(again.into_bytes(), bytes);
+        // A differently-sized signature refuses the blob.
+        let small = || Signature::<ExtendedSlot>::new(8);
+        let mut c = AlgoState::new(small(), small(), AlgoOptions::default());
+        assert!(c.restore_state(&bytes).is_err());
     }
 
     #[test]

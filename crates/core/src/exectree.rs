@@ -11,8 +11,49 @@
 //! The *call tree* is this tree restricted to function nodes
 //! ([`ExecTree::call_tree`]).
 
-use dp_types::{LoopId, ThreadId};
+use dp_types::{ByteReader, ByteWriter, LoopId, ThreadId, WireError};
 use std::collections::BTreeMap;
+
+fn save_kind(k: ExecNodeKind, out: &mut ByteWriter) {
+    match k {
+        ExecNodeKind::Call(f) => {
+            out.u8(0);
+            out.u32(f);
+        }
+        ExecNodeKind::Loop(l) => {
+            out.u8(1);
+            out.u32(l);
+        }
+    }
+}
+
+fn load_kind(r: &mut ByteReader) -> Result<ExecNodeKind, WireError> {
+    Ok(match r.u8()? {
+        0 => ExecNodeKind::Call(r.u32()?),
+        1 => ExecNodeKind::Loop(r.u32()?),
+        _ => return Err(WireError::Invalid("unknown execution-tree node kind")),
+    })
+}
+
+fn save_node(n: &ExecNode, out: &mut ByteWriter) {
+    out.u64(n.count);
+    out.u32(n.children.len() as u32);
+    for (k, c) in &n.children {
+        save_kind(*k, out);
+        save_node(c, out);
+    }
+}
+
+fn load_node(r: &mut ByteReader) -> Result<ExecNode, WireError> {
+    let count = r.u64()?;
+    let nchildren = r.u32()?;
+    let mut children = BTreeMap::new();
+    for _ in 0..nchildren {
+        let k = load_kind(r)?;
+        children.insert(k, load_node(r)?);
+    }
+    Ok(ExecNode { count, children })
+}
 
 /// What a node of the execution tree represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -148,6 +189,52 @@ impl ExecTree {
         out
     }
 
+    /// Serializes the tree *and* the live recording stacks for a
+    /// checkpoint, so a resumed run keeps attributing entries to the
+    /// correct (possibly still-open) nesting context. Deterministic via
+    /// BTreeMap order.
+    pub fn save(&self, out: &mut ByteWriter) {
+        out.u32(self.roots.len() as u32);
+        for (t, n) in &self.roots {
+            out.u16(*t);
+            save_node(n, out);
+        }
+        out.u32(self.stacks.len() as u32);
+        for (t, s) in &self.stacks {
+            out.u16(*t);
+            out.u32(s.len() as u32);
+            for k in s {
+                save_kind(*k, out);
+            }
+        }
+    }
+
+    /// Rebuilds a tree previously produced by [`ExecTree::save`].
+    pub fn load(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let nroots = r.u32()?;
+        let mut roots = BTreeMap::new();
+        for _ in 0..nroots {
+            let t = r.u16()?;
+            roots.insert(t, load_node(&mut r)?);
+        }
+        let nstacks = r.u32()?;
+        let mut stacks = BTreeMap::new();
+        for _ in 0..nstacks {
+            let t = r.u16()?;
+            let depth = r.u32()?;
+            let mut stack = Vec::with_capacity(depth as usize);
+            for _ in 0..depth {
+                stack.push(load_kind(&mut r)?);
+            }
+            stacks.insert(t, stack);
+        }
+        if !r.is_done() {
+            return Err(WireError::Invalid("trailing bytes after execution tree"));
+        }
+        Ok(ExecTree { roots, stacks })
+    }
+
     /// Approximate heap footprint.
     pub fn memory_usage(&self) -> usize {
         fn sz(n: &ExecNode) -> usize {
@@ -230,6 +317,48 @@ mod tests {
         t.exit(0, ExecNodeKind::Call(1)); // extra
         let (_, root) = t.roots().next().unwrap();
         assert_eq!(root.children[&ExecNodeKind::Call(1)].count, 1);
+    }
+
+    #[test]
+    fn save_load_preserves_tree_and_open_stacks() {
+        let mut a = ExecTree::new();
+        a.enter(0, ExecNodeKind::Call(7));
+        a.enter(0, ExecNodeKind::Loop(1)); // left open across the checkpoint
+        a.enter(3, ExecNodeKind::Call(9));
+        a.exit(3, ExecNodeKind::Call(9));
+        let mut out = ByteWriter::new();
+        a.save(&mut out);
+        let bytes = out.into_bytes();
+        let mut b = ExecTree::load(&bytes).unwrap();
+        // Continuing on the restored tree must behave exactly like
+        // continuing on the original: the next enter lands under the
+        // still-open loop node.
+        a.enter(0, ExecNodeKind::Call(8));
+        b.enter(0, ExecNodeKind::Call(8));
+        let path = |t: &ExecTree| {
+            let (_, root) = t.roots().next().unwrap();
+            let l = &root.children[&ExecNodeKind::Call(7)].children[&ExecNodeKind::Loop(1)];
+            l.children[&ExecNodeKind::Call(8)].count
+        };
+        assert_eq!(path(&a), 1);
+        assert_eq!(path(&b), 1);
+        // Resave (before the extra enter) is byte-identical.
+        let c = ExecTree::load(&bytes).unwrap();
+        let mut again = ByteWriter::new();
+        c.save(&mut again);
+        assert_eq!(again.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn load_rejects_truncation_and_trailing_bytes() {
+        let mut a = ExecTree::new();
+        a.enter(0, ExecNodeKind::Call(1));
+        let mut out = ByteWriter::new();
+        a.save(&mut out);
+        let mut bytes = out.into_bytes();
+        assert!(ExecTree::load(&bytes[..bytes.len() - 1]).is_err());
+        bytes.push(0);
+        assert!(ExecTree::load(&bytes).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod checkpoint;
 pub mod config;
 pub mod exectree;
 pub mod loops;
@@ -40,19 +41,27 @@ pub mod report;
 pub mod result;
 pub mod seq;
 pub mod store;
+pub mod watchdog;
 
 pub use algo::{AlgoOptions, AlgoState};
+pub use checkpoint::{
+    CheckpointData, CheckpointError, CheckpointStats, CheckpointStore, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+};
 pub use config::{OverflowPolicy, ProfilerConfig, TransportKind};
 pub use exectree::{ExecNode, ExecNodeKind, ExecTree};
 pub use mt::MtProfiler;
 pub use parallel::{AnyParallelProfiler, ParallelProfiler, SpscProfiler, WorkerMsg};
 pub use result::{FailureCause, MemoryReport, ProfileResult, ProfileStats, WorkerFailure};
+pub use watchdog::Watchdog;
 // Re-exported so downstream code can script faults without depending on
 // dp-queue directly.
 pub use dp_queue::{FaultPlan, WorkerFault};
 // Re-exported so downstream code can read snapshots and install
 // observers without depending on dp-metrics directly.
-pub use dp_metrics::{Conservation, MetricsSnapshot, ObserverHandle, PipelineObserver, SigGauges};
+pub use dp_metrics::{
+    CheckpointMetrics, Conservation, MetricsSnapshot, ObserverHandle, PipelineObserver, SigGauges,
+};
 pub use seq::{offload_sequential, SequentialProfiler};
 pub use store::{DepStore, EdgeVal, LoopRecord};
 

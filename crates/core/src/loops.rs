@@ -19,7 +19,7 @@
 //! - `s < begin_ts(L)` for every active `L` → the dependence enters the
 //!   loop nest from outside and constrains no loop.
 
-use dp_types::{LoopId, SourceLoc, ThreadId, Timestamp};
+use dp_types::{ByteReader, ByteWriter, LoopId, SourceLoc, ThreadId, Timestamp, WireError};
 
 /// One active loop level.
 #[derive(Debug, Clone, Copy)]
@@ -136,6 +136,50 @@ impl LoopTracker {
         self.stacks.get(t as usize).map_or(0, Vec::len)
     }
 
+    /// Serializes every thread's active-loop stack for a checkpoint, so
+    /// carried classification after a resume sees the same loop nest and
+    /// timestamps an uninterrupted run would.
+    pub fn save(&self, out: &mut ByteWriter) {
+        out.u32(self.stacks.len() as u32);
+        for s in &self.stacks {
+            out.u32(s.len() as u32);
+            for l in s {
+                out.u32(l.loop_id);
+                out.u32(l.begin.pack());
+                out.u32(l.end.pack());
+                out.u64(l.begin_ts);
+                out.u64(l.iter_start_ts);
+                out.u64(l.iters);
+            }
+        }
+    }
+
+    /// Rebuilds a tracker previously produced by [`LoopTracker::save`].
+    pub fn load(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let nthreads = r.u32()?;
+        let mut stacks = Vec::with_capacity(nthreads as usize);
+        for _ in 0..nthreads {
+            let depth = r.u32()?;
+            let mut stack = Vec::with_capacity(depth as usize);
+            for _ in 0..depth {
+                stack.push(ActiveLoop {
+                    loop_id: r.u32()?,
+                    begin: SourceLoc::unpack(r.u32()?),
+                    end: SourceLoc::unpack(r.u32()?),
+                    begin_ts: r.u64()?,
+                    iter_start_ts: r.u64()?,
+                    iters: r.u64()?,
+                });
+            }
+            stacks.push(stack);
+        }
+        if !r.is_done() {
+            return Err(WireError::Invalid("trailing bytes after loop tracker"));
+        }
+        Ok(LoopTracker { stacks })
+    }
+
     /// Approximate heap footprint.
     pub fn memory_usage(&self) -> usize {
         self.stacks
@@ -213,6 +257,40 @@ mod tests {
         assert_eq!(t.classify(3, 6), CarrierInfo::IntraIteration);
         assert_eq!(t.depth(0), 1);
         assert_eq!(t.depth(3), 1);
+    }
+
+    #[test]
+    fn save_load_preserves_mid_loop_classification() {
+        let mut t = LoopTracker::new();
+        t.begin(0, 0, loc(1, 1), 10); // outer
+        t.iter(0, 0, 11);
+        t.begin(0, 1, loc(1, 2), 12); // inner, still active
+        t.iter(0, 1, 13);
+        t.iter(0, 1, 20);
+        let mut out = ByteWriter::new();
+        t.save(&mut out);
+        let bytes = out.into_bytes();
+        let mut u = LoopTracker::load(&bytes).unwrap();
+        assert_eq!(u.depth(0), 2);
+        for ts in [5u64, 11, 14, 21] {
+            assert_eq!(u.classify(0, ts), t.classify(0, ts), "ts {ts}");
+        }
+        // Ending the inner loop on the restored tracker reports the same
+        // instance data as on the original.
+        assert_eq!(u.end(0, 1, loc(1, 5)), t.end(0, 1, loc(1, 5)));
+        let mut again = ByteWriter::new();
+        LoopTracker::load(&bytes).unwrap().save(&mut again);
+        assert_eq!(again.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let mut t = LoopTracker::new();
+        t.begin(0, 0, loc(1, 1), 1);
+        let mut out = ByteWriter::new();
+        t.save(&mut out);
+        let bytes = out.into_bytes();
+        assert!(LoopTracker::load(&bytes[..bytes.len() - 2]).is_err());
     }
 
     #[test]

@@ -80,6 +80,10 @@ struct MtShared {
     /// many producers, so the taps are fed inline here instead of through
     /// the `MeteredSender`/`MeteredReceiver` decorators.
     taps: Vec<ChannelTap>,
+    /// Checkpoint reply slots: worker `w` deposits `Some(state)` when it
+    /// handles [`WorkerMsg::Checkpoint`]. The inner option is `None`
+    /// when the worker's access store does not support checkpointing.
+    ckpt_replies: Mutex<Vec<Option<Option<Vec<u8>>>>>,
 }
 
 impl MtShared {
@@ -256,6 +260,7 @@ impl MtProfiler {
             stall_deadline_ms: cfg.stall_deadline_ms,
             metrics: EngineMetrics::new(w),
             taps: (0..w).map(|_| ChannelTap::default()).collect(),
+            ckpt_replies: Mutex::new((0..w).map(|_| None).collect()),
         });
         let mut handles = Vec::with_capacity(w);
         for wid in 0..w {
@@ -281,6 +286,77 @@ impl MtProfiler {
             observer: cfg.observer,
             timer: Stopwatch::start(),
         }
+    }
+
+    /// Monotone progress value for a run watchdog: events pushed by the
+    /// target threads plus events consumed by the workers. Constant 0
+    /// when the `metrics` feature is off.
+    pub fn heartbeat(&self) -> u64 {
+        let m = &self.shared.metrics;
+        m.pushed.get() + m.consumed.iter().map(dp_metrics::Counter::get).sum::<u64>()
+    }
+
+    /// Captures a checkpoint of every worker's extraction state plus the
+    /// conservation ledger.
+    ///
+    /// Call only at a global sync point of the target program: every
+    /// target thread must have passed [`Tracer::sync_point`] (flushing
+    /// its chunk buffers) with no new events produced since, so the
+    /// queue contents ahead of the barrier fully determine worker
+    /// state. The MT engine supports *writing* checkpoints (an
+    /// emergency snapshot a later sequential replay can inspect);
+    /// resuming an MT run is not supported — there is no single trace
+    /// position to seek multiple free-running target threads to.
+    pub fn checkpoint_data(
+        &self,
+        generation: u64,
+        records_read: u64,
+        config: Vec<u8>,
+    ) -> Result<crate::checkpoint::CheckpointData, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{CheckpointData, CheckpointError};
+        let w = self.shared.queues.len();
+        let drain = Duration::from_millis(self.drain_deadline_ms.max(1));
+        {
+            let mut slots = self.shared.ckpt_replies.lock();
+            slots.clear();
+            slots.resize(w, None);
+        }
+        for wid in 0..w {
+            if self.shared.deliver(wid, WorkerMsg::Checkpoint, Some(drain)).is_err() {
+                return Err(CheckpointError::WorkerUnavailable(wid));
+            }
+        }
+        let deadline = Instant::now() + drain;
+        let mut workers = Vec::with_capacity(w);
+        for wid in 0..w {
+            loop {
+                if let Some(reply) = self.shared.ckpt_replies.lock()[wid].take() {
+                    match reply {
+                        Some(bytes) => workers.push(bytes),
+                        None => {
+                            return Err(CheckpointError::Unsupported(
+                                "the worker access store does not support checkpointing",
+                            ))
+                        }
+                    }
+                    break;
+                }
+                if self.shared.dead[wid].load(Ordering::Acquire) || Instant::now() >= deadline {
+                    return Err(CheckpointError::WorkerUnavailable(wid));
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+        Ok(CheckpointData {
+            generation,
+            records_read,
+            config,
+            // The MT router is distributed across target threads: no
+            // central statistics to capture.
+            router: Vec::new(),
+            ledger: self.shared.metrics.save(),
+            workers,
+        })
     }
 
     /// Drains the pipeline, joins the workers and merges their results —
@@ -426,6 +502,9 @@ impl MtProfiler {
                 },
                 stall_nanos: stall_total,
                 signatures: gauges,
+                // Checkpoint accounting is owned by the driver that owns
+                // the checkpoint store, not by the engine.
+                checkpoints: Default::default(),
                 // The MT router is distributed across target threads, so
                 // there is no central hot-address table to report.
                 hot_addresses: Vec::new(),
@@ -535,6 +614,13 @@ fn run_mt_worker<S: AccessStore>(
             }
             Some(WorkerMsg::Inject { addr, read, write }) => algo.inject(addr, read, write),
             Some(WorkerMsg::Extract { .. }) => { /* not used in MT mode */ }
+            Some(WorkerMsg::Checkpoint) => {
+                // Queue FIFO order guarantees everything flushed before
+                // the barrier is already folded into `algo`.
+                let mut out = dp_types::wire::ByteWriter::new();
+                let state = algo.save_state(&mut out).then(|| out.into_bytes());
+                shared.ckpt_replies.lock()[wid] = Some(state);
+            }
             Some(WorkerMsg::Shutdown) => break,
             None => backoff.snooze(),
         }
@@ -608,6 +694,30 @@ mod tests {
         let rec = r.deps.loop_record(3).unwrap();
         assert_eq!(rec.total_iters, 7);
         assert_eq!(rec.instances, 1);
+    }
+
+    /// At a global sync point the MT engine can snapshot every worker's
+    /// extraction state plus a conserved ledger.
+    #[test]
+    fn mt_checkpoint_captures_all_workers() {
+        let prof = MtProfiler::new(cfg(2).with_drain_deadline_ms(2000));
+        let mut t1 = prof.tracer(1);
+        t1.event(acc(AccessKind::Write, 0x80, 1, 5, 1));
+        t1.event(acc(AccessKind::Write, 0x88, 2, 6, 1));
+        t1.sync_point();
+        let data = prof.checkpoint_data(0, 2, b"mt".to_vec()).unwrap();
+        assert_eq!(data.workers.len(), 2);
+        assert!(data.workers.iter().all(|w| !w.is_empty()));
+        assert!(data.router.is_empty(), "MT has no central router state");
+        if dp_metrics::ENABLED {
+            assert!(!data.ledger.is_empty());
+        }
+        // The engine keeps running after the snapshot.
+        t1.event(acc(AccessKind::Read, 0x80, 3, 7, 1));
+        prof.join(1, t1);
+        let r = prof.finish();
+        assert!(!r.degraded(), "{:?}", r.stats);
+        assert!(r.deps.dependences().any(|(d, _)| d.edge.dtype == DepType::Raw));
     }
 
     /// A panicking MT worker degrades the run; survivors are salvaged.

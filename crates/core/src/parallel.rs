@@ -62,6 +62,7 @@
 //! [`ParallelProfiler::with_transport`].
 
 use crate::algo::{AlgoCounters, AlgoOptions, AlgoState};
+use crate::checkpoint::{CheckpointData, CheckpointError};
 use crate::config::{OverflowPolicy, ProfilerConfig, TransportKind};
 use crate::result::{FailureCause, MemoryReport, ProfileResult, ProfileStats, WorkerFailure};
 use crate::store::DepStore;
@@ -74,7 +75,7 @@ use dp_queue::{
     Shared, SpscTransport, Transport, TransportReceiver, TransportSender,
 };
 use dp_sig::{AccessStore, SigEntry};
-use dp_types::{Address, FxHashMap, TraceEvent, Tracer};
+use dp_types::{Address, ByteReader, ByteWriter, FxHashMap, TraceEvent, Tracer, WireError};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -98,13 +99,30 @@ pub enum WorkerMsg {
         /// Write-signature entry, if any.
         write: Option<SigEntry>,
     },
+    /// Quiesce barrier: serialize the worker's complete extraction
+    /// state and reply on the response queue. Queue FIFO order
+    /// guarantees the worker has consumed every event routed before
+    /// this message when it replies, so the blob captures a consistent
+    /// cut of the run.
+    Checkpoint,
     /// Drain and exit.
     Shutdown,
 }
 
-/// Worker→router responses (redistribution only; bounded by `top_k`).
+/// Worker→router responses (redistribution replies bounded by `top_k`,
+/// checkpoint replies bounded by the worker count).
 enum RouterMsg {
-    Extracted { addr: Address, read: Option<SigEntry>, write: Option<SigEntry> },
+    Extracted {
+        addr: Address,
+        read: Option<SigEntry>,
+        write: Option<SigEntry>,
+    },
+    /// Reply to [`WorkerMsg::Checkpoint`]; `state` is `None` when the
+    /// worker's access store does not support checkpointing.
+    CheckpointState {
+        worker: usize,
+        state: Option<Vec<u8>>,
+    },
 }
 
 struct WorkerOutput {
@@ -220,6 +238,48 @@ impl EngineMetrics {
             stall: (0..workers).map(col).collect(),
         }
     }
+
+    /// Serializes the ledger for a checkpoint. With the `metrics`
+    /// feature off the counters are no-ops and the blob records zeros —
+    /// the snapshot is all-zero in that build anyway.
+    pub(crate) fn save(&self) -> Vec<u8> {
+        let mut out = ByteWriter::new();
+        out.u64(self.pushed.get());
+        out.u64(self.rerouted.get());
+        out.u32(self.enqueued.len() as u32);
+        for wid in 0..self.enqueued.len() {
+            out.u64(self.enqueued[wid].get());
+            out.u64(self.dropped[wid].get());
+            out.u64(self.consumed[wid].get());
+            out.u64(self.consumed_chunks[wid].get());
+            out.u64(self.stall[wid].get());
+        }
+        out.into_bytes()
+    }
+
+    /// Restores a checkpointed ledger into this (fresh) engine's zeroed
+    /// counters via `add`, preserving the conservation law across the
+    /// resume. `&self` suffices: counters are interior-mutable.
+    pub(crate) fn restore(&self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = ByteReader::new(bytes);
+        self.pushed.add(r.u64()?);
+        self.rerouted.add(r.u64()?);
+        let nw = r.u32()? as usize;
+        if nw != self.enqueued.len() {
+            return Err(WireError::Invalid("ledger worker count differs from checkpoint"));
+        }
+        for wid in 0..nw {
+            self.enqueued[wid].add(r.u64()?);
+            self.dropped[wid].add(r.u64()?);
+            self.consumed[wid].add(r.u64()?);
+            self.consumed_chunks[wid].add(r.u64()?);
+            self.stall[wid].add(r.u64()?);
+        }
+        if !r.is_done() {
+            return Err(WireError::Invalid("trailing bytes after ledger state"));
+        }
+        Ok(())
+    }
 }
 
 /// Everything a worker thread shares with the router, bundled so the
@@ -291,23 +351,68 @@ where
     /// instance — the entry point for fault-injection tests, which pass a
     /// [`dp_queue::FailingTransport`] carrying a seeded chaos plan.
     pub fn with_transport(transport: X, cfg: ProfilerConfig, make_store: impl Fn() -> S) -> Self {
+        match Self::spawn(transport, cfg, make_store, None) {
+            Ok(p) => p,
+            // The error paths all require a checkpoint to restore from.
+            Err(_) => unreachable!("spawn without worker states is infallible"),
+        }
+    }
+
+    /// Rebuilds a profiler from a checkpoint: every worker's signatures,
+    /// dependence map and loop stacks are restored *before* its thread
+    /// starts, then the router's statistics, rules and conservation
+    /// ledger are restored, so feeding the remaining trace records
+    /// produces exactly what an uninterrupted run would.
+    ///
+    /// `cfg` must describe the same engine shape the checkpoint was
+    /// written under (worker count, store dimensions, chunking).
+    pub fn resume(
+        cfg: ProfilerConfig,
+        make_store: impl Fn() -> S,
+        data: &CheckpointData,
+    ) -> Result<Self, CheckpointError>
+    where
+        X: Default,
+    {
+        Self::resume_with_transport(X::default(), cfg, make_store, data)
+    }
+
+    /// [`ParallelProfiler::resume`] over an explicit transport instance.
+    pub fn resume_with_transport(
+        transport: X,
+        cfg: ProfilerConfig,
+        make_store: impl Fn() -> S,
+        data: &CheckpointData,
+    ) -> Result<Self, CheckpointError> {
+        let mut p = Self::spawn(transport, cfg, make_store, Some(&data.workers))?;
+        p.restore_router(&data.router)?;
+        p.metrics.restore(&data.ledger)?;
+        Ok(p)
+    }
+
+    /// Shared constructor body. With `worker_states` set, each worker's
+    /// extraction state is restored before its thread spawns — errors
+    /// surface synchronously and no thread is left running.
+    fn spawn(
+        transport: X,
+        cfg: ProfilerConfig,
+        make_store: impl Fn() -> S,
+        worker_states: Option<&[Vec<u8>]>,
+    ) -> Result<Self, CheckpointError> {
         let w = cfg.workers.max(1);
-        let pool = ChunkPool::new(w * cfg.queue_chunks * 2, cfg.chunk_capacity);
-        let resp = Arc::new(MpmcQueue::new((cfg.top_k * 4).max(64)));
-        let sup = Arc::new(Supervision::new(w));
-        let fault =
-            Arc::new(FaultRt { plan: cfg.fault_plan.clone(), extract_replies: AtomicU64::new(0) });
-        let metrics = Arc::new(EngineMetrics::new(w));
-        let mut senders = Vec::with_capacity(w);
-        let mut taps = Vec::with_capacity(w);
-        let mut handles = Vec::with_capacity(w);
+        if let Some(states) = worker_states {
+            if states.len() != w {
+                return Err(CheckpointError::Wire(WireError::Invalid(
+                    "worker count differs from checkpoint",
+                )));
+            }
+        }
+        // Build (and, on resume, restore) every worker's state before
+        // spawning any thread: a restore failure must not leave threads
+        // behind.
+        let mut algos = Vec::with_capacity(w);
         for wid in 0..w {
-            let (tx, rx) = transport.channel(wid, cfg.queue_chunks);
-            let tap = ChannelTap::shared();
-            let tx = MeteredSender::new(tx, tap.clone());
-            let rx = MeteredReceiver::new(rx, tap.clone());
-            taps.push(tap);
-            let algo = AlgoState::new(
+            let mut algo = AlgoState::new(
                 make_store(),
                 make_store(),
                 AlgoOptions {
@@ -319,6 +424,26 @@ where
                     section_shift: 0,
                 },
             );
+            if let Some(states) = worker_states {
+                algo.restore_state(&states[wid])?;
+            }
+            algos.push(algo);
+        }
+        let pool = ChunkPool::new(w * cfg.queue_chunks * 2, cfg.chunk_capacity);
+        let resp = Arc::new(MpmcQueue::new((cfg.top_k * 4).max(64).max(w)));
+        let sup = Arc::new(Supervision::new(w));
+        let fault =
+            Arc::new(FaultRt { plan: cfg.fault_plan.clone(), extract_replies: AtomicU64::new(0) });
+        let metrics = Arc::new(EngineMetrics::new(w));
+        let mut senders = Vec::with_capacity(w);
+        let mut taps = Vec::with_capacity(w);
+        let mut handles = Vec::with_capacity(w);
+        for (wid, algo) in algos.into_iter().enumerate() {
+            let (tx, rx) = transport.channel(wid, cfg.queue_chunks);
+            let tap = ChannelTap::shared();
+            let tx = MeteredSender::new(tx, tap.clone());
+            let rx = MeteredReceiver::new(rx, tap.clone());
+            taps.push(tap);
             let ctx = WorkerCtx {
                 pool: pool.clone(),
                 resp: resp.clone(),
@@ -330,7 +455,7 @@ where
             senders.push(tx);
         }
         let pending = (0..w).map(|_| pool.acquire()).collect();
-        ParallelProfiler {
+        Ok(ParallelProfiler {
             senders,
             pool,
             resp,
@@ -354,7 +479,7 @@ where
             in_poll: false,
             cfg,
             _store: std::marker::PhantomData,
-        }
+        })
     }
 
     #[inline]
@@ -551,7 +676,14 @@ where
         }
         self.in_poll = true;
         self.resolve_dead_migrations();
-        while let Some(RouterMsg::Extracted { addr, read, write }) = self.resp.pop() {
+        while let Some(msg) = self.resp.pop() {
+            let RouterMsg::Extracted { addr, read, write } = msg else {
+                // A checkpoint reply outside `checkpoint_data`'s collect
+                // loop (e.g. from a worker that answered after the
+                // deadline): counted and dropped, never fatal.
+                self.spurious_replies += 1;
+                continue;
+            };
             // A reply with no pending migration (its migration was
             // cancelled after the source was presumed dead, and the reply
             // arrived anyway) is counted and ignored — it must not kill
@@ -618,17 +750,14 @@ where
         self.in_rebalance = true;
         let k = self.cfg.top_k;
         let w = self.senders.len();
-        // Select the k hottest addresses (one linear pass).
-        let mut top: Vec<(Address, u64)> = Vec::with_capacity(k + 1);
-        for (&a, &c) in &self.counts {
-            if top.len() < k {
-                top.push((a, c));
-                top.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
-            } else if c > top[k - 1].1 {
-                top[k - 1] = (a, c);
-                top.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
-            }
-        }
+        // Select the k hottest addresses, ties broken by address so the
+        // choice is independent of hash-map iteration order: a resumed
+        // run rebuilds `counts` from the checkpoint with a different
+        // internal layout and must still pick the same addresses the
+        // uninterrupted run does.
+        let mut top: Vec<(Address, u64)> = self.counts.iter().map(|(&a, &c)| (a, c)).collect();
+        top.sort_unstable_by_key(|&(a, c)| (std::cmp::Reverse(c), a));
+        top.truncate(k);
         // Check balance: how many of the top-k does each worker own?
         let mut load = vec![0usize; w];
         for &(a, _) in &top {
@@ -677,6 +806,173 @@ where
             self.cfg.observer.on_redistribution(moved);
         }
         self.in_rebalance = false;
+    }
+
+    /// Quiesces the pipeline at a chunk barrier and captures a complete,
+    /// consistent checkpoint: in-flight migrations are completed first
+    /// (a checkpoint must not capture signature state mid-move), pending
+    /// chunks are flushed, then every worker serializes its extraction
+    /// state after consuming everything routed before the barrier (queue
+    /// FIFO order guarantees the cut is consistent). The caller supplies
+    /// the trace position and an opaque configuration blob, and writes
+    /// the result through a
+    /// [`CheckpointStore`](crate::checkpoint::CheckpointStore).
+    ///
+    /// Every wait is bounded by [`ProfilerConfig::drain_deadline_ms`]; a
+    /// dead or unresponsive worker yields
+    /// [`CheckpointError::WorkerUnavailable`] rather than a checkpoint
+    /// that silently lies about the run.
+    pub fn checkpoint_data(
+        &mut self,
+        generation: u64,
+        records_read: u64,
+        config: Vec<u8>,
+    ) -> Result<CheckpointData, CheckpointError> {
+        let drain = Duration::from_millis(self.cfg.drain_deadline_ms.max(1));
+        let deadline = Instant::now() + drain;
+        while !self.inflight.is_empty() && Instant::now() < deadline {
+            self.poll_responses();
+            if self.inflight.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        if !self.inflight.is_empty() {
+            // A migration source never replied: its signature state is
+            // in limbo and no consistent cut exists.
+            let wid = self.inflight.values().next().map(|i| i.source).unwrap_or(0);
+            return Err(CheckpointError::WorkerUnavailable(wid));
+        }
+        self.flush_all();
+        let w = self.senders.len();
+        for wid in 0..w {
+            if self.deliver(wid, WorkerMsg::Checkpoint, Some(drain)).is_err() {
+                return Err(CheckpointError::WorkerUnavailable(wid));
+            }
+        }
+        let mut states: Vec<Option<Vec<u8>>> = (0..w).map(|_| None).collect();
+        let mut replied = vec![false; w];
+        let mut got = 0usize;
+        let deadline = Instant::now() + drain;
+        while got < w {
+            match self.resp.pop() {
+                Some(RouterMsg::CheckpointState { worker, state }) => {
+                    if worker < w && !replied[worker] {
+                        replied[worker] = true;
+                        states[worker] = state;
+                        got += 1;
+                    } else {
+                        self.spurious_replies += 1;
+                    }
+                }
+                // `inflight` is empty, so any Extracted reply here is by
+                // definition spurious (a cancelled migration's late
+                // answer).
+                Some(RouterMsg::Extracted { .. }) => self.spurious_replies += 1,
+                None => {
+                    if let Some(wid) = (0..w).find(|&wid| !replied[wid] && self.is_dead(wid)) {
+                        return Err(CheckpointError::WorkerUnavailable(wid));
+                    }
+                    if Instant::now() >= deadline {
+                        let wid = replied.iter().position(|r| !r).unwrap_or(0);
+                        return Err(CheckpointError::WorkerUnavailable(wid));
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let mut workers = Vec::with_capacity(w);
+        for st in states {
+            workers.push(st.ok_or(CheckpointError::Unsupported(
+                "the worker access store does not support checkpointing",
+            ))?);
+        }
+        Ok(CheckpointData {
+            generation,
+            records_read,
+            config,
+            router: self.save_router(),
+            ledger: self.metrics.save(),
+            workers,
+        })
+    }
+
+    /// Serializes the router's statistics and rules, hash maps sorted by
+    /// address so identical states produce identical bytes.
+    fn save_router(&self) -> Vec<u8> {
+        let mut out = ByteWriter::new();
+        out.u64(self.chunks_pushed);
+        out.u64(self.redistributions);
+        out.u64(self.rerouted_events);
+        out.u64(self.cancelled_migrations);
+        out.u64(self.spurious_replies);
+        out.u32(self.dropped.len() as u32);
+        for d in &self.dropped {
+            out.u64(*d);
+        }
+        let mut counts: Vec<(Address, u64)> = self.counts.iter().map(|(&a, &c)| (a, c)).collect();
+        counts.sort_unstable_by_key(|&(a, _)| a);
+        out.u64(counts.len() as u64);
+        for (a, c) in counts {
+            out.u64(a);
+            out.u64(c);
+        }
+        let mut rules: Vec<(Address, usize)> = self.rules.iter().map(|(&a, &r)| (a, r)).collect();
+        rules.sort_unstable_by_key(|&(a, _)| a);
+        out.u64(rules.len() as u64);
+        for (a, r) in rules {
+            out.u64(a);
+            out.u32(r as u32);
+        }
+        out.into_bytes()
+    }
+
+    fn restore_router(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = ByteReader::new(bytes);
+        self.chunks_pushed = r.u64()?;
+        self.redistributions = r.u64()?;
+        self.rerouted_events = r.u64()?;
+        self.cancelled_migrations = r.u64()?;
+        self.spurious_replies = r.u64()?;
+        let nd = r.u32()? as usize;
+        if nd != self.dropped.len() {
+            return Err(WireError::Invalid("router drop-vector length differs from checkpoint"));
+        }
+        for d in self.dropped.iter_mut() {
+            *d = r.u64()?;
+        }
+        let nc = r.u64()?;
+        let mut counts = FxHashMap::default();
+        for _ in 0..nc {
+            let a = r.u64()?;
+            counts.insert(a, r.u64()?);
+        }
+        self.counts = counts;
+        let nr = r.u64()?;
+        let mut rules = FxHashMap::default();
+        for _ in 0..nr {
+            let a = r.u64()?;
+            let wid = r.u32()? as usize;
+            if wid >= self.senders.len() {
+                return Err(WireError::Invalid("redistribution rule targets a nonexistent worker"));
+            }
+            rules.insert(a, wid);
+        }
+        self.rules = rules;
+        if !r.is_done() {
+            return Err(WireError::Invalid("trailing bytes after router state"));
+        }
+        Ok(())
+    }
+
+    /// Monotone progress heartbeat for the run watchdog, piggybacked on
+    /// the conservation ledger: events the router has pushed plus
+    /// events the workers have consumed, so progress on either side of
+    /// the queues moves the value. Constant 0 when the `metrics`
+    /// feature is off — callers then track feed-side progress
+    /// themselves.
+    pub fn heartbeat(&self) -> u64 {
+        self.metrics.pushed.get() + self.metrics.consumed.iter().map(Counter::get).sum::<u64>()
     }
 
     /// Completes migrations, drains the pipeline, joins the workers and
@@ -879,6 +1175,9 @@ where
             chunks,
             stall_nanos: stall_total,
             signatures,
+            // Engines only produce checkpoint blobs on demand; the driver
+            // that owns the checkpoint store fills these in afterwards.
+            checkpoints: Default::default(),
             hot_addresses,
             per_worker,
             timings: PhaseTimings {
@@ -1113,6 +1412,20 @@ fn run_worker<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
             Some(WorkerMsg::Inject { addr, read, write }) => {
                 algo.inject(addr, read, write);
             }
+            Some(WorkerMsg::Checkpoint) => {
+                let mut out = ByteWriter::new();
+                let state = algo.save_state(&mut out).then(|| out.into_bytes());
+                let mut msg = RouterMsg::CheckpointState { worker: wid, state };
+                loop {
+                    match ctx.resp.push(msg) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            msg = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
             Some(WorkerMsg::Shutdown) => break,
             None => backoff.snooze(),
         }
@@ -1150,6 +1463,47 @@ impl<S: AccessStore + 'static> AnyParallelProfiler<S> {
             TransportKind::Spsc => Self::Spsc(ParallelProfiler::new(cfg, make_store)),
             TransportKind::Mpmc => Self::Mpmc(ParallelProfiler::new(cfg, make_store)),
             TransportKind::Lock => Self::Lock(ParallelProfiler::new(cfg, make_store)),
+        }
+    }
+
+    /// Rebuilds the pipeline from a checkpoint over the transport named
+    /// by `cfg.transport` (see [`ParallelProfiler::resume`]). The
+    /// configuration must match the one the checkpoint was taken under;
+    /// a worker-count mismatch is rejected.
+    pub fn resume(
+        cfg: ProfilerConfig,
+        make_store: impl Fn() -> S,
+        data: &CheckpointData,
+    ) -> Result<Self, CheckpointError> {
+        Ok(match cfg.transport {
+            TransportKind::Spsc => Self::Spsc(ParallelProfiler::resume(cfg, make_store, data)?),
+            TransportKind::Mpmc => Self::Mpmc(ParallelProfiler::resume(cfg, make_store, data)?),
+            TransportKind::Lock => Self::Lock(ParallelProfiler::resume(cfg, make_store, data)?),
+        })
+    }
+
+    /// Quiesces the pipeline and captures a consistent checkpoint (see
+    /// [`ParallelProfiler::checkpoint_data`]).
+    pub fn checkpoint_data(
+        &mut self,
+        generation: u64,
+        records_read: u64,
+        config: Vec<u8>,
+    ) -> Result<CheckpointData, CheckpointError> {
+        match self {
+            Self::Spsc(p) => p.checkpoint_data(generation, records_read, config),
+            Self::Mpmc(p) => p.checkpoint_data(generation, records_read, config),
+            Self::Lock(p) => p.checkpoint_data(generation, records_read, config),
+        }
+    }
+
+    /// Monotone progress value for the run watchdog (see
+    /// [`ParallelProfiler::heartbeat`]).
+    pub fn heartbeat(&self) -> u64 {
+        match self {
+            Self::Spsc(p) => p.heartbeat(),
+            Self::Mpmc(p) => p.heartbeat(),
+            Self::Lock(p) => p.heartbeat(),
         }
     }
 
@@ -1440,5 +1794,151 @@ mod tests {
         assert!(!r.degraded(), "{:?}", r.stats);
         assert_eq!(r.stats.deps_merged, 2);
         assert_eq!(r.stats.accesses, 128);
+    }
+
+    /// A small but varied stream: 13 addresses, writes and reads, a loop
+    /// with iteration boundaries so carried classification is exercised.
+    fn ckpt_stream(n: u64) -> Vec<TraceEvent> {
+        let mut evs = Vec::new();
+        let mut ts = 0u64;
+        evs.push(TraceEvent::LoopBegin { loop_id: 3, loc: loc(1, 1), thread: 0, ts: 0 });
+        for i in 0..n {
+            ts += 1;
+            if i % 9 == 0 {
+                evs.push(TraceEvent::LoopIter { loop_id: 3, iter: i / 9, thread: 0, ts });
+                ts += 1;
+            }
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            evs.push(acc(kind, 0x100 + (i % 13) * 8, ts, (i % 7) as u32 + 1));
+        }
+        evs.push(TraceEvent::LoopEnd { loop_id: 3, loc: loc(1, 2), iters: n / 9, thread: 0, ts });
+        evs
+    }
+
+    fn owned_deps(r: &ProfileResult) -> Vec<String> {
+        let mut v: Vec<String> =
+            r.deps.dependences().map(|(d, val)| format!("{d:?}={val:?}")).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        for kind in [TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock] {
+            let evs = ckpt_stream(200);
+            let cut = 77;
+            let c = cfg(3).with_transport(kind);
+            let mut reference: AnyParallelProfiler<PerfectSignature> =
+                AnyParallelProfiler::new(c.clone(), PerfectSignature::new);
+            for ev in &evs {
+                reference.event(*ev);
+            }
+            let r_ref = reference.finish();
+            assert!(!r_ref.degraded());
+            // Interrupted run: prefix → checkpoint → resume → suffix.
+            let mut first: AnyParallelProfiler<PerfectSignature> =
+                AnyParallelProfiler::new(c.clone(), PerfectSignature::new);
+            for ev in &evs[..cut] {
+                first.event(*ev);
+            }
+            let data = first.checkpoint_data(1, cut as u64, b"cfg".to_vec()).unwrap();
+            assert_eq!(data.generation, 1);
+            assert_eq!(data.workers.len(), 3);
+            drop(first.finish()); // the interrupted engine dies here
+            let mut resumed =
+                AnyParallelProfiler::resume(c.clone(), PerfectSignature::new, &data).unwrap();
+            for ev in &evs[cut..] {
+                resumed.event(*ev);
+            }
+            let r2 = resumed.finish();
+            assert!(!r2.degraded(), "{kind:?}: {:?}", r2.stats);
+            assert_eq!(r_ref.stats.accesses, r2.stats.accesses, "{kind:?}");
+            assert_eq!(r_ref.stats.deps_merged, r2.stats.deps_merged, "{kind:?}");
+            assert_eq!(owned_deps(&r_ref), owned_deps(&r2), "{kind:?}");
+            assert_eq!(r_ref.deps.loop_record(3), r2.deps.loop_record(3), "{kind:?}");
+            // The restored ledger keeps the conservation law across the
+            // resume: the resumed snapshot accounts for *all* events.
+            if dp_metrics::ENABLED {
+                assert_eq!(
+                    r_ref.metrics.conservation.pushed, r2.metrics.conservation.pushed,
+                    "{kind:?}"
+                );
+                assert_eq!(
+                    r_ref.metrics.conservation.consumed, r2.metrics.conservation.consumed,
+                    "{kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_with_redistribution_is_deterministic() {
+        // Hot addresses all map to worker 0, forcing migrations; the
+        // resumed run must pick the same redistribution decisions even
+        // though its hash maps were rebuilt in a different layout.
+        let mut c = cfg(4).with_redistribution(true);
+        c.redistribute_every = 2;
+        c.top_k = 4;
+        let addrs = [0x100u64, 0x200, 0x300, 0x400];
+        let mut evs = Vec::new();
+        let mut ts = 0u64;
+        for round in 0..500u64 {
+            for (k, &a) in addrs.iter().enumerate() {
+                ts += 1;
+                let kind = if round == 0 { AccessKind::Write } else { AccessKind::Read };
+                evs.push(acc(kind, a, ts, if round == 0 { 10 } else { 20 } + k as u32));
+            }
+        }
+        let mut reference: LockFreeProfiler<PerfectSignature> =
+            ParallelProfiler::new(c.clone(), PerfectSignature::new);
+        for ev in &evs {
+            reference.event(*ev);
+        }
+        let r_ref = reference.finish();
+        assert!(r_ref.stats.redistributions > 0, "redistribution never triggered");
+        let cut = 999;
+        let mut first: LockFreeProfiler<PerfectSignature> =
+            ParallelProfiler::new(c.clone(), PerfectSignature::new);
+        for ev in &evs[..cut] {
+            first.event(*ev);
+        }
+        let data = first.checkpoint_data(1, cut as u64, Vec::new()).unwrap();
+        drop(first.finish());
+        let mut resumed: LockFreeProfiler<PerfectSignature> =
+            ParallelProfiler::resume(c, PerfectSignature::new, &data).unwrap();
+        for ev in &evs[cut..] {
+            resumed.event(*ev);
+        }
+        let r2 = resumed.finish();
+        assert!(!r2.degraded(), "{:?}", r2.stats);
+        assert_eq!(owned_deps(&r_ref), owned_deps(&r2));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_worker_count() {
+        let mut p: SpscProfiler<PerfectSignature> =
+            ParallelProfiler::new(cfg(3), PerfectSignature::new);
+        p.event(acc(AccessKind::Write, 0x8, 1, 1));
+        let data = p.checkpoint_data(0, 1, Vec::new()).unwrap();
+        drop(p.finish());
+        let err = SpscProfiler::<PerfectSignature>::resume(cfg(2), PerfectSignature::new, &data)
+            .err()
+            .expect("worker-count mismatch must be rejected");
+        assert!(matches!(err, CheckpointError::Wire(_)), "{err}");
+    }
+
+    #[test]
+    fn heartbeat_advances_with_traffic() {
+        let mut p: SpscProfiler<PerfectSignature> =
+            ParallelProfiler::new(cfg(2), PerfectSignature::new);
+        let before = p.heartbeat();
+        for i in 0..64u64 {
+            p.event(acc(AccessKind::Write, i * 8, i + 1, 1));
+        }
+        p.flush_all();
+        if dp_metrics::ENABLED {
+            assert!(p.heartbeat() > before, "heartbeat must move with traffic");
+        }
+        p.finish();
     }
 }

@@ -6,6 +6,7 @@
 //! of Table I.
 
 use crate::algo::{AlgoOptions, AlgoState};
+use crate::checkpoint::{CheckpointData, CheckpointError};
 use crate::config::{ProfilerConfig, TransportKind};
 use crate::parallel::AnyParallelProfiler;
 use crate::result::{MemoryReport, ProfileResult, ProfileStats};
@@ -85,6 +86,45 @@ impl<S: AccessStore> SequentialProfiler<S> {
         self.algo.on_event(ev);
     }
 
+    /// Captures the full profiler state as a checkpoint: one worker blob
+    /// (the in-line engine *is* its single worker), no router, no queue
+    /// ledger. Returns `Unsupported` for access stores that cannot
+    /// serialize themselves (shadow memory, hash history).
+    pub fn checkpoint_data(
+        &self,
+        generation: u64,
+        records_read: u64,
+        config: Vec<u8>,
+    ) -> Result<CheckpointData, CheckpointError> {
+        let mut out = dp_types::wire::ByteWriter::new();
+        if !self.algo.save_state(&mut out) {
+            return Err(CheckpointError::Unsupported(
+                "the access store does not support checkpointing",
+            ));
+        }
+        Ok(CheckpointData {
+            generation,
+            records_read,
+            config,
+            router: Vec::new(),
+            ledger: Vec::new(),
+            workers: vec![out.into_bytes()],
+        })
+    }
+
+    /// Restores state captured by [`SequentialProfiler::checkpoint_data`]
+    /// into this freshly constructed engine (which must have been built
+    /// with the same store dimensions and options).
+    pub fn restore(&mut self, data: &CheckpointData) -> Result<(), CheckpointError> {
+        let [state] = data.workers.as_slice() else {
+            return Err(CheckpointError::Wire(dp_types::wire::WireError::Invalid(
+                "serial checkpoint must hold exactly one worker blob",
+            )));
+        };
+        self.algo.restore_state(state)?;
+        Ok(())
+    }
+
     /// Finishes the run.
     pub fn finish(self) -> ProfileResult {
         let mem_all = self.algo.memory_usage();
@@ -142,7 +182,7 @@ impl<S: AccessStore> dp_types::Tracer for SequentialProfiler<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dp_types::{loc::loc, DepType, MemAccess};
+    use dp_types::{loc::loc, AccessKind, DepType, MemAccess};
 
     #[test]
     fn profile_simple_stream() {
@@ -177,6 +217,58 @@ mod tests {
         );
         assert_eq!(p.transport_kind(), "lock-based");
         p.finish();
+    }
+
+    #[test]
+    fn serial_checkpoint_restore_resumes_identically() {
+        let mut evs = Vec::new();
+        for i in 0..60u64 {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            evs.push(TraceEvent::Access(MemAccess {
+                addr: 0x100 + (i % 11) * 8,
+                ts: i + 1,
+                loc: loc(1, (i % 5) as u32 + 1),
+                var: 1,
+                thread: 0,
+                kind,
+            }));
+        }
+        let mut reference = SequentialProfiler::perfect();
+        for ev in &evs {
+            reference.on_event(ev);
+        }
+        let r_ref = reference.finish();
+        let cut = 23;
+        let mut first = SequentialProfiler::perfect();
+        for ev in &evs[..cut] {
+            first.on_event(ev);
+        }
+        let data = first.checkpoint_data(0, cut as u64, Vec::new()).unwrap();
+        assert_eq!(data.workers.len(), 1);
+        let mut resumed = SequentialProfiler::perfect();
+        resumed.restore(&data).unwrap();
+        for ev in &evs[cut..] {
+            resumed.on_event(ev);
+        }
+        let r2 = resumed.finish();
+        let deps = |r: &ProfileResult| {
+            let mut v: Vec<String> =
+                r.deps.dependences().map(|(d, val)| format!("{d:?}={val:?}")).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(r_ref.stats.accesses, r2.stats.accesses);
+        assert_eq!(deps(&r_ref), deps(&r2));
+    }
+
+    #[test]
+    fn serial_checkpoint_unsupported_store_is_an_error() {
+        let p = SequentialProfiler::with_stores(
+            dp_sig::ShadowMemory::new(),
+            dp_sig::ShadowMemory::new(),
+        );
+        let err = p.checkpoint_data(0, 0, Vec::new()).expect_err("shadow memory cannot save");
+        assert!(matches!(err, CheckpointError::Unsupported(_)), "{err}");
     }
 
     #[test]

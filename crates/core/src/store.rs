@@ -13,9 +13,29 @@
 //! the merge factor of experiment E9 is `deps_built / merged_len`.
 
 use dp_types::{
-    DepEdge, DepFlags, DepType, Dependence, LoopId, SinkKey, SourceLoc, ThreadId, VarId,
+    ByteReader, ByteWriter, DepEdge, DepFlags, DepType, Dependence, LoopId, SinkKey, SourceLoc,
+    ThreadId, VarId, WireError,
 };
 use std::collections::{BTreeMap, BTreeSet};
+
+fn dtype_code(d: DepType) -> u8 {
+    match d {
+        DepType::Raw => 0,
+        DepType::War => 1,
+        DepType::Waw => 2,
+        DepType::Init => 3,
+    }
+}
+
+fn dtype_from(code: u8) -> Result<DepType, WireError> {
+    Ok(match code {
+        0 => DepType::Raw,
+        1 => DepType::War,
+        2 => DepType::Waw,
+        3 => DepType::Init,
+        _ => return Err(WireError::Invalid("unknown dependence type code")),
+    })
+}
 
 /// Merge key of an edge under one sink.
 pub type EdgeKey = (DepType, SourceLoc, ThreadId, VarId);
@@ -181,6 +201,91 @@ impl DepStore {
         self.deps_built += other.deps_built;
     }
 
+    /// Serializes the complete store — merged dependences, loop records
+    /// and the pre-merge counters — for a checkpoint. BTreeMap iteration
+    /// makes the byte stream deterministic: identical stores serialize to
+    /// identical bytes.
+    pub fn save(&self, out: &mut ByteWriter) {
+        out.u64(self.deps_built);
+        out.u64(self.distinct);
+        out.u64(self.deps.len() as u64);
+        for (sink, edges) in &self.deps {
+            out.u32(sink.loc.pack());
+            out.u16(sink.thread);
+            out.u64(edges.len() as u64);
+            for (&(dtype, source_loc, source_thread, var), v) in edges {
+                out.u8(dtype_code(dtype));
+                out.u32(source_loc.pack());
+                out.u16(source_thread);
+                out.u32(var);
+                out.u64(v.count);
+                out.u8(v.flags.bits());
+                out.u32(v.carriers.len() as u32);
+                for l in &v.carriers {
+                    out.u32(*l);
+                }
+            }
+        }
+        out.u64(self.loops.len() as u64);
+        for (id, r) in &self.loops {
+            out.u32(*id);
+            out.u32(r.begin.pack());
+            out.u32(r.end.pack());
+            out.u64(r.instances);
+            out.u64(r.total_iters);
+        }
+    }
+
+    /// Rebuilds a store previously produced by [`DepStore::save`].
+    pub fn load(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let deps_built = r.u64()?;
+        let distinct = r.u64()?;
+        let nsinks = r.u64()?;
+        let mut deps = BTreeMap::new();
+        for _ in 0..nsinks {
+            let sink = SinkKey { loc: SourceLoc::unpack(r.u32()?), thread: r.u16()? };
+            let nedges = r.u64()?;
+            let mut edges = BTreeMap::new();
+            for _ in 0..nedges {
+                let dtype = dtype_from(r.u8()?)?;
+                let source_loc = SourceLoc::unpack(r.u32()?);
+                let source_thread = r.u16()?;
+                let var = r.u32()?;
+                let count = r.u64()?;
+                let flags = DepFlags::from_bits_truncate(r.u8()?);
+                let ncarriers = r.u32()?;
+                let mut carriers = BTreeSet::new();
+                for _ in 0..ncarriers {
+                    carriers.insert(r.u32()?);
+                }
+                edges.insert(
+                    (dtype, source_loc, source_thread, var),
+                    EdgeVal { count, flags, carriers },
+                );
+            }
+            deps.insert(sink, edges);
+        }
+        let nloops = r.u64()?;
+        let mut loops = BTreeMap::new();
+        for _ in 0..nloops {
+            let id = r.u32()?;
+            loops.insert(
+                id,
+                LoopRecord {
+                    begin: SourceLoc::unpack(r.u32()?),
+                    end: SourceLoc::unpack(r.u32()?),
+                    instances: r.u64()?,
+                    total_iters: r.u64()?,
+                },
+            );
+        }
+        if !r.is_done() {
+            return Err(WireError::Invalid("trailing bytes after dependence store"));
+        }
+        Ok(DepStore { deps, loops, deps_built, distinct })
+    }
+
     /// Approximate heap footprint for the memory accounting.
     pub fn memory_usage(&self) -> usize {
         use std::mem::size_of;
@@ -256,6 +361,42 @@ mod tests {
         let v = edges.values().next().unwrap();
         assert_eq!(v.count, 2);
         assert!(v.flags.contains(DepFlags::LOOP_CARRIED));
+    }
+
+    #[test]
+    fn save_load_roundtrips_and_is_deterministic() {
+        let mut s = DepStore::new();
+        s.add(sink(63), DepType::Raw, loc(1, 59), 0, 4, DepFlags::INTRA_ITERATION, None);
+        s.add(sink(63), DepType::Raw, loc(1, 59), 0, 4, DepFlags::LOOP_CARRIED, Some(3));
+        s.add(sink(63), DepType::War, loc(2, 67), 1, 5, DepFlags::REVERSED, Some(7));
+        s.add(sink(64), DepType::Init, loc(1, 64), 0, 6, DepFlags::empty(), None);
+        s.record_loop(3, loc(1, 10), loc(1, 20), 100);
+        s.record_loop(7, loc(2, 1), loc(2, 9), 8);
+        let mut out = ByteWriter::new();
+        s.save(&mut out);
+        let bytes = out.into_bytes();
+        let t = DepStore::load(&bytes).unwrap();
+        assert_eq!(t.deps_built(), s.deps_built());
+        assert_eq!(t.merged_len(), s.merged_len());
+        assert_eq!(
+            t.dependences().map(|(d, v)| (d, v.clone())).collect::<Vec<_>>(),
+            s.dependences().map(|(d, v)| (d, v.clone())).collect::<Vec<_>>()
+        );
+        assert_eq!(t.loop_record(3), s.loop_record(3));
+        assert_eq!(t.loop_record(7), s.loop_record(7));
+        let mut again = ByteWriter::new();
+        t.save(&mut again);
+        assert_eq!(again.into_bytes(), bytes, "resave must be byte-identical");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(DepStore::load(&[1, 2, 3]).is_err(), "truncated");
+        let mut out = ByteWriter::new();
+        DepStore::new().save(&mut out);
+        let mut bytes = out.into_bytes();
+        bytes.push(0); // trailing byte
+        assert!(DepStore::load(&bytes).is_err());
     }
 
     #[test]

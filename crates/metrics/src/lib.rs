@@ -279,6 +279,25 @@ pub struct SigGauges {
     pub est_fpr_pct: f64,
 }
 
+/// Durability counters: checkpoints written during the run and, for
+/// resumed runs, the trace position the run picked up from. Filled in by
+/// the driver (the CLI's checkpoint loop), not the engines — the engines
+/// only produce checkpoint blobs on demand and never touch the disk
+/// themselves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointMetrics {
+    /// Checkpoints successfully written by this run.
+    pub generations: u64,
+    /// Size in bytes of the most recently written checkpoint file.
+    pub last_bytes: u64,
+    /// Total nanoseconds spent serializing and atomically writing
+    /// checkpoints (quiesce time included).
+    pub write_nanos: u64,
+    /// Trace position (records already folded in) this run resumed from;
+    /// 0 for a run started from the beginning.
+    pub resumed_from: u64,
+}
+
 /// One entry of the hot-address top-K (the router-side counts that drive
 /// Section IV-A redistribution).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -338,6 +357,8 @@ pub struct MetricsSnapshot {
     pub stall_nanos: u64,
     /// Signature gauges summed over all workers.
     pub signatures: SigGauges,
+    /// Durability counters (checkpoints written, resume position).
+    pub checkpoints: CheckpointMetrics,
     /// Hot-address top-K, ordered by count descending then address
     /// ascending.
     pub hot_addresses: Vec<HotAddress>,
@@ -379,6 +400,13 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "    \"evictions\": {},", g.evictions);
         let _ = writeln!(s, "    \"est_fpr_pct\": {:.6}", g.est_fpr_pct);
         s.push_str("  },\n");
+        let p = &self.checkpoints;
+        let _ = writeln!(
+            s,
+            "  \"checkpoints\": {{ \"generations\": {}, \"last_bytes\": {}, \
+             \"write_nanos\": {}, \"resumed_from\": {} }},",
+            p.generations, p.last_bytes, p.write_nanos, p.resumed_from
+        );
         s.push_str("  \"hot_addresses\": [");
         for (i, h) in self.hot_addresses.iter().enumerate() {
             s.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -442,6 +470,14 @@ impl MetricsSnapshot {
             "signatures: occupied={}/{} evictions={} est_fpr={:.4}%",
             g.occupied_slots, g.total_slots, g.evictions, g.est_fpr_pct
         );
+        let p = &self.checkpoints;
+        if p.generations > 0 || p.resumed_from > 0 {
+            let _ = writeln!(
+                s,
+                "checkpoints: generations={} last_bytes={} write={}ns resumed_from={}",
+                p.generations, p.last_bytes, p.write_nanos, p.resumed_from
+            );
+        }
         if !self.hot_addresses.is_empty() {
             let _ = writeln!(s, "hot addresses:");
             for h in &self.hot_addresses {
@@ -620,6 +656,7 @@ mod tests {
             "\"chunks\"",
             "\"stall_nanos\"",
             "\"signatures\"",
+            "\"checkpoints\"",
             "\"hot_addresses\"",
             "\"per_worker\"",
             "\"timings_nanos\"",
@@ -642,6 +679,27 @@ mod tests {
         let j = MetricsSnapshot::default().to_json();
         assert!(j.contains("\"hot_addresses\": []"));
         assert!(j.contains("\"per_worker\": []"));
+    }
+
+    #[test]
+    fn checkpoint_metrics_render_in_both_forms() {
+        let mut snap = MetricsSnapshot { enabled: true, ..Default::default() };
+        // A fresh run with no checkpoints keeps the text form quiet but
+        // the JSON keys stable.
+        assert!(!snap.to_text().contains("checkpoints:"));
+        assert!(snap.to_json().contains("\"checkpoints\": { \"generations\": 0"));
+        snap.checkpoints = CheckpointMetrics {
+            generations: 3,
+            last_bytes: 4096,
+            write_nanos: 1200,
+            resumed_from: 500,
+        };
+        let t = snap.to_text();
+        assert!(t.contains("checkpoints: generations=3 last_bytes=4096"), "{t}");
+        assert!(t.contains("resumed_from=500"), "{t}");
+        let j = snap.to_json();
+        assert!(j.contains("\"generations\": 3"), "{j}");
+        assert!(j.contains("\"resumed_from\": 500"), "{j}");
     }
 
     #[test]

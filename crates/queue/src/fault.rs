@@ -73,6 +73,13 @@ pub struct FaultPlan {
     /// [`FailingTransport`]: percentage (0–100) of pops that spuriously
     /// report "empty".
     pub spurious_recv_empty_pct: u8,
+    /// Kill the whole process (`abort`, no unwinding, no destructors —
+    /// the honest simulation of SIGKILL/OOM) after the feed loop has
+    /// consumed this many trace records. The hook lives in the *driver*,
+    /// not the engines: the CLI checks the plan between records, so the
+    /// kill lands at a deterministic record index and the
+    /// checkpoint/resume suite can cut a run at any point it likes.
+    pub kill_after_records: Option<u64>,
 }
 
 impl FaultPlan {
@@ -88,6 +95,7 @@ impl FaultPlan {
             && self.drop_nth_extract_reply.is_none()
             && self.spurious_send_fail_pct == 0
             && self.spurious_recv_empty_pct == 0
+            && self.kill_after_records.is_none()
     }
 
     /// Builder: set the seed.
@@ -119,6 +127,39 @@ impl FaultPlan {
         self.spurious_send_fail_pct = send_fail_pct.min(100);
         self.spurious_recv_empty_pct = recv_empty_pct.min(100);
         self
+    }
+
+    /// Builder: kill the process after `n` trace records (see
+    /// [`FaultPlan::kill_after_records`]).
+    pub fn with_kill(mut self, after_records: u64) -> Self {
+        self.kill_after_records = Some(after_records);
+        self
+    }
+}
+
+/// Reads `DEPPROF_CHAOS_SEED` (a comma-separated list of `u64`s) and
+/// returns the seeds the chaos suites should run, falling back to
+/// `defaults` when the variable is unset. A present-but-unparseable
+/// value is *not* silently ignored: it prints a warning on stderr and
+/// falls back, so a typo'd seed list shows up in the test log instead
+/// of quietly testing nothing the operator asked for.
+pub fn chaos_seeds(defaults: &[u64]) -> Vec<u64> {
+    match std::env::var("DEPPROF_CHAOS_SEED") {
+        Ok(raw) => {
+            let parsed: Result<Vec<u64>, _> =
+                raw.split(',').map(|s| s.trim().parse::<u64>()).collect();
+            match parsed {
+                Ok(seeds) if !seeds.is_empty() => seeds,
+                _ => {
+                    eprintln!(
+                        "warning: DEPPROF_CHAOS_SEED={raw:?} is not a comma-separated \
+                         list of u64 seeds; falling back to the default seeds"
+                    );
+                    defaults.to_vec()
+                }
+            }
+        }
+        Err(_) => defaults.to_vec(),
     }
 }
 
@@ -250,8 +291,25 @@ mod tests {
         assert!(!FaultPlan::none().with_stall(0, 0).is_none());
         assert!(!FaultPlan::none().with_dropped_reply(0).is_none());
         assert!(!FaultPlan::none().with_spurious(10, 0).is_none());
+        assert!(!FaultPlan::none().with_kill(100).is_none());
         // The seed alone schedules nothing.
         assert!(FaultPlan::none().with_seed(42).is_none());
+    }
+
+    #[test]
+    fn chaos_seeds_falls_back_with_warning_on_garbage() {
+        // Env vars are process-global: keep every case in one test so
+        // parallel test threads never race on the variable.
+        let defaults = [1u64, 7, 42];
+        std::env::remove_var("DEPPROF_CHAOS_SEED");
+        assert_eq!(chaos_seeds(&defaults), defaults);
+        std::env::set_var("DEPPROF_CHAOS_SEED", "5, 99");
+        assert_eq!(chaos_seeds(&defaults), vec![5, 99]);
+        std::env::set_var("DEPPROF_CHAOS_SEED", "not-a-seed");
+        assert_eq!(chaos_seeds(&defaults), defaults, "garbage must fall back, not panic");
+        std::env::set_var("DEPPROF_CHAOS_SEED", "");
+        assert_eq!(chaos_seeds(&defaults), defaults);
+        std::env::remove_var("DEPPROF_CHAOS_SEED");
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use backoff::{Backoff, DeadlineBackoff};
 pub use chunk::{Chunk, ChunkPool};
 #[cfg(feature = "fault-inject")]
 pub use fault::FailingTransport;
-pub use fault::{FaultPlan, WorkerFault};
+pub use fault::{chaos_seeds, FaultPlan, WorkerFault};
 pub use lockq::LockQueue;
 pub use metered::{ChannelTap, MeteredReceiver, MeteredSender};
 pub use mpmc::MpmcQueue;

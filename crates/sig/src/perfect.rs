@@ -7,7 +7,7 @@
 
 use crate::entry::SigEntry;
 use crate::store::AccessStore;
-use dp_types::{Address, FxHashMap};
+use dp_types::{Address, ByteReader, ByteWriter, FxHashMap, WireError};
 
 /// Exact per-address access store.
 #[derive(Debug, Default, Clone)]
@@ -75,6 +75,45 @@ impl AccessStore for PerfectSignature {
         self.map.capacity() * (std::mem::size_of::<(Address, SigEntry)>() + 1)
             + std::mem::size_of::<Self>()
     }
+
+    /// Checkpoint form: eviction counter, entry count, then
+    /// `(addr, entry)` pairs sorted by address so identical states
+    /// serialize to identical bytes regardless of hash-map iteration
+    /// order (checkpoint determinism is what the resume-equivalence
+    /// tests compare).
+    fn save_state(&self, out: &mut ByteWriter) -> bool {
+        out.u64(self.evictions);
+        out.u64(self.map.len() as u64);
+        let mut entries: Vec<(&Address, &SigEntry)> = self.map.iter().collect();
+        entries.sort_by_key(|(a, _)| **a);
+        for (addr, e) in entries {
+            out.u64(*addr);
+            out.u32(e.loc.pack());
+            out.u16(e.thread);
+            out.u64(e.ts);
+        }
+        true
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = ByteReader::new(bytes);
+        let evictions = r.u64()?;
+        let n = r.u64()? as usize;
+        let mut map = FxHashMap::with_capacity_and_hasher(n, Default::default());
+        for _ in 0..n {
+            let addr = r.u64()?;
+            let loc = dp_types::SourceLoc::unpack(r.u32()?);
+            let thread = r.u16()?;
+            let ts = r.u64()?;
+            map.insert(addr, SigEntry { loc, thread, ts });
+        }
+        if !r.is_done() {
+            return Err(WireError::Invalid("trailing bytes after perfect-signature state"));
+        }
+        self.map = map;
+        self.evictions = evictions;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +161,29 @@ mod tests {
         p.put(0x8, e(4));
         assert_eq!(p.evictions(), 1, "re-insert after removal hits an empty entry");
         assert_eq!(p.slot_capacity(), 0, "exact stores have no fixed slot capacity");
+    }
+
+    #[test]
+    fn save_restore_roundtrips_exactly() {
+        let mut p = PerfectSignature::new();
+        for i in 0..500u64 {
+            p.put(i * 8, SigEntry::new(loc(1, 1 + (i % 90) as u32), (i % 4) as u16, i));
+        }
+        p.put(0x8, e(77)); // one eviction
+        let mut out = ByteWriter::new();
+        assert!(p.save_state(&mut out));
+        let bytes = out.into_bytes();
+        let mut q = PerfectSignature::new();
+        q.restore_state(&bytes).unwrap();
+        assert_eq!(q.occupied(), p.occupied());
+        assert_eq!(q.evictions(), p.evictions());
+        for i in 0..500u64 {
+            assert_eq!(q.get(i * 8), p.get(i * 8));
+        }
+        // Deterministic bytes regardless of map iteration order.
+        let mut again = ByteWriter::new();
+        assert!(q.save_state(&mut again));
+        assert_eq!(again.into_bytes(), bytes);
     }
 
     #[test]

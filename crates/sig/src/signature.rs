@@ -3,7 +3,7 @@
 use crate::entry::{SigEntry, Slot};
 use crate::hash::SigHash;
 use crate::store::AccessStore;
-use dp_types::Address;
+use dp_types::{Address, ByteReader, ByteWriter, WireError};
 
 /// An approximate set-with-payload over addresses: a fixed-length slot
 /// array indexed by one hash function.
@@ -146,6 +146,53 @@ impl<S: Slot> AccessStore for Signature<S> {
     fn memory_usage(&self) -> usize {
         self.slots.len() * std::mem::size_of::<S>() + std::mem::size_of::<Self>()
     }
+
+    /// Checkpoint form: slot count (so restore can verify the hash
+    /// configuration matches), eviction counter, then one record per
+    /// *occupied* slot — sparse, since real signatures run far below
+    /// full occupancy. Entries round-trip through [`SigEntry`], so a
+    /// lossy layout (e.g. [`CompactSlot`](crate::CompactSlot)) restores
+    /// to exactly the bytes it would have held anyway.
+    fn save_state(&self, out: &mut ByteWriter) -> bool {
+        out.u64(self.nslots() as u64);
+        out.u64(self.evictions);
+        out.u64(self.occupied as u64);
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Some(e) = slot.decode() {
+                out.u64(idx as u64);
+                out.u32(e.loc.pack());
+                out.u16(e.thread);
+                out.u64(e.ts);
+            }
+        }
+        true
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = ByteReader::new(bytes);
+        let nslots = r.u64()? as usize;
+        if nslots != self.nslots() {
+            return Err(WireError::Invalid("signature slot count differs from checkpoint"));
+        }
+        let evictions = r.u64()?;
+        let occupied = r.u64()? as usize;
+        self.clear();
+        for _ in 0..occupied {
+            let idx = r.u64()? as usize;
+            if idx >= nslots {
+                return Err(WireError::Invalid("slot index out of range"));
+            }
+            let loc = dp_types::SourceLoc::unpack(r.u32()?);
+            let thread = r.u16()?;
+            let ts = r.u64()?;
+            self.set_slot(idx, S::encode(SigEntry { loc, thread, ts }));
+        }
+        if !r.is_done() {
+            return Err(WireError::Invalid("trailing bytes after signature state"));
+        }
+        self.evictions = evictions;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +304,42 @@ mod tests {
         // The paper's 10^8-slot × 4 B configuration = 382 MiB.
         let big = 100_000_000usize * 4;
         assert_eq!(big / (1024 * 1024), 381);
+    }
+
+    #[test]
+    fn save_restore_roundtrips_state() {
+        let mut s: Signature<ExtendedSlot> = Signature::new(1 << 10);
+        for a in 0..200u64 {
+            s.put(0x1000 + a * 8, e(1 + a as u32, (a % 3) as u16, a));
+        }
+        s.remove(0x1000);
+        let mut out = ByteWriter::new();
+        assert!(s.save_state(&mut out));
+        let bytes = out.into_bytes();
+        let mut t: Signature<ExtendedSlot> = Signature::new(1 << 10);
+        t.restore_state(&bytes).unwrap();
+        assert_eq!(t.occupied(), s.occupied());
+        assert_eq!(t.evictions(), s.evictions());
+        for a in 0..200u64 {
+            assert_eq!(t.get(0x1000 + a * 8), s.get(0x1000 + a * 8));
+        }
+        // A resave must produce identical bytes (determinism).
+        let mut again = ByteWriter::new();
+        assert!(t.save_state(&mut again));
+        assert_eq!(again.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn restore_rejects_size_mismatch_and_garbage() {
+        let s: Signature<CompactSlot> = Signature::new(64);
+        let mut out = ByteWriter::new();
+        assert!(s.save_state(&mut out));
+        let bytes = out.into_bytes();
+        let mut wrong: Signature<CompactSlot> = Signature::new(128);
+        assert!(wrong.restore_state(&bytes).is_err());
+        let mut right: Signature<CompactSlot> = Signature::new(64);
+        assert!(right.restore_state(&bytes[..bytes.len() - 1]).is_err());
+        assert!(right.restore_state(&bytes).is_ok());
     }
 
     #[test]

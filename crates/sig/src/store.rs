@@ -1,7 +1,7 @@
 //! The access-store abstraction every profiling engine is generic over.
 
 use crate::entry::SigEntry;
-use dp_types::Address;
+use dp_types::{Address, ByteWriter, WireError};
 
 /// Remembers the most recent access entry per address.
 ///
@@ -57,4 +57,23 @@ pub trait AccessStore: Send {
     /// Bytes of memory attributable to this store, for the accounting
     /// behind Figures 7/8.
     fn memory_usage(&self) -> usize;
+
+    /// Serializes the store's complete state into `out` for a crash-safe
+    /// checkpoint, returning `true` on success. The default says the
+    /// store cannot be checkpointed (`false`, nothing written) — engines
+    /// then refuse `write_checkpoint` rather than persisting a lie.
+    /// [`Signature`](crate::Signature) and
+    /// [`PerfectSignature`](crate::PerfectSignature) override this.
+    fn save_state(&self, out: &mut ByteWriter) -> bool {
+        let _ = out;
+        false
+    }
+
+    /// Restores state previously produced by [`AccessStore::save_state`]
+    /// on an identically-configured store. The default rejects, matching
+    /// the default `save_state`.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let _ = bytes;
+        Err(WireError::Invalid("this access store does not support checkpointing"))
+    }
 }

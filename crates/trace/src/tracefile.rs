@@ -53,9 +53,10 @@ fn payload_len(tag: u8) -> Option<usize> {
 
 const MAX_PAYLOAD: usize = 26;
 
-fn xor_fold(tag: u8, body: &[u8]) -> u8 {
-    body.iter().fold(tag, |x, b| x ^ b)
-}
+// The per-record checksum is the same XOR fold the checkpoint container
+// uses (one shared definition in `dp_types::wire`), so a trace record
+// and a checkpoint section corrupt and verify identically.
+use dp_types::wire::xor_fold;
 
 /// Why a trace file could not be read.
 ///

@@ -43,6 +43,12 @@ macro_rules! bitflags_lite {
             pub const fn union(self, other: Self) -> Self { $name(self.0 | other.0) }
             /// Raw bits.
             pub const fn bits(self) -> $ty { self.0 }
+            /// Reconstructs a flag set from raw bits, keeping only bits
+            /// that correspond to a defined flag (unknown bits — e.g.
+            /// from a checkpoint written by a newer build — are dropped).
+            pub const fn from_bits_truncate(bits: $ty) -> Self {
+                $name(bits & (0 $(| $val)*))
+            }
         }
 
         impl core::ops::BitOr for $name {
@@ -175,6 +181,17 @@ mod tests {
         let mut g = DepFlags::empty();
         g |= DepFlags::INTRA_ITERATION;
         assert!(g.contains(DepFlags::INTRA_ITERATION));
+    }
+
+    #[test]
+    fn bits_round_trip_and_truncate() {
+        let f = DepFlags::LOOP_CARRIED | DepFlags::REVERSED;
+        assert_eq!(DepFlags::from_bits_truncate(f.bits()), f);
+        // Undefined high bits are dropped, not preserved.
+        assert_eq!(
+            DepFlags::from_bits_truncate(0xFF),
+            DepFlags::LOOP_CARRIED | DepFlags::INTRA_ITERATION | DepFlags::REVERSED
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod ids;
 pub mod interner;
 pub mod loc;
 pub mod sink;
+pub mod wire;
 
 pub use access::{AccessKind, MemAccess};
 pub use dep::{DepEdge, DepFlags, DepType, Dependence, SinkKey};
@@ -32,3 +33,4 @@ pub use ids::{Address, LoopId, MutexId, ThreadId, Timestamp, VarId};
 pub use interner::Interner;
 pub use loc::SourceLoc;
 pub use sink::{Tracer, TracerFactory};
+pub use wire::{atomic_write, xor_fold, ByteReader, ByteWriter, WireError};

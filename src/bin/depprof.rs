@@ -8,7 +8,16 @@
 //!                            [--workers N] [--slots N] [--scale F]
 //!                            [--inject-panic W@N] [--inject-stall W@N]
 //!                            [--report|--analyze|--dot|--csv]
-//!                            [--stats json|text]
+//!                            [--stats json|text] [--out PATH]
+//! depprof record <workload>  [--out trace.dptr] [--scale F]
+//! depprof replay <trace.dptr> [--engine serial|parallel]
+//!                            [--transport spsc|mpmc|lock]
+//!                            [--workers N] [--slots N]
+//!                            [--checkpoint-every N] [--checkpoint-dir DIR]
+//!                            [--watchdog-deadline MS]
+//!                            [--inject-kill-after N] [--no-redistribution]
+//!                            [--stats json|text] [--report-out PATH]
+//! depprof replay --resume <dir> [--watchdog-deadline MS] ...
 //! ```
 //!
 //! `--stats` replaces the normal report on stdout with the pipeline
@@ -23,16 +32,38 @@
 //! synthetic: racy-counter locked-counter). Parallel (pthread-style)
 //! targets are profiled with the multi-threaded engine automatically.
 //!
+//! `replay --checkpoint-every N` makes the run *durable*: every N trace
+//! records the pipeline is quiesced and its full state (signatures,
+//! dependence maps, router statistics, queue ledger) is written to a
+//! two-generation checkpoint directory with an atomic temp-file + rename
+//! protocol — a kill at any instant leaves a valid generation on disk.
+//! `replay --resume <dir>` picks up the latest valid generation, seeks
+//! the trace to the recorded position and continues; the final profile is
+//! identical to an uninterrupted run. `--watchdog-deadline MS` arms a
+//! monitor that forces an emergency checkpoint and exits with code `6`
+//! when the pipeline stops making progress.
+//!
 //! Exit codes are distinct so scripts and CI can react to each failure
 //! class: `2` usage errors (bad flag, unknown engine), `3` missing or
 //! unopenable inputs (unknown workload, absent trace file), `4` a trace
-//! file that exists but is corrupt or truncated, `5` a profile that
-//! completed *degraded* (worker failures or dropped events — the report
-//! is still printed, with a `WARNING:` banner on stderr).
+//! file or checkpoint that exists but is corrupt or truncated, `5` a
+//! profile that completed *degraded* (worker failures or dropped events —
+//! the report is still printed, with a `WARNING:` banner on stderr), `6`
+//! the run watchdog gave up on a stalled pipeline.
 
 use depprof::analysis::{degradation, Framework, LoopMeta};
-use depprof::core::{report, OverflowPolicy, ProfilerConfig, TransportKind, WorkerFault};
+use depprof::core::{
+    report, AnyParallelProfiler, CheckpointData, CheckpointError, CheckpointMetrics,
+    CheckpointStore, DefaultSig, OverflowPolicy, ProfileResult, ProfilerConfig, SequentialProfiler,
+    TransportKind, Watchdog, WorkerFault,
+};
 use depprof::trace::workloads::{nas_suite, splash, starbench_suite, synth, Scale, Workload};
+use depprof::trace::TraceReader;
+use depprof::types::wire::{atomic_write, ByteReader, ByteWriter, WireError};
+use depprof::types::{TraceEvent, Tracer};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
 
 /// Bad command line (unknown flag/engine/value).
 const EXIT_USAGE: i32 = 2;
@@ -42,7 +73,11 @@ const EXIT_INPUT: i32 = 3;
 const EXIT_CORRUPT: i32 = 4;
 /// The run finished but the profile is degraded (losses were recorded).
 const EXIT_DEGRADED: i32 = 5;
+/// The run watchdog detected a stalled pipeline; an emergency checkpoint
+/// was written (when checkpointing is active) and the run gave up.
+const EXIT_WATCHDOG: i32 = 6;
 
+#[derive(Default)]
 struct Args {
     workload: String,
     engine: String,
@@ -55,6 +90,37 @@ struct Args {
     inject_panic: Option<WorkerFault>,
     inject_stall: Option<WorkerFault>,
     stats: Option<String>,
+    /// Replay: which engine consumes the trace (serial|parallel).
+    replay_engine: String,
+    /// Replay: checkpoint every N trace records (0 = off).
+    checkpoint_every: u64,
+    /// Replay: checkpoint directory (default `<trace>.ckpt`).
+    checkpoint_dir: Option<String>,
+    /// Replay: resume from this checkpoint directory.
+    resume: Option<String>,
+    /// Watchdog no-progress deadline in milliseconds (0 = off).
+    watchdog_deadline_ms: u64,
+    /// Replay: SIGKILL the process after feeding N records this run.
+    inject_kill_after: Option<u64>,
+    /// Replay (parallel engine): disable hot-address redistribution.
+    no_redistribution: bool,
+    /// Replay (parallel engine): override the supervisor's stall deadline
+    /// (lets tests pit the run watchdog against a wedged pipeline without
+    /// the per-worker supervision recovering it first).
+    stall_deadline_ms: Option<u64>,
+    /// Write the main artifact (report or stats) to this path atomically
+    /// instead of stdout.
+    out: Option<String>,
+}
+
+fn base_args() -> Args {
+    Args {
+        workers: 8,
+        slots: 1 << 20,
+        scale: 0.25,
+        replay_engine: "serial".into(),
+        ..Args::default()
+    }
 }
 
 fn parse() -> Result<Args, String> {
@@ -63,20 +129,17 @@ fn parse() -> Result<Args, String> {
         return Err("usage".into());
     }
     if argv[0] == "record" || argv[0] == "replay" {
-        let mut a = Args {
-            workload: argv.get(1).cloned().ok_or("record/replay need an argument")?,
-            engine: argv[0].clone(),
-            workers: 8,
-            slots: 1 << 20,
-            scale: 0.25,
-            mode: "trace".into(),
-            transport: None,
-            overflow: None,
-            inject_panic: None,
-            inject_stall: None,
-            stats: None,
+        let mut a = base_args();
+        a.engine = argv[0].clone();
+        a.mode = "trace".into();
+        // `replay --resume DIR` has no trace argument; everything else
+        // starts with one.
+        let mut i = if argv.get(1).is_some_and(|s| s.starts_with("--")) {
+            1
+        } else {
+            a.workload = argv.get(1).cloned().ok_or("record/replay need an argument")?;
+            2
         };
-        let mut i = 2;
         while i < argv.len() {
             match argv[i].as_str() {
                 "--scale" => {
@@ -91,43 +154,120 @@ fn parse() -> Result<Args, String> {
                     i += 1;
                     a.mode = argv.get(i).cloned().ok_or("--out/--in need a path")?;
                 }
+                "--engine" if a.engine == "replay" => {
+                    i += 1;
+                    let v = argv.get(i).cloned().ok_or("--engine needs a value")?;
+                    if v != "serial" && v != "parallel" {
+                        return Err(format!(
+                            "--engine: replay supports serial|parallel, not '{v}'"
+                        ));
+                    }
+                    a.replay_engine = v;
+                }
+                "--transport" if a.engine == "replay" => {
+                    i += 1;
+                    let v = argv.get(i).ok_or("--transport needs a value")?;
+                    a.transport = Some(
+                        TransportKind::parse(v)
+                            .ok_or_else(|| format!("--transport: unknown kind '{v}'"))?,
+                    );
+                }
+                "--workers" if a.engine == "replay" => {
+                    i += 1;
+                    a.workers = argv.get(i).and_then(|s| s.parse().ok()).ok_or("--workers: int")?;
+                }
+                "--checkpoint-every" if a.engine == "replay" => {
+                    i += 1;
+                    a.checkpoint_every = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--checkpoint-every: positive record count")?;
+                }
+                "--checkpoint-dir" if a.engine == "replay" => {
+                    i += 1;
+                    a.checkpoint_dir =
+                        Some(argv.get(i).cloned().ok_or("--checkpoint-dir needs a path")?);
+                }
+                "--resume" if a.engine == "replay" => {
+                    i += 1;
+                    a.resume = Some(argv.get(i).cloned().ok_or("--resume needs a directory")?);
+                }
+                "--watchdog-deadline" if a.engine == "replay" => {
+                    i += 1;
+                    a.watchdog_deadline_ms = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--watchdog-deadline: positive milliseconds")?;
+                }
+                "--inject-kill-after" if a.engine == "replay" => {
+                    i += 1;
+                    a.inject_kill_after = Some(
+                        argv.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--inject-kill-after: record count")?,
+                    );
+                }
+                "--no-redistribution" if a.engine == "replay" => a.no_redistribution = true,
+                "--overflow" if a.engine == "replay" => {
+                    i += 1;
+                    let v = argv.get(i).ok_or("--overflow needs a value")?;
+                    a.overflow =
+                        Some(OverflowPolicy::parse(v).ok_or_else(|| {
+                            format!("--overflow: unknown policy '{v}' (block|drop)")
+                        })?);
+                }
+                "--inject-stall" if a.engine == "replay" => {
+                    i += 1;
+                    let v = argv.get(i).ok_or("--inject-stall needs WORKER@CHUNKS")?;
+                    a.inject_stall = Some(
+                        WorkerFault::parse(v)
+                            .ok_or_else(|| format!("--inject-stall: bad spec '{v}' (e.g. 2@5)"))?,
+                    );
+                }
+                "--stall-deadline" if a.engine == "replay" => {
+                    i += 1;
+                    a.stall_deadline_ms = Some(
+                        argv.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--stall-deadline: milliseconds")?,
+                    );
+                }
+                "--stats" if a.engine == "replay" => {
+                    i += 1;
+                    let v = argv.get(i).ok_or("--stats needs a format (json|text)")?;
+                    if v != "json" && v != "text" {
+                        return Err(format!("--stats: unknown format '{v}' (json|text)"));
+                    }
+                    a.stats = Some(v.clone());
+                }
+                "--report-out" if a.engine == "replay" => {
+                    i += 1;
+                    a.out = Some(argv.get(i).cloned().ok_or("--report-out needs a path")?);
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
             i += 1;
         }
+        if a.engine == "replay" && a.workload.is_empty() && a.resume.is_none() {
+            return Err("replay needs a trace file or --resume <dir>".into());
+        }
+        if a.engine == "record" && a.workload.is_empty() {
+            return Err("record needs a workload name".into());
+        }
         return Ok(a);
     }
     if argv[0] == "list" {
-        return Ok(Args {
-            workload: "list".into(),
-            engine: String::new(),
-            workers: 0,
-            slots: 0,
-            scale: 0.0,
-            mode: String::new(),
-            transport: None,
-            overflow: None,
-            inject_panic: None,
-            inject_stall: None,
-            stats: None,
-        });
+        return Ok(Args { workload: "list".into(), ..Args::default() });
     }
     if argv[0] != "profile" {
         return Err(format!("unknown command '{}'", argv[0]));
     }
-    let mut a = Args {
-        workload: argv.get(1).cloned().ok_or("profile needs a workload name")?,
-        engine: "serial".into(),
-        workers: 8,
-        slots: 1 << 20,
-        scale: 0.25,
-        mode: "report".into(),
-        transport: None,
-        overflow: None,
-        inject_panic: None,
-        inject_stall: None,
-        stats: None,
-    };
+    let mut a = base_args();
+    a.workload = argv.get(1).cloned().ok_or("profile needs a workload name")?;
+    a.engine = "serial".into();
+    a.mode = "report".into();
     let mut i = 2;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -187,6 +327,10 @@ fn parse() -> Result<Args, String> {
                 }
                 a.stats = Some(v.clone());
             }
+            "--out" => {
+                i += 1;
+                a.out = Some(argv.get(i).cloned().ok_or("--out needs a path")?);
+            }
             "--report" => a.mode = "report".into(),
             "--analyze" => a.mode = "analyze".into(),
             "--dot" => a.mode = "dot".into(),
@@ -212,6 +356,386 @@ fn find_workload(name: &str, scale: Scale) -> Option<Workload> {
         })
 }
 
+/// Everything a resumed run needs to rebuild the engine exactly as the
+/// interrupted run configured it. Serialized into the checkpoint's CONFIG
+/// section, so `depprof replay --resume <dir>` takes no other flags.
+struct ReplayConfig {
+    trace_path: String,
+    parallel: bool,
+    transport: TransportKind,
+    workers: usize,
+    slots: usize,
+    checkpoint_every: u64,
+    no_redistribution: bool,
+}
+
+impl ReplayConfig {
+    fn from_args(a: &Args) -> Self {
+        ReplayConfig {
+            trace_path: a.workload.clone(),
+            parallel: a.replay_engine == "parallel",
+            transport: a.transport.unwrap_or(TransportKind::Spsc),
+            workers: a.workers,
+            slots: a.slots,
+            checkpoint_every: a.checkpoint_every,
+            no_redistribution: a.no_redistribution,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.blob(self.trace_path.as_bytes());
+        w.u8(self.parallel as u8);
+        w.u8(match self.transport {
+            TransportKind::Spsc => 0,
+            TransportKind::Mpmc => 1,
+            TransportKind::Lock => 2,
+        });
+        w.u32(self.workers as u32);
+        w.u64(self.slots as u64);
+        w.u64(self.checkpoint_every);
+        w.u8(self.no_redistribution as u8);
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let trace_path = String::from_utf8(r.blob()?.to_vec())
+            .map_err(|_| WireError::Invalid("trace path in checkpoint is not UTF-8"))?;
+        let parallel = r.u8()? != 0;
+        let transport = match r.u8()? {
+            0 => TransportKind::Spsc,
+            1 => TransportKind::Mpmc,
+            2 => TransportKind::Lock,
+            _ => return Err(WireError::Invalid("unknown transport code in checkpoint")),
+        };
+        let workers = r.u32()? as usize;
+        let slots = r.u64()? as usize;
+        let checkpoint_every = r.u64()?;
+        let no_redistribution = r.u8()? != 0;
+        if !r.is_done() {
+            return Err(WireError::Invalid("trailing bytes after replay config"));
+        }
+        Ok(ReplayConfig {
+            trace_path,
+            parallel,
+            transport,
+            workers,
+            slots,
+            checkpoint_every,
+            no_redistribution,
+        })
+    }
+}
+
+/// The engine a replayed trace is fed into — the serial in-line profiler
+/// or the parallel pipeline — with a uniform checkpoint/heartbeat surface.
+#[allow(clippy::large_enum_variant)]
+enum ReplayEngine {
+    Serial(SequentialProfiler<DefaultSig>),
+    Parallel(AnyParallelProfiler<DefaultSig>),
+}
+
+impl ReplayEngine {
+    fn on_event(&mut self, ev: TraceEvent) {
+        match self {
+            ReplayEngine::Serial(p) => p.on_event(&ev),
+            ReplayEngine::Parallel(p) => p.event(ev),
+        }
+    }
+
+    /// Monotone downstream-progress value. The serial engine consumes
+    /// in-line, so the feed counter alone describes its progress.
+    fn heartbeat(&self) -> u64 {
+        match self {
+            ReplayEngine::Serial(_) => 0,
+            ReplayEngine::Parallel(p) => p.heartbeat(),
+        }
+    }
+
+    fn checkpoint_data(
+        &mut self,
+        generation: u64,
+        records_read: u64,
+        config: Vec<u8>,
+    ) -> Result<CheckpointData, CheckpointError> {
+        match self {
+            ReplayEngine::Serial(p) => p.checkpoint_data(generation, records_read, config),
+            ReplayEngine::Parallel(p) => p.checkpoint_data(generation, records_read, config),
+        }
+    }
+
+    fn finish(self) -> ProfileResult {
+        match self {
+            ReplayEngine::Serial(p) => p.finish(),
+            ReplayEngine::Parallel(p) => p.finish(),
+        }
+    }
+}
+
+/// Writes a CLI artifact: to stdout by default, or atomically (hidden
+/// temp file + fsync + rename) to `path` — a crash mid-write can never
+/// leave a torn or half-written artifact behind.
+fn emit(path: Option<&str>, content: &str) {
+    match path {
+        None => println!("{content}"),
+        Some(p) => {
+            let mut bytes = content.as_bytes().to_vec();
+            bytes.push(b'\n');
+            if let Err(e) = atomic_write(Path::new(p), &bytes) {
+                eprintln!("cannot write '{p}': {e}");
+                std::process::exit(EXIT_INPUT);
+            }
+            eprintln!("wrote {} bytes to {p}", bytes.len());
+        }
+    }
+}
+
+/// `depprof replay` — feed a recorded trace into an engine, with optional
+/// durability: periodic checkpoints, crash resume, and a run watchdog.
+fn run_replay(args: &Args) {
+    // Resolve the run configuration: a fresh run takes it from the flags,
+    // a resumed run from the checkpoint's own CONFIG section.
+    let resume_data =
+        args.resume.as_ref().map(|dir| match CheckpointStore::open(dir.clone()).load_latest() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot resume from '{dir}': {e}");
+                std::process::exit(EXIT_CORRUPT);
+            }
+        });
+    let rc = match &resume_data {
+        Some(d) => match ReplayConfig::decode(&d.config) {
+            Ok(rc) => rc,
+            Err(e) => {
+                eprintln!("checkpoint config section is unreadable: {e}");
+                std::process::exit(EXIT_CORRUPT);
+            }
+        },
+        None => ReplayConfig::from_args(args),
+    };
+    let path = rc.trace_path.clone();
+
+    // Open the trace; on resume, skip the records the interrupted run
+    // already profiled (the checkpoint records the reader position).
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open trace file '{path}': {e}");
+            std::process::exit(EXIT_INPUT);
+        }
+    };
+    let mut reader = match TraceReader::new(file) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("'{path}': {e}");
+            std::process::exit(EXIT_CORRUPT);
+        }
+    };
+    let interner = reader.interner().clone();
+    if let Some(d) = &resume_data {
+        while reader.records_read() < d.records_read {
+            match reader.next() {
+                Some(Ok(_)) => {}
+                Some(Err(e)) => {
+                    eprintln!("'{path}': {e}");
+                    std::process::exit(EXIT_CORRUPT);
+                }
+                None => {
+                    eprintln!(
+                        "checkpoint was taken {} records in, but '{path}' ends after {}",
+                        d.records_read,
+                        reader.records_read()
+                    );
+                    std::process::exit(EXIT_CORRUPT);
+                }
+            }
+        }
+        eprintln!(
+            "resuming from checkpoint generation {} at record {}",
+            d.generation, d.records_read
+        );
+    }
+
+    // Build (or restore) the engine. Fault-injection knobs (stall,
+    // overflow policy) are runtime test levers, deliberately NOT part of
+    // the persisted ReplayConfig — a resumed run is healthy by default.
+    let mut engine = if rc.parallel {
+        let mut cfg = ProfilerConfig::default()
+            .with_workers(rc.workers)
+            .with_slots(rc.slots)
+            .with_transport(rc.transport)
+            .with_redistribution(!rc.no_redistribution);
+        if let Some(p) = args.overflow {
+            cfg = cfg.with_overflow(p);
+        }
+        if let Some(f) = args.inject_stall {
+            cfg = cfg.with_fault_plan(
+                depprof::core::FaultPlan::none().with_stall(f.worker, f.after_chunks),
+            );
+        }
+        if let Some(ms) = args.stall_deadline_ms {
+            cfg = cfg.with_stall_deadline_ms(ms);
+        }
+        let slots = cfg.slots_per_worker();
+        let make = move || depprof::sig::Signature::new(slots);
+        match &resume_data {
+            Some(d) => match AnyParallelProfiler::resume(cfg, make, d) {
+                Ok(p) => ReplayEngine::Parallel(p),
+                Err(e) => {
+                    eprintln!("cannot resume the parallel pipeline: {e}");
+                    std::process::exit(EXIT_CORRUPT);
+                }
+            },
+            None => ReplayEngine::Parallel(AnyParallelProfiler::new(cfg, make)),
+        }
+    } else {
+        let mut p = SequentialProfiler::with_signature(rc.slots);
+        if let Some(d) = &resume_data {
+            if let Err(e) = p.restore(d) {
+                eprintln!("cannot restore the serial engine: {e}");
+                std::process::exit(EXIT_CORRUPT);
+            }
+        }
+        ReplayEngine::Serial(p)
+    };
+
+    // A checkpoint store is needed for periodic checkpoints and for the
+    // watchdog's emergency checkpoint. Resumed runs keep writing into the
+    // directory they resumed from, preserving the two-generation rotation.
+    let store = if rc.checkpoint_every > 0 || args.watchdog_deadline_ms > 0 {
+        let dir = args
+            .resume
+            .clone()
+            .or_else(|| args.checkpoint_dir.clone())
+            .unwrap_or_else(|| format!("{path}.ckpt"));
+        match CheckpointStore::create(dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cannot create checkpoint directory: {e}");
+                std::process::exit(EXIT_INPUT);
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut generation = resume_data.as_ref().map_or(0, |d| d.generation + 1);
+    let mut ck = CheckpointMetrics {
+        resumed_from: resume_data.as_ref().map_or(0, |d| d.records_read),
+        ..CheckpointMetrics::default()
+    };
+
+    // The watchdog escalates in two stages: after one deadline without
+    // progress it sets the sticky `fired` flag, which the feed loop turns
+    // into an emergency checkpoint + exit at the next record boundary;
+    // if the feed loop itself is wedged (blocked on a full queue behind a
+    // stalled worker) and a second deadline passes, the hard-timeout
+    // callback exits directly — the previous on-disk generation survives.
+    let watchdog = (args.watchdog_deadline_ms > 0).then(|| {
+        Watchdog::spawn(Duration::from_millis(args.watchdog_deadline_ms), || {
+            eprintln!("watchdog: pipeline made no progress for two deadlines; giving up");
+            std::process::exit(EXIT_WATCHDOG);
+        })
+    });
+    let wd_progress = watchdog.as_ref().map(|w| w.progress_handle());
+
+    let mut fed: u64 = 0;
+    while let Some(rec) = reader.next() {
+        let ev = match rec {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("'{path}': {e}");
+                std::process::exit(EXIT_CORRUPT);
+            }
+        };
+        engine.on_event(ev);
+        fed += 1;
+        if let Some(p) = &wd_progress {
+            p.store(fed + engine.heartbeat(), Ordering::Relaxed);
+        }
+        if watchdog.as_ref().is_some_and(|w| w.fired()) {
+            if let Some(store) = &store {
+                match engine.checkpoint_data(generation, reader.records_read(), rc.encode()) {
+                    Ok(data) => match store.write(&data) {
+                        Ok(st) => eprintln!(
+                            "watchdog: stalled; emergency checkpoint generation {} \
+                             ({} bytes) written to '{}'",
+                            st.generation,
+                            st.bytes,
+                            store.dir().display()
+                        ),
+                        Err(e) => eprintln!("watchdog: stalled; emergency checkpoint failed: {e}"),
+                    },
+                    Err(e) => {
+                        eprintln!("watchdog: stalled; cannot quiesce for emergency checkpoint: {e}")
+                    }
+                }
+            } else {
+                eprintln!("watchdog: stalled (checkpointing is off, nothing to save)");
+            }
+            std::process::exit(EXIT_WATCHDOG);
+        }
+        if rc.checkpoint_every > 0 && fed.is_multiple_of(rc.checkpoint_every) {
+            if let Some(store) = &store {
+                let t0 = Instant::now();
+                match engine.checkpoint_data(generation, reader.records_read(), rc.encode()) {
+                    Ok(data) => match store.write(&data) {
+                        Ok(st) => {
+                            ck.generations += 1;
+                            ck.last_bytes = st.bytes;
+                            ck.write_nanos += t0.elapsed().as_nanos() as u64;
+                            generation += 1;
+                        }
+                        Err(e) => eprintln!("WARNING: checkpoint write failed: {e}"),
+                    },
+                    Err(e) => eprintln!("WARNING: checkpoint skipped: {e}"),
+                }
+            }
+        }
+        // The kill point sits at a record boundary *after* any checkpoint
+        // due at it — deterministic, and it exercises the worst case
+        // (death immediately after a successful checkpoint write).
+        if args.inject_kill_after == Some(fed) {
+            eprintln!("fault injection: killing the process after {fed} records");
+            // A real SIGKILL (not abort/panic): nothing runs after it — no
+            // destructors, no atexit — which is exactly the crash model the
+            // checkpoint store must survive.
+            #[cfg(unix)]
+            {
+                let _ = std::process::Command::new("kill")
+                    .args(["-KILL", &std::process::id().to_string()])
+                    .status();
+            }
+            std::process::abort(); // non-unix fallback; unreachable on unix
+        }
+    }
+    drop(wd_progress);
+    if let Some(w) = watchdog {
+        w.stop();
+    }
+
+    let mut result = engine.finish();
+    result.metrics.checkpoints = ck;
+
+    eprintln!("{}", report::summary(&result));
+    let content = match args.stats.as_deref() {
+        Some("json") => result.metrics.to_json(),
+        Some(_) => result.metrics.to_text(),
+        None => report::render(&result, &interner, false),
+    };
+    emit(args.out.as_deref(), &content);
+
+    let d = degradation(&result);
+    if d.degraded() {
+        for f in &result.stats.worker_failures {
+            eprintln!("WARNING: {f}");
+        }
+        eprintln!("WARNING: {} — expected FNR ~{:.2}%", d.summary(), d.expected_fnr());
+        std::process::exit(EXIT_DEGRADED);
+    }
+}
+
 fn main() {
     let args = match parse() {
         Ok(a) => a,
@@ -225,9 +749,17 @@ fn main() {
                  [--transport spsc|mpmc|lock] [--overflow block|drop] \
                  [--workers N] [--slots N] [--scale F] \
                  [--inject-panic W@N] [--inject-stall W@N] \
-                 [--report|--analyze|--dot|--csv] [--stats json|text]\n  \
+                 [--report|--analyze|--dot|--csv] [--stats json|text] [--out PATH]\n  \
                  depprof record <workload> [--out trace.dptr] [--scale F]\n  \
-                 depprof replay <trace.dptr> [--slots N]"
+                 depprof replay <trace.dptr> [--engine serial|parallel] \
+                 [--transport spsc|mpmc|lock] [--workers N] [--slots N] \
+                 [--checkpoint-every N] [--checkpoint-dir DIR] \
+                 [--watchdog-deadline MS] [--inject-kill-after N] \
+                 [--no-redistribution] [--stats json|text] [--report-out PATH]\n  \
+                 depprof replay --resume <dir> [--watchdog-deadline MS] \
+                 [--stats json|text] [--report-out PATH]\n\n\
+                 exit codes: 0 ok, 2 usage, 3 missing input, 4 corrupt trace or \
+                 checkpoint, 5 degraded profile, 6 watchdog gave up"
             );
             std::process::exit(EXIT_USAGE);
         }
@@ -247,17 +779,22 @@ fn main() {
             );
             std::process::exit(EXIT_USAGE);
         }
-        let file = match std::fs::File::create(&path) {
+        // Stream to a sibling temp file and rename at the end, so an
+        // interrupted recording never leaves a truncated trace under the
+        // final name (a previous complete recording survives untouched).
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        let file = match std::fs::File::create(&tmp) {
             Ok(f) => f,
             Err(e) => {
-                eprintln!("cannot create trace file '{path}': {e}");
+                eprintln!("cannot create trace file '{tmp}': {e}");
                 std::process::exit(EXIT_INPUT);
             }
         };
         let mut wtr = match depprof::trace::TraceWriter::with_names(file, &w.program.interner) {
             Ok(wtr) => wtr,
             Err(e) => {
-                eprintln!("cannot write trace header to '{path}': {e}");
+                let _ = std::fs::remove_file(&tmp);
+                eprintln!("cannot write trace header to '{tmp}': {e}");
                 std::process::exit(EXIT_INPUT);
             }
         };
@@ -265,43 +802,20 @@ fn main() {
         vm.run_seq(&mut wtr);
         let events = wtr.events();
         if let Err(e) = wtr.finish() {
-            eprintln!("cannot flush trace to '{path}': {e}");
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("cannot flush trace to '{tmp}': {e}");
+            std::process::exit(EXIT_INPUT);
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("cannot move finished trace into place at '{path}': {e}");
             std::process::exit(EXIT_INPUT);
         }
         eprintln!("recorded {events} events of {} to {path}", w.meta.name);
         return;
     }
     if args.engine == "replay" {
-        // `depprof replay trace.dptr [--slots N]`
-        let path = &args.workload;
-        let file = match std::fs::File::open(path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("cannot open trace file '{path}': {e}");
-                std::process::exit(EXIT_INPUT);
-            }
-        };
-        let mut reader = match depprof::trace::TraceReader::new(file) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("'{path}': {e}");
-                std::process::exit(EXIT_CORRUPT);
-            }
-        };
-        let interner = reader.interner().clone();
-        let mut prof = depprof::core::SequentialProfiler::with_signature(args.slots);
-        for ev in &mut reader {
-            match ev {
-                Ok(ev) => prof.on_event(&ev),
-                Err(e) => {
-                    eprintln!("'{path}': {e}");
-                    std::process::exit(EXIT_CORRUPT);
-                }
-            }
-        }
-        let result = prof.finish();
-        eprintln!("{}", report::summary(&result));
-        println!("{}", report::render(&result, &interner, false));
+        run_replay(&args);
         return;
     }
     if args.workload == "list" {
@@ -378,10 +892,11 @@ fn main() {
     if let Some(fmt) = &args.stats {
         // Stats mode replaces the report: stdout carries *only* the
         // snapshot so `depprof ... --stats json | jq` works unpiped.
-        match fmt.as_str() {
-            "json" => println!("{}", result.metrics.to_json()),
-            _ => println!("{}", result.metrics.to_text()),
-        }
+        let content = match fmt.as_str() {
+            "json" => result.metrics.to_json(),
+            _ => result.metrics.to_text(),
+        };
+        emit(args.out.as_deref(), &content);
         let d = degradation(&result);
         if d.degraded() {
             for f in &result.stats.worker_failures {
@@ -392,17 +907,13 @@ fn main() {
         }
         return;
     }
-    match args.mode.as_str() {
-        "report" => {
-            println!("{}", report::render(&result, &w.program.interner, w.meta.parallel));
-        }
+    let content = match args.mode.as_str() {
+        "report" => report::render(&result, &w.program.interner, w.meta.parallel),
         "dot" => {
             let g = depprof::analysis::DepGraph::build(&result);
-            println!("{}", g.to_dot(w.meta.parallel));
+            g.to_dot(w.meta.parallel)
         }
-        "csv" => {
-            println!("{}", report::to_csv(&result, &w.program.interner));
-        }
+        "csv" => report::to_csv(&result, &w.program.interner),
         "analyze" => {
             let metas: Vec<LoopMeta> = w
                 .program
@@ -411,6 +922,7 @@ fn main() {
                 .map(|l| LoopMeta { id: l.id, name: l.name.clone(), omp: l.omp })
                 .collect();
             let mut fw = Framework::with_builtin();
+            let mut out = String::new();
             for (name, fragment) in fw.run(
                 &result,
                 &w.program.interner,
@@ -418,11 +930,16 @@ fn main() {
                 &w.program.func_names,
                 if w.meta.parallel { w.meta.nthreads as usize + 1 } else { 0 },
             ) {
-                println!("== {name} ==\n{fragment}\n");
+                out.push_str(&format!("== {name} ==\n{fragment}\n\n"));
             }
+            // Drop the final separator newline so stdout output matches
+            // the previous per-fragment println formatting exactly.
+            out.pop();
+            out
         }
         _ => unreachable!(),
-    }
+    };
+    emit(args.out.as_deref(), &content);
 
     // The dependences that WERE reported are exact; the banner and exit
     // code make the coverage loss impossible to miss in scripts and CI.

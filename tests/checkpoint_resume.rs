@@ -1,0 +1,348 @@
+//! End-to-end durability tests for the checkpoint/resume subsystem.
+//!
+//! The property at the heart of this file is the recovery guarantee:
+//! *kill the run after any record, resume from the last checkpoint, and
+//! the final profile is identical to an uninterrupted run* — for the
+//! serial engine and for all three parallel transports. The CLI tests
+//! then prove the same thing across a real process boundary (SIGABRT
+//! mid-run, fresh process resumes from disk), including the
+//! torn-checkpoint case where the newest generation was half-written.
+
+use depprof::core::{
+    AnyParallelProfiler, ProfileResult, ProfilerConfig, SequentialProfiler, TransportKind,
+};
+use depprof::sig::{ExtendedSlot, Signature};
+use depprof::types::{loc::loc, AccessKind, MemAccess, TraceEvent, Tracer};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+// ---------------------------------------------------------------------
+// In-process property: checkpoint at ANY index, resume, same profile.
+// ---------------------------------------------------------------------
+
+/// A well-formed stream mixing reads, writes, a loop and deallocations
+/// over a bounded address set — enough to exercise the signatures, the
+/// dependence store, the execution tree and the loop tracker that a
+/// checkpoint has to carry.
+fn arb_stream() -> impl Strategy<Value = Vec<TraceEvent>> {
+    let step = prop_oneof![
+        12 => (0u64..24, any::<bool>(), 1u32..40).prop_map(|(slot, w, line)| (0u8, slot, w, line)),
+        1 => (0u64..4, any::<bool>(), 1u32..40).prop_map(|(slot, _, _)| (1u8, slot, false, 0)),
+    ];
+    prop::collection::vec(step, 2..120).prop_map(|steps| {
+        let mut ts = 0u64;
+        let mut evs = vec![TraceEvent::LoopBegin { loop_id: 7, loc: loc(1, 1), thread: 0, ts }];
+        for (i, (kind, slot, is_write, line)) in steps.into_iter().enumerate() {
+            ts += 1;
+            if i % 8 == 0 {
+                evs.push(TraceEvent::LoopIter { loop_id: 7, iter: (i / 8) as u64, thread: 0, ts });
+                ts += 1;
+            }
+            match kind {
+                0 => evs.push(TraceEvent::Access(MemAccess {
+                    addr: 0x2000 + slot * 8,
+                    ts,
+                    loc: loc(1, line),
+                    var: 1,
+                    thread: 0,
+                    kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                })),
+                _ => evs.push(TraceEvent::Dealloc {
+                    base: 0x2000 + slot * 8 * 4,
+                    len: 32,
+                    thread: 0,
+                    ts,
+                }),
+            }
+        }
+        evs.push(TraceEvent::LoopEnd { loop_id: 7, loc: loc(1, 2), iters: 1, thread: 0, ts });
+        evs
+    })
+}
+
+/// Stream plus a kill index somewhere strictly inside it. (The vendored
+/// proptest subset has no `prop_flat_map`, so the index is drawn as a
+/// raw value and reduced modulo the stream length.)
+fn arb_stream_and_cut() -> impl Strategy<Value = (Vec<TraceEvent>, usize)> {
+    (arb_stream(), 0u64..1_000_000).prop_map(|(evs, raw)| {
+        let cut = 1 + (raw as usize) % (evs.len() - 1);
+        (evs, cut)
+    })
+}
+
+fn deps_fingerprint(r: &ProfileResult) -> Vec<String> {
+    let mut v: Vec<String> =
+        r.deps.dependences().map(|(d, val)| format!("{d:?}={val:?}")).collect();
+    v.sort();
+    v
+}
+
+fn par_cfg(kind: TransportKind) -> ProfilerConfig {
+    ProfilerConfig::default()
+        .with_workers(3)
+        .with_slots(3 << 12)
+        .with_chunk_capacity(8)
+        .with_transport(kind)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel pipeline, all three transports: a checkpoint taken after
+    /// any record, restored into a fresh engine that then consumes the
+    /// rest of the stream, yields the exact profile of an uninterrupted
+    /// run — dependences, counts and loop records included.
+    #[test]
+    fn parallel_kill_anywhere_resume_is_lossless((evs, cut) in arb_stream_and_cut()) {
+        for kind in [TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock] {
+            let c = par_cfg(kind);
+            let slots = c.slots_per_worker();
+            let mk = move || Signature::<ExtendedSlot>::new(slots);
+
+            let mut reference: AnyParallelProfiler<Signature<ExtendedSlot>> =
+                AnyParallelProfiler::new(c.clone(), mk);
+            for ev in &evs {
+                reference.event(*ev);
+            }
+            let r_ref = reference.finish();
+            prop_assert!(!r_ref.degraded());
+
+            let mut first: AnyParallelProfiler<Signature<ExtendedSlot>> =
+                AnyParallelProfiler::new(c.clone(), mk);
+            for ev in &evs[..cut] {
+                first.event(*ev);
+            }
+            let data = first.checkpoint_data(1, cut as u64, Vec::new()).unwrap();
+            drop(first.finish()); // the "killed" engine dies here
+
+            let mut resumed = AnyParallelProfiler::resume(c, mk, &data).unwrap();
+            for ev in &evs[cut..] {
+                resumed.event(*ev);
+            }
+            let r2 = resumed.finish();
+            prop_assert!(!r2.degraded());
+            prop_assert_eq!(r_ref.stats.accesses, r2.stats.accesses, "{:?} cut={}", kind, cut);
+            prop_assert_eq!(
+                deps_fingerprint(&r_ref),
+                deps_fingerprint(&r2),
+                "{:?} cut={}",
+                kind,
+                cut
+            );
+            prop_assert_eq!(r_ref.deps.loop_record(7), r2.deps.loop_record(7));
+        }
+    }
+
+    /// The serial in-line engine honours the same property.
+    #[test]
+    fn serial_kill_anywhere_resume_is_lossless((evs, cut) in arb_stream_and_cut()) {
+        let mut reference = SequentialProfiler::with_signature(1 << 12);
+        for ev in &evs {
+            reference.on_event(ev);
+        }
+        let r_ref = reference.finish();
+
+        let mut first = SequentialProfiler::with_signature(1 << 12);
+        for ev in &evs[..cut] {
+            first.on_event(ev);
+        }
+        let data = first.checkpoint_data(1, cut as u64, Vec::new()).unwrap();
+        drop(first);
+
+        let mut resumed = SequentialProfiler::with_signature(1 << 12);
+        resumed.restore(&data).unwrap();
+        for ev in &evs[cut..] {
+            resumed.on_event(ev);
+        }
+        let r2 = resumed.finish();
+        prop_assert_eq!(r_ref.stats.accesses, r2.stats.accesses);
+        prop_assert_eq!(deps_fingerprint(&r_ref), deps_fingerprint(&r2), "cut={}", cut);
+        prop_assert_eq!(r_ref.deps.loop_record(7), r2.deps.loop_record(7));
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLI-level recovery: a real process killed mid-run, resumed from disk.
+// ---------------------------------------------------------------------
+
+fn depprof(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_depprof")).args(args).output().expect("spawn depprof")
+}
+
+/// Fresh scratch directory per test so parallel test binaries never race.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("depprof-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn record_trace(dir: &std::path::Path) -> String {
+    let trace = dir.join("is.dptr");
+    let trace_s = trace.to_str().unwrap().to_string();
+    let rec = depprof(&["record", "IS", "--scale", "0.05", "--out", &trace_s]);
+    assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
+    trace_s
+}
+
+/// Kill the process (abort, no unwinding — an honest SIGKILL stand-in)
+/// after a checkpoint was written, resume in a NEW process, and require
+/// stdout to be byte-identical to an uninterrupted replay.
+#[test]
+fn cli_kill_and_resume_produces_identical_report() {
+    let dir = scratch("kill");
+    let trace = record_trace(&dir);
+    let ckpt = dir.join("run.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    let clean = depprof(&[
+        "replay",
+        &trace,
+        "--engine",
+        "parallel",
+        "--workers",
+        "3",
+        "--no-redistribution",
+    ]);
+    assert!(clean.status.success(), "{}", String::from_utf8_lossy(&clean.stderr));
+
+    let killed = depprof(&[
+        "replay",
+        &trace,
+        "--engine",
+        "parallel",
+        "--workers",
+        "3",
+        "--no-redistribution",
+        "--checkpoint-every",
+        "2000",
+        "--checkpoint-dir",
+        ckpt_s,
+        "--inject-kill-after",
+        "5000",
+    ]);
+    assert!(!killed.status.success(), "the injected kill must abort the process");
+    assert!(ckpt.join("checkpoint-0.dpck").exists() || ckpt.join("checkpoint-1.dpck").exists());
+
+    let resumed = depprof(&["replay", "--resume", ckpt_s]);
+    assert!(resumed.status.success(), "{}", String::from_utf8_lossy(&resumed.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed profile must match the uninterrupted run"
+    );
+    let err = String::from_utf8_lossy(&resumed.stderr);
+    assert!(err.contains("resuming from checkpoint"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tearing the newest generation (simulated crash mid-checkpoint-write
+/// at the filesystem level) must fall back to the previous valid
+/// generation — losing at most one checkpoint interval of progress, and
+/// still converging to the identical final profile.
+#[test]
+fn cli_torn_checkpoint_falls_back_one_generation() {
+    let dir = scratch("torn");
+    let trace = record_trace(&dir);
+    let ckpt = dir.join("run.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    let clean = depprof(&["replay", &trace]);
+    assert!(clean.status.success());
+
+    let killed = depprof(&[
+        "replay",
+        &trace,
+        "--checkpoint-every",
+        "2000",
+        "--checkpoint-dir",
+        ckpt_s,
+        "--inject-kill-after",
+        "5000",
+    ]);
+    assert!(!killed.status.success());
+
+    // Two generations must exist; tear the newer one in half.
+    let g0 = ckpt.join("checkpoint-0.dpck");
+    let g1 = ckpt.join("checkpoint-1.dpck");
+    assert!(g0.exists() && g1.exists(), "expected both generations after 2 checkpoints");
+    let torn = std::fs::read(&g1).unwrap();
+    std::fs::write(&g1, &torn[..torn.len() / 2]).unwrap();
+
+    let resumed = depprof(&["replay", "--resume", ckpt_s]);
+    assert!(resumed.status.success(), "{}", String::from_utf8_lossy(&resumed.stderr));
+    let err = String::from_utf8_lossy(&resumed.stderr);
+    // Generation 1 is torn, so the resume point must be generation 0 —
+    // exactly one checkpoint interval (2000 records) behind the tear.
+    assert!(err.contains("resuming from checkpoint generation 0 at record 2000"), "{err}");
+    assert_eq!(String::from_utf8_lossy(&clean.stdout), String::from_utf8_lossy(&resumed.stdout));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Both generations torn → a clean, classified failure (exit 4), not a
+/// crash or a silently empty profile.
+#[test]
+fn cli_all_generations_torn_is_a_classified_error() {
+    let dir = scratch("dead");
+    let trace = record_trace(&dir);
+    let ckpt = dir.join("run.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    let killed = depprof(&[
+        "replay",
+        &trace,
+        "--checkpoint-every",
+        "2000",
+        "--checkpoint-dir",
+        ckpt_s,
+        "--inject-kill-after",
+        "5000",
+    ]);
+    assert!(!killed.status.success());
+    for g in ["checkpoint-0.dpck", "checkpoint-1.dpck"] {
+        let p = ckpt.join(g);
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 3]).unwrap();
+    }
+    let resumed = depprof(&["replay", "--resume", ckpt_s]);
+    assert_eq!(resumed.status.code(), Some(4), "corrupt checkpoints must exit 4");
+    assert!(String::from_utf8_lossy(&resumed.stderr).contains("cannot resume"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A stalled worker starves the pipeline; the watchdog gives up with the
+/// documented exit code 6 instead of hanging forever.
+#[test]
+fn cli_watchdog_exits_with_code_6_on_stall() {
+    let dir = scratch("wd");
+    // kmeans at this scale pushes well past the stalled worker's second
+    // chunk, so the periodic checkpoint quiesces against a worker that
+    // will never reply and waits out the 2 s drain deadline — a hard
+    // no-progress window the 150 ms watchdog must fire inside. The huge
+    // stall deadline keeps the per-worker supervision from recovering
+    // the worker first: this test is about the watchdog backstop.
+    let trace = dir.join("km.dptr");
+    let trace_s = trace.to_str().unwrap().to_string();
+    let rec = depprof(&["record", "kmeans", "--scale", "0.05", "--out", &trace_s]);
+    assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
+    let out = depprof(&[
+        "replay",
+        &trace_s,
+        "--engine",
+        "parallel",
+        "--workers",
+        "2",
+        "--inject-stall",
+        "0@2",
+        "--stall-deadline",
+        "600000",
+        "--checkpoint-every",
+        "5000",
+        "--watchdog-deadline",
+        "150",
+    ]);
+    assert_eq!(out.status.code(), Some(6), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("watchdog"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

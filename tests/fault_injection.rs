@@ -229,10 +229,9 @@ fn every_transport_equals_serial_with_inert_fault_plan() {
 fn chaotic_transport_stays_exact_across_seeds() {
     let evs = per_worker_stream();
     let expected = idents(&run_serial(&evs));
-    let seeds: Vec<u64> = match std::env::var("DEPPROF_CHAOS_SEED") {
-        Ok(s) => vec![s.parse().expect("DEPPROF_CHAOS_SEED must be an integer")],
-        Err(_) => vec![1, 7, 42, 1234],
-    };
+    // `DEPPROF_CHAOS_SEED=a,b,c` overrides; garbage warns and falls back
+    // instead of silently running nothing (or panicking the sweep).
+    let seeds = depprof::queue::chaos_seeds(&[1, 7, 42, 1234]);
     for seed in seeds {
         let plan = FaultPlan::none().with_seed(seed).with_spurious(25, 25);
         let transport = FailingTransport::new(SpscTransport, plan);

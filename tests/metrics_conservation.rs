@@ -166,10 +166,9 @@ fn conservation_holds_under_chaotic_transport_seeds() {
             ))
         })
         .collect();
-    let seeds: Vec<u64> = match std::env::var("DEPPROF_CHAOS_SEED") {
-        Ok(s) => vec![s.parse().expect("DEPPROF_CHAOS_SEED must be an integer")],
-        Err(_) => vec![1, 7, 42, 1234, 2025, 31337, 86243, 216091],
-    };
+    // `DEPPROF_CHAOS_SEED=a,b,c` overrides; garbage warns and falls back
+    // instead of silently running nothing (or panicking the sweep).
+    let seeds = depprof::queue::chaos_seeds(&[1, 7, 42, 1234, 2025, 31337, 86243, 216091]);
     for seed in seeds {
         let plan = FaultPlan::none().with_seed(seed).with_spurious(25, 25);
         let transport = FailingTransport::new(SpscTransport, plan);

@@ -6,11 +6,13 @@
 //!
 //! Experiments: `table1 formula2 fig5 fig6 fig7 fig8 table2 fig9 merge
 //! ablate-hash races ablate-chunk ablate-redist ablate-slots ablate-sections
-//! spsc all`.
+//! spsc server all`.
 //! `--scale` multiplies workload sizes (default 0.25; EXPERIMENTS.md
 //! records runs at the default). `--quick` shrinks the workload subset
 //! (CI smoke). `spsc` compares the SPSC/MPMC/lock-based transports and
-//! writes machine-readable results to `--out` (default `BENCH_spsc.json`).
+//! writes machine-readable results to `--out` (default `BENCH_spsc.json`);
+//! `server` measures dp-server ingest throughput and Sync round-trip
+//! latency vs client count (default `BENCH_server.json`).
 
 use dp_bench::experiments as exp;
 
@@ -18,7 +20,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = String::from("all");
     let mut cfg = exp::ExpConfig::default();
-    let mut out = String::from("BENCH_spsc.json");
+    let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,10 +37,10 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                out = args.get(i).cloned().unwrap_or_else(|| {
+                out = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!("--out needs a path argument");
                     std::process::exit(2);
-                });
+                }));
             }
             name => which = name.to_string(),
         }
@@ -62,13 +64,16 @@ fn main() {
         "ablate-slots" => exp::ablate_slots(cfg),
         "ablate-sections" => exp::ablate_sections(cfg),
         "ablate-sd3" => exp::ablate_sd3(cfg),
-        "spsc" => exp::spsc(cfg, Some(&out)),
+        "spsc" => exp::spsc(cfg, Some(out.as_deref().unwrap_or("BENCH_spsc.json"))),
+        "server" => {
+            exp::server_throughput(cfg, Some(out.as_deref().unwrap_or("BENCH_server.json")))
+        }
         "all" => exp::all(cfg),
         other => {
             eprintln!(
                 "unknown experiment '{other}'; choose from: table1 formula2 fig5 fig6 fig7 \
                  fig8 table2 fig9 merge ablate-hash races ablate-chunk ablate-redist \
-                 ablate-slots ablate-sections spsc all"
+                 ablate-slots ablate-sections spsc server all"
             );
             std::process::exit(2);
         }

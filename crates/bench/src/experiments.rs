@@ -963,6 +963,193 @@ pub fn spsc(cfg: ExpConfig, out: Option<&str>) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// E16: server throughput — the service layer under concurrent load
+// ---------------------------------------------------------------------
+
+/// One client's contribution to an E16 round: stream the shared event
+/// set to the server with a `Sync` round-trip every `sync_every`
+/// chunks, returning the measured round-trip times.
+fn e16_client(
+    addr: std::net::SocketAddr,
+    id: usize,
+    events: &[TraceEvent],
+    names: Vec<String>,
+    sync_every: usize,
+) -> Vec<Duration> {
+    use dp_types::protocol::{self, Frame, Hello, MAX_FRAME_BYTES};
+
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).ok();
+    protocol::write_preamble(&mut conn).unwrap();
+    protocol::read_preamble(&mut conn).unwrap();
+    protocol::write_frame(
+        &mut conn,
+        &Frame::Hello(Hello {
+            session: format!("e16-{id}"),
+            spec: dp_core::SessionSpec::default().encode(),
+            checkpoint_every: 0,
+            names,
+        }),
+    )
+    .unwrap();
+    use std::io::Write as _;
+    conn.flush().unwrap();
+    assert!(matches!(
+        protocol::read_frame(&mut conn, MAX_FRAME_BYTES).unwrap(),
+        Some(Frame::HelloAck { .. })
+    ));
+
+    let mut chunker = dp_trace::FrameChunker::new(256);
+    let mut rtts = Vec::new();
+    let mut chunks = 0usize;
+    let mut nonce = 0u64;
+    for ev in events {
+        for frame in chunker.push(*ev) {
+            let was_chunk = matches!(frame, Frame::Chunk(_));
+            protocol::write_frame(&mut conn, &frame).unwrap();
+            if was_chunk {
+                chunks += 1;
+                if chunks.is_multiple_of(sync_every) {
+                    // The Sync echo measures the full frame round trip:
+                    // our queued writes drain, the server profiles them,
+                    // decodes the Sync and answers.
+                    nonce += 1;
+                    let t0 = std::time::Instant::now();
+                    protocol::write_frame(&mut conn, &Frame::Sync { nonce }).unwrap();
+                    conn.flush().unwrap();
+                    match protocol::read_frame(&mut conn, MAX_FRAME_BYTES).unwrap() {
+                        Some(Frame::Sync { nonce: n }) => assert_eq!(n, nonce),
+                        other => panic!("wanted Sync echo, got {other:?}"),
+                    }
+                    rtts.push(t0.elapsed());
+                }
+            }
+        }
+    }
+    if let Some(frame) = chunker.flush() {
+        protocol::write_frame(&mut conn, &frame).unwrap();
+    }
+    protocol::write_frame(&mut conn, &Frame::Finish).unwrap();
+    conn.flush().unwrap();
+    match protocol::read_frame(&mut conn, MAX_FRAME_BYTES).unwrap() {
+        Some(Frame::Report { .. }) => {}
+        other => panic!("wanted Report, got {other:?}"),
+    }
+    rtts
+}
+
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+/// E16: `dp-server` throughput over loopback TCP — aggregate events/sec
+/// and `Sync` round-trip latency (p50/p99) as the concurrent client
+/// count grows. Every client streams the same recorded trace into its
+/// own session, so the engine work scales with the client count while
+/// the accept loop, session cap and per-connection threads are shared.
+pub fn server_throughput(cfg: ExpConfig, out: Option<&str>) -> String {
+    use dp_server::{Server, ServerConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // One recorded workload, shared by every client in every round.
+    let w = &starbench_suite(cfg.wl_scale())[0];
+    let mut collect = CollectTracer::new();
+    Interp::new(&w.program).run_seq(&mut collect);
+    let events = Arc::new(collect.events);
+    let names: Vec<String> = (0..w.program.interner.len())
+        .map(|i| w.program.interner.resolve(i as u32).to_owned())
+        .collect();
+
+    let client_counts: &[usize] = if cfg.quick { &[1, 4] } else { &[1, 4, 16] };
+    let sync_every = 8;
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    let mut t =
+        Table::new(&["clients", "events total", "wall ms", "Mev/s", "sync p50 us", "sync p99 us"]);
+    let mut json_rows = Vec::new();
+    for &n in client_counts {
+        STOP.store(false, Ordering::SeqCst);
+        let server = Server::bind_tcp(
+            "127.0.0.1:0",
+            ServerConfig { max_sessions: n.max(1), ..ServerConfig::default() },
+        )
+        .expect("bind");
+        let addr = server.local_addr().unwrap();
+        let server_thread = std::thread::spawn(move || server.run(&STOP).unwrap());
+
+        let t0 = std::time::Instant::now();
+        let clients: Vec<_> = (0..n)
+            .map(|id| {
+                let events = Arc::clone(&events);
+                let names = names.clone();
+                std::thread::spawn(move || e16_client(addr, id, &events, names, sync_every))
+            })
+            .collect();
+        let mut rtts: Vec<Duration> = Vec::new();
+        for c in clients {
+            rtts.extend(c.join().expect("client thread"));
+        }
+        let wall = t0.elapsed();
+        STOP.store(true, Ordering::SeqCst);
+        server_thread.join().unwrap();
+
+        rtts.sort();
+        let total_events = events.len() as u64 * n as u64;
+        let evps = total_events as f64 / wall.as_secs_f64();
+        let p50 = percentile_us(&rtts, 0.50);
+        let p99 = percentile_us(&rtts, 0.99);
+        t.row(&[
+            n.to_string(),
+            total_events.to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{:.2}", evps / 1e6),
+            format!("{p50:.1}"),
+            format!("{p99:.1}"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"clients\":{},\"events_total\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.0},\"sync_rtt_p50_us\":{:.1},\"sync_rtt_p99_us\":{:.1},\"sync_samples\":{}}}",
+            n,
+            total_events,
+            wall.as_secs_f64() * 1e3,
+            evps,
+            p50,
+            p99,
+            rtts.len()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"server-throughput\",\n  \"scale\": {},\n  \"quick\": {},\n  \"workload\": \"{}\",\n  \"sync_every_chunks\": {},\n  \"rounds\": [\n{}\n  ]\n}}\n",
+        cfg.scale,
+        cfg.quick,
+        w.meta.name,
+        sync_every,
+        json_rows.join(",\n")
+    );
+    let mut note = String::new();
+    if let Some(path) = out {
+        match dp_types::wire::atomic_write(std::path::Path::new(path), json.as_bytes()) {
+            Ok(()) => note = format!("\n(JSON written to {path})"),
+            Err(e) => note = format!("\n(failed to write {path}: {e})"),
+        }
+    }
+    format!(
+        "Server throughput (E16): {} over loopback TCP, one session per client\n\
+         (aggregate ingest rate and Sync round-trip latency; each client\n\
+         streams the same recorded trace into its own serial engine){}\n\n{}",
+        w.meta.name,
+        note,
+        t.render()
+    )
+}
+
 /// Runs every experiment in order.
 pub fn all(cfg: ExpConfig) -> String {
     [
@@ -984,6 +1171,7 @@ pub fn all(cfg: ExpConfig) -> String {
         ablate_sections(cfg),
         ablate_sd3(cfg),
         spsc(cfg, None),
+        server_throughput(cfg, None),
     ]
     .join("\n\n============================================================\n\n")
 }

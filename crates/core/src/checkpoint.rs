@@ -34,7 +34,7 @@
 //! generation, silently falling back past a torn or corrupt newer one —
 //! loss is bounded by one checkpoint interval.
 
-use dp_types::{atomic_write, xor_fold, ByteReader, ByteWriter, WireError};
+use dp_types::{atomic_write, read_section, write_section, ByteReader, ByteWriter, WireError};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -72,13 +72,6 @@ pub struct CheckpointData {
     pub workers: Vec<Vec<u8>>,
 }
 
-fn section(out: &mut ByteWriter, tag: u8, payload: &[u8]) {
-    out.u8(tag);
-    out.u32(payload.len() as u32);
-    out.bytes(payload);
-    out.u8(xor_fold(tag, payload));
-}
-
 impl CheckpointData {
     /// Serializes into the `DPCK` container.
     pub fn encode(&self) -> Vec<u8> {
@@ -89,15 +82,15 @@ impl CheckpointData {
         meta.u64(self.generation);
         meta.u64(self.records_read);
         meta.u32(self.workers.len() as u32);
-        section(&mut out, TAG_META, &meta.into_bytes());
-        section(&mut out, TAG_CONFIG, &self.config);
-        section(&mut out, TAG_ROUTER, &self.router);
-        section(&mut out, TAG_LEDGER, &self.ledger);
+        write_section(&mut out, TAG_META, &meta.into_bytes());
+        write_section(&mut out, TAG_CONFIG, &self.config);
+        write_section(&mut out, TAG_ROUTER, &self.router);
+        write_section(&mut out, TAG_LEDGER, &self.ledger);
         for (i, w) in self.workers.iter().enumerate() {
             let mut p = ByteWriter::new();
             p.u32(i as u32);
             p.bytes(w);
-            section(&mut out, TAG_WORKER, &p.into_bytes());
+            write_section(&mut out, TAG_WORKER, &p.into_bytes());
         }
         out.into_bytes()
     }
@@ -115,14 +108,9 @@ impl CheckpointData {
         let mut meta: Option<(u64, u64, u32)> = None;
         let mut data = CheckpointData::default();
         while !r.is_done() {
-            let offset = r.pos();
-            let tag = r.u8()?;
-            let len = r.u32()? as usize;
-            let payload = r.take(len)?;
-            let sum = r.u8()?;
-            if xor_fold(tag, payload) != sum {
-                return Err(WireError::Checksum { offset });
-            }
+            // Section framing (and thus the corruption model) is shared
+            // with the DPSV network protocol via `wire::read_section`.
+            let (tag, payload) = read_section(&mut r)?;
             match tag {
                 TAG_META => {
                     let mut m = ByteReader::new(payload);

@@ -40,6 +40,7 @@ pub mod parallel;
 pub mod report;
 pub mod result;
 pub mod seq;
+pub mod session;
 pub mod store;
 pub mod watchdog;
 
@@ -60,9 +61,11 @@ pub use dp_queue::{FaultPlan, WorkerFault};
 // Re-exported so downstream code can read snapshots and install
 // observers without depending on dp-metrics directly.
 pub use dp_metrics::{
-    CheckpointMetrics, Conservation, MetricsSnapshot, ObserverHandle, PipelineObserver, SigGauges,
+    CheckpointMetrics, Conservation, MetricsSnapshot, ObserverHandle, PipelineObserver,
+    SessionMetrics, SigGauges,
 };
 pub use seq::{offload_sequential, SequentialProfiler};
+pub use session::{ProfileSession, SessionSpec};
 pub use store::{DepStore, EdgeVal, LoopRecord};
 
 /// Convenience alias: the default signature store (extended slots: source

@@ -507,6 +507,52 @@ impl MetricsSnapshot {
 }
 
 // ---------------------------------------------------------------------------
+// Per-session service accounting.
+// ---------------------------------------------------------------------------
+
+/// Per-session counters for the networked profiling service: what one
+/// client connection pushed and what the server did with it. Unlike the
+/// hot-path [`Counter`]s these are plain fields — they tick once per
+/// *frame*, not per access, so they stay compiled in even when the
+/// `enabled` feature is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Frames received (all kinds).
+    pub frames: u64,
+    /// `Chunk` frames received.
+    pub chunks: u64,
+    /// Events fed into the engine (accesses + loop/call/dealloc events).
+    pub events: u64,
+    /// `Sync` round-trips served.
+    pub syncs: u64,
+    /// Payload bytes received across all frames.
+    pub bytes_in: u64,
+    /// Events the session skipped because a checkpoint already covered
+    /// them (resume position handed to the client in `HelloAck`).
+    pub resumed_from: u64,
+    /// Checkpoint generations written for this session.
+    pub checkpoint_generations: u64,
+}
+
+impl SessionMetrics {
+    /// Renders the counters as a single stable-keyed JSON object — the
+    /// payload of the protocol's `Stats` frame.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"frames\": {}, \"chunks\": {}, \"events\": {}, \"syncs\": {}, \
+             \"bytes_in\": {}, \"resumed_from\": {}, \"checkpoint_generations\": {} }}",
+            self.frames,
+            self.chunks,
+            self.events,
+            self.syncs,
+            self.bytes_in,
+            self.resumed_from,
+            self.checkpoint_generations
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Observer hook.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,172 @@
+//! The client half of the protocol: open a session, stream events,
+//! collect the report — what `depprof push` drives over a socket, and
+//! what the in-process tests drive over a loopback connection.
+
+use dp_core::SessionSpec;
+use dp_trace::FrameChunker;
+use dp_types::protocol::{self, Frame, Hello, ProtocolError, MAX_FRAME_BYTES};
+use dp_types::TraceEvent;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// How a push streams its session.
+#[derive(Debug, Clone)]
+pub struct PushOptions {
+    /// Session name (resume identity on the server).
+    pub session: String,
+    /// Engine the server should run.
+    pub spec: SessionSpec,
+    /// Ask the server to checkpoint every N events (0 = server default).
+    pub checkpoint_every: u64,
+    /// Accesses per `Chunk` frame.
+    pub chunk_events: usize,
+    /// Sleep this long between chunk frames (throttles the stream so
+    /// tests can interrupt a push mid-session deterministically).
+    pub throttle_ms: u64,
+    /// Request the per-session metrics snapshot before finishing.
+    pub request_stats: bool,
+}
+
+impl Default for PushOptions {
+    fn default() -> Self {
+        PushOptions {
+            session: "default".into(),
+            spec: SessionSpec::default(),
+            checkpoint_every: 0,
+            chunk_events: 512,
+            throttle_ms: 0,
+            request_stats: false,
+        }
+    }
+}
+
+/// What a completed push produced.
+#[derive(Debug, Clone)]
+pub struct PushOutcome {
+    /// The dependence report the server rendered on `Finish`.
+    pub report: String,
+    /// Events the server told us to skip (resumed from a checkpoint).
+    pub resumed_from: u64,
+    /// Events actually sent this connection.
+    pub events_sent: u64,
+    /// `Stats` payload, when requested.
+    pub stats_json: Option<String>,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Protocol(ProtocolError),
+    /// The server replied with an `Error` frame.
+    Server {
+        /// [`dp_types::protocol::error_code`] value.
+        code: u16,
+        /// Server-provided description.
+        message: String,
+    },
+    /// The server sent a well-formed frame the client did not expect
+    /// in this state.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected server frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+fn read_reply(conn: &mut impl Read) -> Result<Frame, ClientError> {
+    match protocol::read_frame(conn, MAX_FRAME_BYTES)? {
+        Some(Frame::Error { code, message }) => Err(ClientError::Server { code, message }),
+        Some(f) => Ok(f),
+        None => Err(ClientError::Protocol(ProtocolError::Wire(dp_types::WireError::Truncated))),
+    }
+}
+
+/// Runs one full push session over `conn`: preamble, `Hello` carrying
+/// `names` (the trace's variable table, in id order), the event stream
+/// (skipping whatever the server already profiled), `Finish`, report.
+pub fn push_events(
+    conn: &mut (impl Read + Write),
+    names: Vec<String>,
+    events: impl IntoIterator<Item = TraceEvent>,
+    opts: &PushOptions,
+) -> Result<PushOutcome, ClientError> {
+    protocol::write_preamble(conn).map_err(ProtocolError::Io)?;
+    conn.flush().map_err(ProtocolError::Io)?;
+    protocol::read_preamble(conn).map_err(|e| match e {
+        // The server answers a bad/oversubscribed connection with an
+        // Error frame instead of a preamble; surface that as-is.
+        ProtocolError::BadMagic => ProtocolError::BadMagic,
+        other => other,
+    })?;
+    protocol::write_frame(
+        conn,
+        &Frame::Hello(Hello {
+            session: opts.session.clone(),
+            spec: opts.spec.encode(),
+            checkpoint_every: opts.checkpoint_every,
+            names,
+        }),
+    )?;
+    conn.flush().map_err(ProtocolError::Io)?;
+    let resumed_from = match read_reply(conn)? {
+        Frame::HelloAck { resume_from, .. } => resume_from,
+        _ => return Err(ClientError::Unexpected("wanted HelloAck")),
+    };
+
+    let mut chunker = FrameChunker::new(opts.chunk_events.max(1));
+    let mut events_sent: u64 = 0;
+    let mut skipped: u64 = 0;
+    for ev in events {
+        if skipped < resumed_from {
+            skipped += 1;
+            continue;
+        }
+        for frame in chunker.push(ev) {
+            protocol::write_frame(conn, &frame)?;
+            if opts.throttle_ms > 0 && matches!(frame, Frame::Chunk(_)) {
+                conn.flush().map_err(ProtocolError::Io)?;
+                std::thread::sleep(std::time::Duration::from_millis(opts.throttle_ms));
+            }
+        }
+        events_sent += 1;
+    }
+    if let Some(frame) = chunker.flush() {
+        protocol::write_frame(conn, &frame)?;
+    }
+
+    let stats_json = if opts.request_stats {
+        protocol::write_frame(conn, &Frame::StatsRequest)?;
+        conn.flush().map_err(ProtocolError::Io)?;
+        match read_reply(conn)? {
+            Frame::Stats { json } => Some(json),
+            _ => return Err(ClientError::Unexpected("wanted Stats")),
+        }
+    } else {
+        None
+    };
+
+    protocol::write_frame(conn, &Frame::Finish)?;
+    conn.flush().map_err(ProtocolError::Io)?;
+    let report = match read_reply(conn)? {
+        Frame::Report { text } => text,
+        _ => return Err(ClientError::Unexpected("wanted Report")),
+    };
+    Ok(PushOutcome { report, resumed_from, events_sent, stats_json })
+}

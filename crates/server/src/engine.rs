@@ -1,0 +1,354 @@
+//! The socket-free session state machine: frames in, frames out.
+//!
+//! One [`SessionEngine`] owns one profiling engine
+//! ([`ProfileSession`]) and the session's durability state. Both
+//! socket front-ends (TCP and Unix) and the in-process equivalence
+//! tests drive it the same way: [`SessionEngine::open`] on the `Hello`
+//! frame, [`SessionEngine::handle`] for everything after.
+
+use dp_core::{report, CheckpointStore, ProfileResult, ProfileSession, SessionSpec};
+use dp_metrics::SessionMetrics;
+use dp_types::protocol::{error_code, Frame, Hello};
+use dp_types::{Interner, TraceEvent};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why a session could not be opened or continued. The server converts
+/// these into `Error` frames; in-process drivers get them typed.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The `Hello` frame's engine spec did not decode.
+    BadSpec(dp_types::WireError),
+    /// A frame arrived that the session's state does not allow (a
+    /// second `Hello`, events after `Finish`, ...).
+    OutOfOrder(&'static str),
+    /// Checkpoint store I/O failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::BadSpec(e) => write!(f, "session spec is malformed: {e}"),
+            SessionError::OutOfOrder(what) => write!(f, "frame out of protocol order: {what}"),
+            SessionError::Io(e) => write!(f, "session checkpoint I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl SessionError {
+    /// The `Error` frame this failure maps to on the wire.
+    pub fn to_frame(&self) -> Frame {
+        Frame::Error { code: error_code::BAD_FRAME, message: self.to_string() }
+    }
+}
+
+/// Restricts a session name to filesystem-safe characters for its
+/// checkpoint subdirectory (anything else becomes `_`).
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() {
+        s.push('_');
+    }
+    s.truncate(64);
+    s
+}
+
+/// One client session: engine + interner + checkpoint state + counters.
+pub struct SessionEngine {
+    name: String,
+    session_id: u64,
+    session: Option<ProfileSession>,
+    spec: SessionSpec,
+    interner: Interner,
+    store: Option<CheckpointStore>,
+    store_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+    generation: u64,
+    /// Absolute stream position: events profiled across all incarnations
+    /// of this session (restored + fed).
+    events_fed: u64,
+    metrics: SessionMetrics,
+    finished: bool,
+}
+
+impl SessionEngine {
+    /// Opens a session from its `Hello` frame. When `checkpoint_base`
+    /// is set and holds a valid checkpoint under this session's name,
+    /// the engine is rebuilt from it and the returned `HelloAck` tells
+    /// the client how many events to skip; otherwise a fresh engine is
+    /// built from the `Hello`'s spec.
+    pub fn open(
+        hello: &Hello,
+        session_id: u64,
+        checkpoint_base: Option<&Path>,
+        default_checkpoint_every: u64,
+    ) -> Result<(SessionEngine, Frame), SessionError> {
+        let mut interner = Interner::new();
+        for n in &hello.names {
+            interner.intern(n);
+        }
+        let checkpoint_every = if hello.checkpoint_every > 0 {
+            hello.checkpoint_every
+        } else {
+            default_checkpoint_every
+        };
+        let store_dir = checkpoint_base.map(|b| b.join(sanitize(&hello.session)));
+
+        // A valid checkpoint under this session's name wins over the
+        // Hello's spec: the resumed engine must match the state it
+        // restores, and the checkpoint's CONFIG section records exactly
+        // that spec.
+        let resumed = store_dir.as_ref().and_then(|dir| {
+            let data = CheckpointStore::open(dir.clone()).load_latest().ok()?;
+            let spec = SessionSpec::decode(&data.config).ok()?;
+            let session = spec.resume(&data).ok()?;
+            Some((spec, session, data.generation, data.records_read))
+        });
+        let (spec, session, generation, events_fed) = match resumed {
+            Some((spec, session, generation, records_read)) => {
+                (spec, session, generation + 1, records_read)
+            }
+            None => {
+                let spec = SessionSpec::decode(&hello.spec).map_err(SessionError::BadSpec)?;
+                (spec, spec.build(), 1, 0)
+            }
+        };
+        let store = match (&store_dir, checkpoint_every > 0 || events_fed > 0) {
+            (Some(dir), true) => Some(CheckpointStore::create(dir).map_err(SessionError::Io)?),
+            _ => None,
+        };
+        let engine = SessionEngine {
+            name: hello.session.clone(),
+            session_id,
+            session: Some(session),
+            spec,
+            interner,
+            store,
+            store_dir,
+            checkpoint_every,
+            generation,
+            events_fed,
+            metrics: SessionMetrics { resumed_from: events_fed, ..SessionMetrics::default() },
+            finished: false,
+        };
+        let ack = Frame::HelloAck { session_id, resume_from: engine.events_fed };
+        Ok((engine, ack))
+    }
+
+    /// Handles one post-`Hello` frame, returning the reply frames to
+    /// send (possibly none).
+    pub fn handle(&mut self, frame: Frame) -> Result<Vec<Frame>, SessionError> {
+        if self.finished {
+            return Err(SessionError::OutOfOrder("frame after Finish"));
+        }
+        self.metrics.frames += 1;
+        match frame {
+            Frame::Hello(_) => Err(SessionError::OutOfOrder("second Hello on one connection")),
+            Frame::HelloAck { .. } | Frame::Stats { .. } | Frame::Report { .. } => {
+                Err(SessionError::OutOfOrder("server-to-client frame sent by client"))
+            }
+            Frame::Error { .. } => Err(SessionError::OutOfOrder("Error frame sent by client")),
+            Frame::Chunk(accesses) => {
+                self.metrics.chunks += 1;
+                self.metrics.bytes_in +=
+                    (accesses.len() * dp_types::protocol::ACCESS_WIRE_BYTES) as u64;
+                for a in accesses {
+                    self.feed(TraceEvent::Access(a))?;
+                }
+                Ok(Vec::new())
+            }
+            Frame::LoopEvent(ev) => {
+                self.feed(ev)?;
+                Ok(Vec::new())
+            }
+            Frame::Sync { nonce } => {
+                // Handling is synchronous: every earlier frame on this
+                // connection has been fed by the time we reply.
+                self.metrics.syncs += 1;
+                Ok(vec![Frame::Sync { nonce }])
+            }
+            Frame::StatsRequest => Ok(vec![Frame::Stats { json: self.metrics.to_json() }]),
+            Frame::Finish => {
+                self.finished = true;
+                let session = self.session.take().expect("unfinished session has an engine");
+                let result = session.finish();
+                let text = report::render(&result, &self.interner, false);
+                // The session completed: its checkpoints are spent, and
+                // a future session under this name starts fresh.
+                if let Some(dir) = &self.store_dir {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                Ok(vec![Frame::Report { text }])
+            }
+        }
+    }
+
+    fn feed(&mut self, ev: TraceEvent) -> Result<(), SessionError> {
+        let session = self.session.as_mut().expect("unfinished session has an engine");
+        session.on_event(ev);
+        self.metrics.events += 1;
+        self.events_fed += 1;
+        if self.checkpoint_every > 0 && self.events_fed.is_multiple_of(self.checkpoint_every) {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint at the current stream position (periodic or
+    /// emergency). A no-op without a checkpoint store or after finish.
+    pub fn write_checkpoint(&mut self) -> Result<(), SessionError> {
+        let (Some(store), Some(session)) = (&self.store, self.session.as_mut()) else {
+            return Ok(());
+        };
+        let data = session
+            .checkpoint_data(self.generation, self.events_fed, self.spec.encode())
+            .map_err(|e| SessionError::Io(std::io::Error::other(format!("cannot quiesce: {e}"))))?;
+        store.write(&data).map_err(SessionError::Io)?;
+        self.generation += 1;
+        self.metrics.checkpoint_generations += 1;
+        Ok(())
+    }
+
+    /// Finishes the engine in-process and returns the raw result —
+    /// the handle the equivalence tests compare dependence-for-
+    /// dependence against an offline replay.
+    pub fn finish_result(mut self) -> Option<ProfileResult> {
+        self.finished = true;
+        self.session.take().map(ProfileSession::finish)
+    }
+
+    /// The session's name as the client sent it.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Absolute number of events profiled (restored + fed).
+    pub fn position(&self) -> u64 {
+        self.events_fed
+    }
+
+    /// True once `Finish` was handled.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The session's counters.
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_types::loc::loc;
+    use dp_types::MemAccess;
+
+    fn hello(session: &str, checkpoint_every: u64) -> Hello {
+        Hello {
+            session: session.into(),
+            spec: SessionSpec { slots: 1 << 12, ..SessionSpec::default() }.encode(),
+            checkpoint_every,
+            names: vec!["*".into(), "x".into()],
+        }
+    }
+
+    fn accesses(range: std::ops::Range<u64>) -> Vec<MemAccess> {
+        range
+            .map(|i| {
+                let a = 0x100 + (i % 9) * 8;
+                if i % 4 == 0 {
+                    MemAccess::write(a, i + 1, loc(1, 1), 1, 0)
+                } else {
+                    MemAccess::read(a, i + 1, loc(1, 2), 1, 0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn session_profiles_and_reports() {
+        let (mut s, ack) = SessionEngine::open(&hello("t", 0), 1, None, 0).unwrap();
+        assert_eq!(ack, Frame::HelloAck { session_id: 1, resume_from: 0 });
+        assert!(s.handle(Frame::Chunk(accesses(0..50))).unwrap().is_empty());
+        let replies = s.handle(Frame::Sync { nonce: 99 }).unwrap();
+        assert_eq!(replies, vec![Frame::Sync { nonce: 99 }]);
+        let replies = s.handle(Frame::StatsRequest).unwrap();
+        assert!(matches!(&replies[..], [Frame::Stats { json }] if json.contains("\"events\": 50")));
+        let replies = s.handle(Frame::Finish).unwrap();
+        let [Frame::Report { text }] = &replies[..] else { panic!("expected Report") };
+        assert!(text.contains("RAW"), "report should hold dependences:\n{text}");
+        assert!(s.handle(Frame::Sync { nonce: 1 }).is_err(), "frames after Finish are rejected");
+    }
+
+    #[test]
+    fn interrupted_session_resumes_from_checkpoint() {
+        let base = std::env::temp_dir().join(format!("dpsv-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let evs = accesses(0..100);
+
+        // Reference: one uninterrupted session.
+        let (mut all, _) = SessionEngine::open(&hello("ref", 0), 1, None, 0).unwrap();
+        all.handle(Frame::Chunk(evs.clone())).unwrap();
+        let reference = all.finish_result().unwrap();
+
+        // Interrupted: feed 60, checkpoint (emergency), drop the engine.
+        let (mut first, ack) = SessionEngine::open(&hello("job", 10), 2, Some(&base), 0).unwrap();
+        assert_eq!(ack, Frame::HelloAck { session_id: 2, resume_from: 0 });
+        first.handle(Frame::Chunk(evs[..60].to_vec())).unwrap();
+        first.write_checkpoint().unwrap();
+        drop(first);
+
+        // Reconnect under the same name: resume position is handed back.
+        let (mut second, ack) = SessionEngine::open(&hello("job", 10), 3, Some(&base), 0).unwrap();
+        assert_eq!(ack, Frame::HelloAck { session_id: 3, resume_from: 60 });
+        assert_eq!(second.metrics().resumed_from, 60);
+        second.handle(Frame::Chunk(evs[60..].to_vec())).unwrap();
+        let resumed = second.finish_result().unwrap();
+
+        assert_eq!(reference.stats.accesses, resumed.stats.accesses);
+        let deps = |r: &ProfileResult| {
+            let mut v: Vec<String> =
+                r.deps.dependences().map(|(d, val)| format!("{d:?}={val:?}")).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(deps(&reference), deps(&resumed));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn finish_clears_the_checkpoint_dir() {
+        let base = std::env::temp_dir().join(format!("dpsv-engine-clear-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let (mut s, _) = SessionEngine::open(&hello("a b/c", 5), 1, Some(&base), 0).unwrap();
+        s.handle(Frame::Chunk(accesses(0..20))).unwrap();
+        assert!(base.join("a_b_c").exists(), "sanitized checkpoint dir");
+        s.handle(Frame::Finish).unwrap();
+        assert!(!base.join("a_b_c").exists(), "spent checkpoints are removed");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn bad_spec_and_out_of_order_are_typed() {
+        let mut h = hello("x", 0);
+        h.spec = vec![9, 9];
+        assert!(matches!(SessionEngine::open(&h, 1, None, 0), Err(SessionError::BadSpec(_))));
+        let (mut s, _) = SessionEngine::open(&hello("x", 0), 1, None, 0).unwrap();
+        let err = s.handle(Frame::Hello(hello("x", 0))).unwrap_err();
+        assert!(matches!(err, SessionError::OutOfOrder(_)));
+        assert!(matches!(err.to_frame(), Frame::Error { code, .. }
+            if code == error_code::BAD_FRAME));
+    }
+}

@@ -29,6 +29,7 @@
 pub mod builder;
 pub mod interp;
 pub mod ir;
+pub mod stream;
 pub mod traced;
 pub mod tracefile;
 pub mod tracer;
@@ -37,6 +38,7 @@ pub mod workloads;
 pub use builder::ProgramBuilder;
 pub use interp::Interp;
 pub use ir::{ArrayId, Expr, FuncId, LocalId, Program, ScalarId, Stmt};
+pub use stream::{frame_events, FrameChunker};
 pub use traced::{TracedCell, TracedVec, TracerHandle};
 pub use tracefile::{TraceFileError, TraceReader, TraceWriter};
 pub use tracer::{CollectFactory, CollectTracer, NullFactory, NullTracer, Tracer, TracerFactory};

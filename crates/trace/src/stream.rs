@@ -1,0 +1,134 @@
+//! Bridging a recorded event stream onto the DPSV wire: batches
+//! consecutive accesses into `Chunk` frames and passes control-flow
+//! events through in order.
+//!
+//! This is what lets `depprof push` replay any recorded `.dptr` file
+//! over the network: the trace reader yields [`TraceEvent`]s one at a
+//! time, and the chunker turns them into the protocol's frame stream —
+//! access-dense regions become large `Chunk` frames (amortizing the
+//! 6-byte frame overhead over hundreds of accesses), while loop, call
+//! and dealloc events flush the pending chunk first so the server feeds
+//! its engine in exactly the recorded order.
+
+use dp_types::protocol::Frame;
+use dp_types::{MemAccess, TraceEvent};
+
+/// Batches [`TraceEvent`]s into DPSV frames, preserving event order.
+#[derive(Debug)]
+pub struct FrameChunker {
+    pending: Vec<MemAccess>,
+    capacity: usize,
+}
+
+impl FrameChunker {
+    /// A chunker emitting `Chunk` frames of at most `chunk_events`
+    /// accesses (minimum 1).
+    pub fn new(chunk_events: usize) -> Self {
+        let capacity = chunk_events.max(1);
+        FrameChunker { pending: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Accepts one event. Returns the frames that became ready: zero or
+    /// one `Chunk` flush, followed by the event's own frame when it is
+    /// not an access.
+    pub fn push(&mut self, ev: TraceEvent) -> Vec<Frame> {
+        match ev {
+            TraceEvent::Access(a) => {
+                self.pending.push(a);
+                if self.pending.len() >= self.capacity {
+                    vec![self.take_chunk().expect("pending chunk is non-empty")]
+                } else {
+                    Vec::new()
+                }
+            }
+            other => {
+                let mut out = Vec::with_capacity(2);
+                if let Some(chunk) = self.take_chunk() {
+                    out.push(chunk);
+                }
+                out.push(Frame::LoopEvent(other));
+                out
+            }
+        }
+    }
+
+    /// Flushes any buffered accesses (call at end of stream, or before a
+    /// `Sync`/`Finish`).
+    pub fn flush(&mut self) -> Option<Frame> {
+        self.take_chunk()
+    }
+
+    /// Accesses currently buffered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn take_chunk(&mut self) -> Option<Frame> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(Frame::Chunk(std::mem::take(&mut self.pending)))
+        }
+    }
+}
+
+/// Unpacks one incoming frame back into the events it carries (the
+/// server-side inverse of [`FrameChunker`]). Non-event frames yield an
+/// empty vector.
+pub fn frame_events(frame: Frame) -> Vec<TraceEvent> {
+    match frame {
+        Frame::Chunk(accesses) => accesses.into_iter().map(TraceEvent::Access).collect(),
+        Frame::LoopEvent(ev) => vec![ev],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_types::loc::loc;
+
+    fn acc(i: u64) -> TraceEvent {
+        TraceEvent::Access(MemAccess::read(0x100 + i * 8, i + 1, loc(1, 1), 0, 0))
+    }
+
+    #[test]
+    fn chunker_preserves_order_and_batches() {
+        let evs: Vec<TraceEvent> = vec![
+            acc(0),
+            acc(1),
+            TraceEvent::LoopBegin { loop_id: 1, loc: loc(1, 5), thread: 0, ts: 10 },
+            acc(2),
+            acc(3),
+            acc(4),
+            TraceEvent::LoopEnd { loop_id: 1, loc: loc(1, 9), iters: 1, thread: 0, ts: 20 },
+            acc(5),
+        ];
+        let mut chunker = FrameChunker::new(2);
+        let mut frames = Vec::new();
+        for ev in evs.clone() {
+            frames.extend(chunker.push(ev));
+        }
+        frames.extend(chunker.flush());
+        // Chunks never exceed the capacity, and a control event always
+        // flushes the pending chunk ahead of itself.
+        for f in &frames {
+            if let Frame::Chunk(c) = f {
+                assert!(!c.is_empty() && c.len() <= 2);
+            }
+        }
+        let roundtrip: Vec<TraceEvent> = frames.into_iter().flat_map(frame_events).collect();
+        assert_eq!(roundtrip, evs, "order preserved exactly");
+    }
+
+    #[test]
+    fn flush_on_empty_is_none() {
+        let mut chunker = FrameChunker::new(8);
+        assert!(chunker.flush().is_none());
+        assert_eq!(chunker.pending(), 0);
+        chunker.push(acc(0));
+        assert_eq!(chunker.pending(), 1);
+        assert!(chunker.flush().is_some());
+        assert!(chunker.flush().is_none());
+    }
+}

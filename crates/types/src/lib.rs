@@ -22,6 +22,7 @@ pub mod fxhash;
 pub mod ids;
 pub mod interner;
 pub mod loc;
+pub mod protocol;
 pub mod sink;
 pub mod wire;
 
@@ -32,5 +33,8 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Address, LoopId, MutexId, ThreadId, Timestamp, VarId};
 pub use interner::Interner;
 pub use loc::SourceLoc;
+pub use protocol::{Frame, Hello, ProtocolError};
 pub use sink::{Tracer, TracerFactory};
-pub use wire::{atomic_write, xor_fold, ByteReader, ByteWriter, WireError};
+pub use wire::{
+    atomic_write, read_section, write_section, xor_fold, ByteReader, ByteWriter, WireError,
+};

@@ -18,6 +18,15 @@
 //!                            [--inject-kill-after N] [--no-redistribution]
 //!                            [--stats json|text] [--report-out PATH]
 //! depprof replay --resume <dir> [--watchdog-deadline MS] ...
+//! depprof serve              [--listen HOST:PORT] [--unix PATH]
+//!                            [--max-sessions N]
+//!                            [--checkpoint-dir DIR] [--checkpoint-every N]
+//! depprof push <trace.dptr>  (--connect HOST:PORT | --unix PATH)
+//!                            [--session NAME] [--engine serial|parallel]
+//!                            [--transport spsc|mpmc|lock] [--workers N]
+//!                            [--slots N] [--checkpoint-every N]
+//!                            [--chunk-events N] [--throttle-ms MS]
+//!                            [--stats json] [--report-out PATH]
 //! ```
 //!
 //! `--stats` replaces the normal report on stdout with the pipeline
@@ -43,25 +52,36 @@
 //! monitor that forces an emergency checkpoint and exits with code `6`
 //! when the pipeline stops making progress.
 //!
+//! `serve` runs the profiler as a network service speaking the DPSV v1
+//! frame protocol; `push` streams a recorded trace to it and prints the
+//! report the server sends back. Each push names a *session*; a server
+//! started with `--checkpoint-dir` checkpoints its sessions, and a push
+//! repeated after a server crash (or SIGTERM) resumes where the
+//! checkpoint left off — the server tells the client how many events to
+//! skip in its `HelloAck`.
+//!
 //! Exit codes are distinct so scripts and CI can react to each failure
 //! class: `2` usage errors (bad flag, unknown engine), `3` missing or
 //! unopenable inputs (unknown workload, absent trace file), `4` a trace
 //! file or checkpoint that exists but is corrupt or truncated, `5` a
 //! profile that completed *degraded* (worker failures or dropped events —
 //! the report is still printed, with a `WARNING:` banner on stderr), `6`
-//! the run watchdog gave up on a stalled pipeline.
+//! the run watchdog gave up on a stalled pipeline, `7` terminated by
+//! SIGINT/SIGTERM after a final emergency checkpoint (`replay`, `serve`).
 
 use depprof::analysis::{degradation, Framework, LoopMeta};
 use depprof::core::{
-    report, AnyParallelProfiler, CheckpointData, CheckpointError, CheckpointMetrics,
-    CheckpointStore, DefaultSig, OverflowPolicy, ProfileResult, ProfilerConfig, SequentialProfiler,
-    TransportKind, Watchdog, WorkerFault,
+    report, AnyParallelProfiler, CheckpointMetrics, CheckpointStore, OverflowPolicy,
+    ProfileSession, ProfilerConfig, SequentialProfiler, SessionSpec, TransportKind, Watchdog,
+    WorkerFault,
+};
+use depprof::server::{
+    install_signal_handlers, push_events, shutdown_flag, PushOptions, Server, ServerConfig,
 };
 use depprof::trace::workloads::{nas_suite, splash, starbench_suite, synth, Scale, Workload};
 use depprof::trace::TraceReader;
 use depprof::types::wire::{atomic_write, ByteReader, ByteWriter, WireError};
-use depprof::types::{TraceEvent, Tracer};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
@@ -76,6 +96,9 @@ const EXIT_DEGRADED: i32 = 5;
 /// The run watchdog detected a stalled pipeline; an emergency checkpoint
 /// was written (when checkpointing is active) and the run gave up.
 const EXIT_WATCHDOG: i32 = 6;
+/// The run was terminated by SIGINT/SIGTERM after writing a final
+/// emergency checkpoint (`serve` and `replay`).
+const EXIT_SIGNAL: i32 = depprof::server::SIGTERM_EXIT;
 
 #[derive(Default)]
 struct Args {
@@ -111,6 +134,20 @@ struct Args {
     /// Write the main artifact (report or stats) to this path atomically
     /// instead of stdout.
     out: Option<String>,
+    /// Serve: TCP listen address.
+    listen: Option<String>,
+    /// Serve/push: Unix socket path.
+    unix_sock: Option<String>,
+    /// Push: TCP address to connect to.
+    connect: Option<String>,
+    /// Push: session name (resume identity on the server).
+    session: Option<String>,
+    /// Serve: concurrent-session cap.
+    max_sessions: usize,
+    /// Push: accesses per Chunk frame.
+    chunk_events: usize,
+    /// Push: sleep between chunk frames (ms).
+    throttle_ms: u64,
 }
 
 fn base_args() -> Args {
@@ -119,6 +156,8 @@ fn base_args() -> Args {
         slots: 1 << 20,
         scale: 0.25,
         replay_engine: "serial".into(),
+        max_sessions: 16,
+        chunk_events: 512,
         ..Args::default()
     }
 }
@@ -255,6 +294,144 @@ fn parse() -> Result<Args, String> {
         }
         if a.engine == "record" && a.workload.is_empty() {
             return Err("record needs a workload name".into());
+        }
+        return Ok(a);
+    }
+    if argv[0] == "serve" {
+        let mut a = base_args();
+        a.engine = "serve".into();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--listen" => {
+                    i += 1;
+                    a.listen = Some(argv.get(i).cloned().ok_or("--listen needs HOST:PORT")?);
+                }
+                "--unix" => {
+                    i += 1;
+                    a.unix_sock = Some(argv.get(i).cloned().ok_or("--unix needs a path")?);
+                }
+                "--max-sessions" => {
+                    i += 1;
+                    a.max_sessions = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or("--max-sessions: positive count")?;
+                }
+                "--checkpoint-dir" => {
+                    i += 1;
+                    a.checkpoint_dir =
+                        Some(argv.get(i).cloned().ok_or("--checkpoint-dir needs a path")?);
+                }
+                "--checkpoint-every" => {
+                    i += 1;
+                    a.checkpoint_every = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--checkpoint-every: positive event count")?;
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            i += 1;
+        }
+        return Ok(a);
+    }
+    if argv[0] == "push" {
+        let mut a = base_args();
+        a.engine = "push".into();
+        a.workload = argv.get(1).cloned().ok_or("push needs a trace file")?;
+        if a.workload.starts_with("--") {
+            return Err("push needs a trace file before its flags".into());
+        }
+        let mut i = 2;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--connect" => {
+                    i += 1;
+                    a.connect = Some(argv.get(i).cloned().ok_or("--connect needs HOST:PORT")?);
+                }
+                "--unix" => {
+                    i += 1;
+                    a.unix_sock = Some(argv.get(i).cloned().ok_or("--unix needs a path")?);
+                }
+                "--session" => {
+                    i += 1;
+                    a.session = Some(argv.get(i).cloned().ok_or("--session needs a name")?);
+                }
+                "--engine" => {
+                    i += 1;
+                    let v = argv.get(i).cloned().ok_or("--engine needs a value")?;
+                    if v != "serial" && v != "parallel" {
+                        return Err(format!("--engine: push supports serial|parallel, not '{v}'"));
+                    }
+                    a.replay_engine = v;
+                }
+                "--transport" => {
+                    i += 1;
+                    let v = argv.get(i).ok_or("--transport needs a value")?;
+                    a.transport = Some(
+                        TransportKind::parse(v)
+                            .ok_or_else(|| format!("--transport: unknown kind '{v}'"))?,
+                    );
+                }
+                "--overflow" => {
+                    i += 1;
+                    let v = argv.get(i).ok_or("--overflow needs a value")?;
+                    a.overflow =
+                        Some(OverflowPolicy::parse(v).ok_or_else(|| {
+                            format!("--overflow: unknown policy '{v}' (block|drop)")
+                        })?);
+                }
+                "--workers" => {
+                    i += 1;
+                    a.workers = argv.get(i).and_then(|s| s.parse().ok()).ok_or("--workers: int")?;
+                }
+                "--slots" => {
+                    i += 1;
+                    a.slots = argv.get(i).and_then(|s| s.parse().ok()).ok_or("--slots: int")?;
+                }
+                "--checkpoint-every" => {
+                    i += 1;
+                    a.checkpoint_every = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--checkpoint-every: positive event count")?;
+                }
+                "--chunk-events" => {
+                    i += 1;
+                    a.chunk_events = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or("--chunk-events: positive count")?;
+                }
+                "--throttle-ms" => {
+                    i += 1;
+                    a.throttle_ms =
+                        argv.get(i).and_then(|s| s.parse().ok()).ok_or("--throttle-ms: int")?;
+                }
+                "--no-redistribution" => a.no_redistribution = true,
+                "--stats" => {
+                    i += 1;
+                    let v = argv.get(i).ok_or("--stats needs a format (json)")?;
+                    if v != "json" {
+                        return Err(format!("--stats: push supports json, not '{v}'"));
+                    }
+                    a.stats = Some(v.clone());
+                }
+                "--report-out" => {
+                    i += 1;
+                    a.out = Some(argv.get(i).cloned().ok_or("--report-out needs a path")?);
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            i += 1;
+        }
+        if a.connect.is_none() && a.unix_sock.is_none() {
+            return Err("push needs --connect HOST:PORT or --unix PATH".into());
         }
         return Ok(a);
     }
@@ -428,51 +605,6 @@ impl ReplayConfig {
     }
 }
 
-/// The engine a replayed trace is fed into — the serial in-line profiler
-/// or the parallel pipeline — with a uniform checkpoint/heartbeat surface.
-#[allow(clippy::large_enum_variant)]
-enum ReplayEngine {
-    Serial(SequentialProfiler<DefaultSig>),
-    Parallel(AnyParallelProfiler<DefaultSig>),
-}
-
-impl ReplayEngine {
-    fn on_event(&mut self, ev: TraceEvent) {
-        match self {
-            ReplayEngine::Serial(p) => p.on_event(&ev),
-            ReplayEngine::Parallel(p) => p.event(ev),
-        }
-    }
-
-    /// Monotone downstream-progress value. The serial engine consumes
-    /// in-line, so the feed counter alone describes its progress.
-    fn heartbeat(&self) -> u64 {
-        match self {
-            ReplayEngine::Serial(_) => 0,
-            ReplayEngine::Parallel(p) => p.heartbeat(),
-        }
-    }
-
-    fn checkpoint_data(
-        &mut self,
-        generation: u64,
-        records_read: u64,
-        config: Vec<u8>,
-    ) -> Result<CheckpointData, CheckpointError> {
-        match self {
-            ReplayEngine::Serial(p) => p.checkpoint_data(generation, records_read, config),
-            ReplayEngine::Parallel(p) => p.checkpoint_data(generation, records_read, config),
-        }
-    }
-
-    fn finish(self) -> ProfileResult {
-        match self {
-            ReplayEngine::Serial(p) => p.finish(),
-            ReplayEngine::Parallel(p) => p.finish(),
-        }
-    }
-}
-
 /// Writes a CLI artifact: to stdout by default, or atomically (hidden
 /// temp file + fsync + rename) to `path` — a crash mid-write can never
 /// leave a torn or half-written artifact behind.
@@ -581,13 +713,13 @@ fn run_replay(args: &Args) {
         let make = move || depprof::sig::Signature::new(slots);
         match &resume_data {
             Some(d) => match AnyParallelProfiler::resume(cfg, make, d) {
-                Ok(p) => ReplayEngine::Parallel(p),
+                Ok(p) => ProfileSession::Parallel(p),
                 Err(e) => {
                     eprintln!("cannot resume the parallel pipeline: {e}");
                     std::process::exit(EXIT_CORRUPT);
                 }
             },
-            None => ReplayEngine::Parallel(AnyParallelProfiler::new(cfg, make)),
+            None => ProfileSession::Parallel(AnyParallelProfiler::new(cfg, make)),
         }
     } else {
         let mut p = SequentialProfiler::with_signature(rc.slots);
@@ -597,7 +729,7 @@ fn run_replay(args: &Args) {
                 std::process::exit(EXIT_CORRUPT);
             }
         }
-        ReplayEngine::Serial(p)
+        ProfileSession::Serial(p)
     };
 
     // A checkpoint store is needed for periodic checkpoints and for the
@@ -640,6 +772,11 @@ fn run_replay(args: &Args) {
     });
     let wd_progress = watchdog.as_ref().map(|w| w.progress_handle());
 
+    // SIGINT/SIGTERM become a final emergency checkpoint + exit code 7
+    // instead of a death mid-write: the handler only sets a flag, which
+    // the feed loop observes at the next record boundary.
+    install_signal_handlers();
+
     let mut fed: u64 = 0;
     while let Some(rec) = reader.next() {
         let ev = match rec {
@@ -651,6 +788,26 @@ fn run_replay(args: &Args) {
         };
         engine.on_event(ev);
         fed += 1;
+        if shutdown_flag().load(Ordering::SeqCst) {
+            if let Some(store) = &store {
+                match engine.checkpoint_data(generation, reader.records_read(), rc.encode()) {
+                    Ok(data) => match store.write(&data) {
+                        Ok(st) => eprintln!(
+                            "signal: emergency checkpoint generation {} ({} bytes) written \
+                             to '{}'; resume with --resume",
+                            st.generation,
+                            st.bytes,
+                            store.dir().display()
+                        ),
+                        Err(e) => eprintln!("signal: emergency checkpoint failed: {e}"),
+                    },
+                    Err(e) => eprintln!("signal: cannot quiesce for emergency checkpoint: {e}"),
+                }
+            } else {
+                eprintln!("signal: terminating (checkpointing is off, nothing to save)");
+            }
+            std::process::exit(EXIT_SIGNAL);
+        }
         if let Some(p) = &wd_progress {
             p.store(fed + engine.heartbeat(), Ordering::Relaxed);
         }
@@ -736,6 +893,179 @@ fn run_replay(args: &Args) {
     }
 }
 
+/// `depprof serve` — run the profiler as a long-lived network service.
+/// Listens for DPSV v1 connections, one profiling session per client,
+/// until SIGINT/SIGTERM; in-flight sessions are emergency-checkpointed
+/// on shutdown and resumed when their clients reconnect.
+fn run_serve(args: &Args) {
+    let cfg = ServerConfig {
+        max_sessions: args.max_sessions,
+        checkpoint_dir: args.checkpoint_dir.as_ref().map(PathBuf::from),
+        checkpoint_every: args.checkpoint_every,
+        ..ServerConfig::default()
+    };
+    #[cfg(unix)]
+    let server = if let Some(path) = &args.unix_sock {
+        match Server::bind_unix(path, cfg) {
+            Ok(s) => {
+                eprintln!("serving DPSV on unix socket {path}");
+                s
+            }
+            Err(e) => {
+                eprintln!("cannot bind unix socket '{path}': {e}");
+                std::process::exit(EXIT_INPUT);
+            }
+        }
+    } else {
+        bind_tcp_or_die(args, cfg)
+    };
+    #[cfg(not(unix))]
+    let server = {
+        if args.unix_sock.is_some() {
+            eprintln!("--unix is only available on unix platforms");
+            std::process::exit(EXIT_USAGE);
+        }
+        bind_tcp_or_die(args, cfg)
+    };
+
+    install_signal_handlers();
+    if let Err(e) = server.run(shutdown_flag()) {
+        eprintln!("server accept loop failed: {e}");
+        std::process::exit(EXIT_INPUT);
+    }
+    // run() only returns once the stop flag is raised and every
+    // connection thread has written its emergency checkpoint.
+    eprintln!("signal: server stopped; in-flight sessions checkpointed");
+    std::process::exit(EXIT_SIGNAL);
+}
+
+fn bind_tcp_or_die(args: &Args, cfg: ServerConfig) -> Server {
+    let addr = args.listen.as_deref().unwrap_or("127.0.0.1:7077");
+    match Server::bind_tcp(addr, cfg) {
+        // Print the *bound* address: `--listen 127.0.0.1:0` picks an
+        // ephemeral port, and scripts parse this line to find it.
+        Ok(s) => {
+            match s.local_addr() {
+                Some(a) => eprintln!("serving DPSV on {a}"),
+                None => eprintln!("serving DPSV on {addr}"),
+            }
+            s
+        }
+        Err(e) => {
+            eprintln!("cannot bind '{addr}': {e}");
+            std::process::exit(EXIT_INPUT);
+        }
+    }
+}
+
+/// `depprof push` — stream a recorded trace to a running `serve` and
+/// print the report it sends back. If the server resumed the session
+/// from a checkpoint, the already-profiled prefix is skipped client-side.
+fn run_push(args: &Args) {
+    let path = &args.workload;
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open trace file '{path}': {e}");
+            std::process::exit(EXIT_INPUT);
+        }
+    };
+    let mut reader = match TraceReader::new(file) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("'{path}': {e}");
+            std::process::exit(EXIT_CORRUPT);
+        }
+    };
+    let interner = reader.interner().clone();
+    let names: Vec<String> =
+        (0..interner.len()).map(|id| interner.resolve(id as u32).to_owned()).collect();
+
+    let session = args.session.clone().unwrap_or_else(|| {
+        Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "default".into())
+    });
+    let opts = PushOptions {
+        session,
+        spec: SessionSpec {
+            parallel: args.replay_engine == "parallel",
+            transport: args.transport.unwrap_or(TransportKind::Spsc),
+            overflow: args.overflow.unwrap_or(OverflowPolicy::Block),
+            redistribution: !args.no_redistribution,
+            workers: args.workers,
+            slots: args.slots,
+        },
+        checkpoint_every: args.checkpoint_every,
+        chunk_events: args.chunk_events,
+        throttle_ms: args.throttle_ms,
+        request_stats: args.stats.as_deref() == Some("json"),
+    };
+
+    // The reader surfaces corruption through the iterator; a corrupt
+    // record must abort the whole push, not truncate it silently.
+    let events = std::iter::from_fn(|| match reader.next() {
+        Some(Ok(ev)) => Some(ev),
+        Some(Err(e)) => {
+            eprintln!("'{path}': {e}");
+            std::process::exit(EXIT_CORRUPT);
+        }
+        None => None,
+    });
+
+    let outcome = if let Some(addr) = &args.connect {
+        let mut conn = match std::net::TcpStream::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot connect to '{addr}': {e}");
+                std::process::exit(EXIT_INPUT);
+            }
+        };
+        push_events(&mut conn, names, events, &opts)
+    } else {
+        #[cfg(unix)]
+        {
+            let sock = args.unix_sock.as_ref().expect("parse() requires --connect or --unix");
+            let mut conn = match std::os::unix::net::UnixStream::connect(sock) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot connect to unix socket '{sock}': {e}");
+                    std::process::exit(EXIT_INPUT);
+                }
+            };
+            push_events(&mut conn, names, events, &opts)
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("--unix is only available on unix platforms");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+
+    match outcome {
+        Ok(out) => {
+            if out.resumed_from > 0 {
+                eprintln!(
+                    "server resumed session '{}' from event {}; sent {} remaining events",
+                    opts.session, out.resumed_from, out.events_sent
+                );
+            } else {
+                eprintln!("sent {} events to session '{}'", out.events_sent, opts.session);
+            }
+            let content = match (&out.stats_json, args.stats.as_deref()) {
+                (Some(json), Some("json")) => json.clone(),
+                _ => out.report.clone(),
+            };
+            emit(args.out.as_deref(), &content);
+        }
+        Err(e) => {
+            eprintln!("push failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = match parse() {
         Ok(a) => a,
@@ -757,9 +1087,18 @@ fn main() {
                  [--watchdog-deadline MS] [--inject-kill-after N] \
                  [--no-redistribution] [--stats json|text] [--report-out PATH]\n  \
                  depprof replay --resume <dir> [--watchdog-deadline MS] \
-                 [--stats json|text] [--report-out PATH]\n\n\
+                 [--stats json|text] [--report-out PATH]\n  \
+                 depprof serve [--listen HOST:PORT] [--unix PATH] \
+                 [--max-sessions N] [--checkpoint-dir DIR] [--checkpoint-every N]\n  \
+                 depprof push <trace.dptr> (--connect HOST:PORT | --unix PATH) \
+                 [--session NAME] [--engine serial|parallel] \
+                 [--transport spsc|mpmc|lock] [--overflow block|drop] \
+                 [--workers N] [--slots N] [--checkpoint-every N] \
+                 [--chunk-events N] [--throttle-ms MS] [--no-redistribution] \
+                 [--stats json] [--report-out PATH]\n\n\
                  exit codes: 0 ok, 2 usage, 3 missing input, 4 corrupt trace or \
-                 checkpoint, 5 degraded profile, 6 watchdog gave up"
+                 checkpoint, 5 degraded profile, 6 watchdog gave up, \
+                 7 terminated by signal"
             );
             std::process::exit(EXIT_USAGE);
         }
@@ -816,6 +1155,14 @@ fn main() {
     }
     if args.engine == "replay" {
         run_replay(&args);
+        return;
+    }
+    if args.engine == "serve" {
+        run_serve(&args);
+        return;
+    }
+    if args.engine == "push" {
+        run_push(&args);
         return;
     }
     if args.workload == "list" {

@@ -50,6 +50,7 @@
 pub use dp_analysis as analysis;
 pub use dp_core as core;
 pub use dp_queue as queue;
+pub use dp_server as server;
 pub use dp_sig as sig;
 pub use dp_trace as trace;
 pub use dp_types as types;

@@ -1,0 +1,201 @@
+//! The service layer must not change a single dependence: a trace
+//! streamed to `dp-server` over the DPSV protocol produces the same
+//! profile as `depprof replay` on the same trace.
+//!
+//! Two layers of proof:
+//!
+//! 1. **In-process, every workload** — the socket-free [`SessionEngine`]
+//!    is driven frame-by-frame (exactly what a connection handler does)
+//!    and its [`ProfileResult`] is compared dependence-for-dependence
+//!    against an offline [`ProfileSession`] replay of the same events.
+//! 2. **Over a real socket, concurrently** — a loopback TCP server runs
+//!    multiple sessions at once and every client's *report bytes* must
+//!    equal the offline render, proving session isolation end to end.
+
+use depprof::core::{report, ProfileResult, SessionSpec};
+use depprof::server::{push_events, PushOptions, Server, ServerConfig, SessionEngine};
+use depprof::trace::workloads::{nas_suite, starbench_suite, synth, Scale, Workload};
+
+use depprof::trace::{FrameChunker, Interp, TraceReader, TraceWriter};
+use depprof::types::protocol::{Frame, Hello};
+use depprof::types::{Interner, TraceEvent};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+type DepMap = BTreeMap<String, u64>;
+
+fn dep_map(r: &ProfileResult) -> DepMap {
+    r.deps
+        .dependences()
+        .map(|(d, v)| {
+            (
+                format!(
+                    "{:?} {}|{} <- {}|{} var{}",
+                    d.edge.dtype,
+                    d.sink.loc,
+                    d.sink.thread,
+                    d.edge.source_loc,
+                    d.edge.source_thread,
+                    d.edge.var
+                ),
+                v.count,
+            )
+        })
+        .collect()
+}
+
+/// Records a sequential workload into an in-memory trace and hands back
+/// its events, interner and name table in id order — the exact inputs
+/// both the offline replay and the network push start from.
+fn record(w: &Workload) -> (Vec<TraceEvent>, Interner, Vec<String>) {
+    let mut wtr = TraceWriter::with_names(Vec::new(), &w.program.interner).unwrap();
+    Interp::new(&w.program).run_seq(&mut wtr);
+    let bytes = wtr.finish().unwrap();
+    let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+    let interner = reader.interner().clone();
+    let mut events = Vec::new();
+    for rec in reader.by_ref() {
+        events.push(rec.unwrap());
+    }
+    let names = (0..interner.len()).map(|id| interner.resolve(id as u32).to_owned()).collect();
+    (events, interner, names)
+}
+
+fn offline(spec: &SessionSpec, events: &[TraceEvent]) -> ProfileResult {
+    let mut session = spec.build();
+    for ev in events {
+        session.on_event(*ev);
+    }
+    session.finish()
+}
+
+/// Drives the socket-free engine exactly like a connection handler:
+/// Hello, chunked event frames, then `finish_result` in place of the
+/// Finish/Report exchange.
+fn served(spec: &SessionSpec, events: &[TraceEvent], names: Vec<String>) -> ProfileResult {
+    let hello = Hello { session: "equiv".into(), spec: spec.encode(), checkpoint_every: 0, names };
+    let (mut engine, ack) = SessionEngine::open(&hello, 1, None, 0).unwrap();
+    assert!(matches!(ack, Frame::HelloAck { resume_from: 0, .. }));
+    let mut chunker = FrameChunker::new(64);
+    for ev in events {
+        for frame in chunker.push(*ev) {
+            engine.handle(frame).unwrap();
+        }
+    }
+    if let Some(frame) = chunker.flush() {
+        engine.handle(frame).unwrap();
+    }
+    engine.finish_result().expect("engine still live before Finish")
+}
+
+fn sequential_workloads() -> Vec<Workload> {
+    let mut all = nas_suite(Scale(0.08));
+    all.extend(starbench_suite(Scale(0.08)));
+    all.push(synth::uniform(64, 4_000));
+    all.retain(|w| !w.meta.parallel);
+    all
+}
+
+/// Every sequential workload, serial engine: the served profile is the
+/// offline profile, dependence for dependence.
+#[test]
+fn served_equals_offline_serial_all_workloads() {
+    for w in sequential_workloads() {
+        let (events, _, names) = record(&w);
+        let spec = SessionSpec { slots: 1 << 16, ..SessionSpec::default() };
+        let off = offline(&spec, &events);
+        let srv = served(&spec, &events, names);
+        assert_eq!(dep_map(&srv), dep_map(&off), "workload {}", w.meta.name);
+        assert_eq!(srv.stats.accesses, off.stats.accesses, "workload {}", w.meta.name);
+    }
+}
+
+/// Same equivalence through the parallel pipeline spec — the engine the
+/// server builds from the Hello is the one replay would build.
+#[test]
+fn served_equals_offline_parallel() {
+    for w in sequential_workloads().into_iter().take(3) {
+        let (events, _, names) = record(&w);
+        let spec =
+            SessionSpec { parallel: true, workers: 3, slots: 3 << 14, ..SessionSpec::default() };
+        let off = offline(&spec, &events);
+        let srv = served(&spec, &events, names);
+        assert_eq!(dep_map(&srv), dep_map(&off), "workload {}", w.meta.name);
+    }
+}
+
+/// Loopback TCP, concurrent sessions: N clients push different
+/// workloads at the same time; every returned report must be byte-
+/// identical to the offline render of that workload.
+#[test]
+fn concurrent_tcp_sessions_match_offline_reports() {
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig { max_sessions: 8, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run(&STOP).unwrap());
+
+    let workloads: Vec<Workload> = sequential_workloads().into_iter().take(4).collect();
+    let mut clients = Vec::new();
+    for w in workloads {
+        clients.push(std::thread::spawn(move || {
+            let (events, interner, names) = record(&w);
+            let spec = SessionSpec { slots: 1 << 16, ..SessionSpec::default() };
+            let expected = {
+                let r = offline(&spec, &events);
+                report::render(&r, &interner, false)
+            };
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            let opts = PushOptions {
+                session: format!("conc-{}", w.meta.name),
+                spec,
+                chunk_events: 128,
+                request_stats: true,
+                ..PushOptions::default()
+            };
+            let out = push_events(&mut conn, names, events, &opts).unwrap();
+            assert_eq!(out.report, expected, "report bytes differ for {}", w.meta.name);
+            let stats = out.stats_json.expect("stats were requested");
+            assert!(stats.contains("\"events\""), "stats json: {stats}");
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    STOP.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}
+
+/// The capacity cap is enforced with a typed error, not a hang: with
+/// `max_sessions = 0` every client is turned away at Hello time.
+#[test]
+fn at_capacity_is_a_typed_refusal() {
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig { max_sessions: 0, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run(&STOP).unwrap());
+
+    let all = sequential_workloads();
+    let (events, _, names) = record(&all[0]);
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    let err = push_events(&mut conn, names, events, &PushOptions::default()).unwrap_err();
+    match err {
+        depprof::server::ClientError::Server { code, .. } => {
+            assert_eq!(code, depprof::types::protocol::error_code::AT_CAPACITY);
+        }
+        other => panic!("wanted Error{{AT_CAPACITY}}, got {other:?}"),
+    }
+
+    STOP.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}

@@ -1,14 +1,19 @@
-//! One function per table/figure of the paper (see DESIGN.md, E1–E13).
+//! Measurement logic for every registered scenario (see DESIGN.md,
+//! E1–E16).
 //!
-//! Every function returns the rendered table as a `String`; the
-//! `experiments` binary prints it, EXPERIMENTS.md records it. Workload
-//! sizes are controlled by [`ExpConfig::scale`] (1.0 = the default mini
-//! size, which corresponds to the paper's setup scaled by ~10⁻³ in
-//! accesses and ~10⁻² in addresses; signature sizes are scaled by the
-//! same ~10⁻² so Formula 2's load factor matches the paper's).
+//! Each function implements one table/figure of the paper (or a later
+//! PR's experiment) and returns a [`ScenarioOutput`]: the rendered text
+//! table plus structured [`MetricRow`]s the runner folds into a
+//! `BenchResult`. Workload sizes are controlled by the recipe's scale
+//! (1.0 = the default mini size, which corresponds to the paper's setup
+//! scaled by ~10⁻³ in accesses and ~10⁻² in addresses; signature sizes
+//! are scaled by the same ~10⁻² so Formula 2's load factor matches the
+//! paper's).
 
 use crate::fmt::{mb, times, Table};
 use crate::measure::{slowdown, time, Timed};
+use crate::result::MetricRow;
+use crate::scenario::{ScenarioCtx, ScenarioOutput};
 use dp_core::parallel::{LockBasedProfiler, LockFreeProfiler};
 use dp_core::{
     AnyParallelProfiler, DefaultSig, MtProfiler, ParallelProfiler, ProfileResult, ProfilerConfig,
@@ -22,20 +27,26 @@ use dp_trace::{CollectTracer, Interp, NullFactory, NullTracer};
 use dp_types::TraceEvent;
 use std::time::Duration;
 
-/// Experiment configuration.
+/// Legacy experiment configuration, now derived from a [`ScenarioCtx`].
 #[derive(Debug, Clone, Copy)]
 pub struct ExpConfig {
     /// Workload scale multiplier (1.0 = default minis).
     pub scale: f64,
-    /// Quick mode: smaller workload subset, one repetition — used by the
-    /// CI bench-smoke job, where the point is "does it run and produce
-    /// sane JSON", not publishable numbers.
+    /// Quick mode: smaller workload subset — used by the CI quick
+    /// recipes, where the point is "does it run and produce sane JSON",
+    /// not publishable numbers.
     pub quick: bool,
 }
 
 impl Default for ExpConfig {
     fn default() -> Self {
         ExpConfig { scale: 0.25, quick: false }
+    }
+}
+
+impl From<&ScenarioCtx> for ExpConfig {
+    fn from(ctx: &ScenarioCtx) -> Self {
+        ExpConfig { scale: ctx.scale, quick: ctx.quick }
     }
 }
 
@@ -157,15 +168,32 @@ fn perf_cfg(workers: usize, total_slots: usize) -> ProfilerConfig {
     ProfilerConfig::default().with_workers(workers).with_slots(total_slots)
 }
 
+/// A structured row for one timed engine run: events, wall-clock,
+/// throughput, memory high-water, degradation counter.
+fn perf_row(label: impl Into<String>, t: &Timed<ProfileResult>) -> MetricRow {
+    let secs = t.elapsed.as_secs_f64();
+    MetricRow {
+        label: label.into(),
+        events: Some(t.value.stats.accesses),
+        wall_ms: Some(secs * 1e3),
+        events_per_sec: if secs > 0.0 { Some(t.value.stats.accesses as f64 / secs) } else { None },
+        mem_high_water_bytes: Some(t.value.memory.total() as u64),
+        degraded_events: Some(t.value.stats.dropped_events),
+        ..Default::default()
+    }
+}
+
 /// A synthetic stream in which address `i` is written at line `2i+1` and
-/// read at line `2i+2`, `rounds` times, in a stride-permuted order. Every
-/// address contributes its own dependence pair, so collision effects are
-/// directly visible in FPR *and* FNR.
-fn per_address_line_stream(n_addrs: u64, rounds: u64) -> Vec<TraceEvent> {
+/// read at line `2i+2`, `rounds` times, in a seed-dependent
+/// stride-permuted order. Every address contributes its own dependence
+/// pair, so collision effects are directly visible in FPR *and* FNR.
+fn per_address_line_stream(n_addrs: u64, rounds: u64, seed: u64) -> Vec<TraceEvent> {
     use dp_types::{loc::loc, MemAccess};
     let mut evs = Vec::with_capacity((n_addrs * rounds * 2) as usize);
     let mut ts = 0u64;
-    let stride = 2654435761u64 | 1;
+    // An odd stride visits every residue; folding the seed in makes the
+    // visit order a pure function of the recipe's seed.
+    let stride = (2654435761u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15)) | 1;
     for _ in 0..rounds {
         for k in 0..n_addrs {
             let i = (k.wrapping_mul(stride)) % n_addrs;
@@ -195,7 +223,8 @@ fn per_address_line_stream(n_addrs: u64, rounds: u64) -> Vec<TraceEvent> {
 
 /// E1 / Table I — FPR and FNR of profiled dependences for Starbench under
 /// three signature sizes, against the perfect-signature baseline.
-pub fn table1(cfg: ExpConfig) -> String {
+pub fn table1(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let slots = cfg.table1_slots();
     let mut t = Table::new(&[
         "program",
@@ -209,6 +238,7 @@ pub fn table1(cfg: ExpConfig) -> String {
         &format!("FPR@{}", slots[2]),
         &format!("FNR@{}", slots[2]),
     ]);
+    let mut rows = Vec::new();
     let mut sums = [0.0f64; 6];
     let suite = starbench_suite(cfg.wl_scale());
     let n = suite.len() as f64;
@@ -216,12 +246,17 @@ pub fn table1(cfg: ExpConfig) -> String {
         let events = record_events(w);
         let accesses = events.iter().filter(|e| e.as_access().is_some()).count();
         let base = replay(&events, SequentialProfiler::perfect()).value;
+        let deps = dp_analysis::compare(&base, &base).baseline;
         let mut cells = vec![
             w.meta.name.clone(),
             w.program.address_footprint().to_string(),
             accesses.to_string(),
-            dp_analysis::compare(&base, &base).baseline.to_string(),
+            deps.to_string(),
         ];
+        let mut row = MetricRow::new(&w.meta.name)
+            .check("deps", deps)
+            .check("addresses", w.program.address_footprint());
+        row.events = Some(accesses as u64);
         for (i, &m) in slots.iter().enumerate() {
             let sig = replay(
                 &events,
@@ -234,20 +269,25 @@ pub fn table1(cfg: ExpConfig) -> String {
             let acc = dp_analysis::compare(&base, &sig);
             cells.push(format!("{:.2}", acc.fpr()));
             cells.push(format!("{:.2}", acc.fnr()));
+            row = row
+                .check(&format!("fpr@{m}"), format!("{:.2}", acc.fpr()))
+                .check(&format!("fnr@{m}"), format!("{:.2}", acc.fnr()));
             sums[i * 2] += acc.fpr();
             sums[i * 2 + 1] += acc.fnr();
         }
         t.row(&cells);
+        rows.push(row);
     }
     let mut avg = vec!["average".to_string(), "-".into(), "-".into(), "-".into()];
     avg.extend(sums.iter().map(|s| format!("{:.2}", s / n)));
     t.row(&avg);
-    format!(
+    let text = format!(
         "Table I (E1): dependence accuracy vs. signature size\n\
          (paper: avg FPR/FNR 24.47/5.42 @1e6, 4.71/0.71 @1e7, 0.35/0.04 @1e8;\n\
          slot counts here are scaled by the same factor as the address sets)\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E2 / Formula 2 — predicted slot-occupancy probability vs. measured
@@ -256,9 +296,10 @@ pub fn table1(cfg: ExpConfig) -> String {
 /// The stream gives every address its own source lines (as a large code
 /// base does), so a collision manufactures a visibly wrong dependence
 /// (false positive) and erases the true pair (false negative).
-pub fn formula2(cfg: ExpConfig) -> String {
+pub fn formula2(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let n_addrs = ((40_000.0 * cfg.scale) as u64).max(2_000);
-    let events = per_address_line_stream(n_addrs, 6);
+    let events = per_address_line_stream(n_addrs, 6, ctx.seed);
     let base = replay(&events, SequentialProfiler::perfect()).value;
     let mut t = Table::new(&[
         "slots",
@@ -267,6 +308,7 @@ pub fn formula2(cfg: ExpConfig) -> String {
         "measured dep FPR %",
         "measured FNR %",
     ]);
+    let mut rows = Vec::new();
     for shift in [0u32, 1, 2, 3, 4, 6, 8] {
         let m = ((n_addrs as usize) << 4) >> shift; // 16n down to n/16
         let sig = replay(
@@ -285,27 +327,41 @@ pub fn formula2(cfg: ExpConfig) -> String {
             format!("{:.2}", acc.fpr()),
             format!("{:.2}", acc.fnr()),
         ]);
+        let mut row = MetricRow::new(format!("slots={m}"))
+            .check("load", format!("{:.3}", n_addrs as f64 / m as f64))
+            .check("predicted_fpr", format!("{:.4}", predicted_fpr(m, n_addrs)))
+            .check("fpr", format!("{:.2}", acc.fpr()))
+            .check("fnr", format!("{:.2}", acc.fnr()));
+        row.events = Some(events.len() as u64);
+        rows.push(row);
     }
-    format!(
+    let text = format!(
         "Formula 2 validation (E2): accuracy degrades with load factor n/m as predicted\n\
-         (per-address-line stream over {n_addrs} addresses; the measured rates sit\n\
-         above the per-slot P_fp because one dependence must survive every round)\n\n{}",
+         (per-address-line stream over {n_addrs} addresses, seed {}; the measured rates\n\
+         sit above the per-slot P_fp because one dependence must survive every round)\n\n{}",
+        ctx.seed,
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
-/// E3 / Figure 5 — slowdowns: serial, 8T lock-based, 8T lock-free, 16T
-/// lock-free, for sequential NAS + Starbench.
-pub fn fig5(cfg: ExpConfig) -> String {
+/// E3 / Figure 5 — slowdowns: serial, lock-based and lock-free pipelines
+/// at the recipe's two worker counts (paper: 8T and 16T), for sequential
+/// NAS + Starbench.
+pub fn fig5(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let slots = cfg.perf_slots();
+    let w1 = ctx.workers.first().copied().unwrap_or(8);
+    let w2 = ctx.workers.get(1).copied().unwrap_or(16);
     let mut t = Table::new(&[
         "program",
         "native ms",
         "serial",
-        "8T lock-based",
-        "8T lock-free",
-        "16T lock-free",
+        &format!("{w1}T lock-based"),
+        &format!("{w1}T lock-free"),
+        &format!("{w2}T lock-free"),
     ]);
+    let mut rows = Vec::new();
     let mut group_avgs = Vec::new();
     for (label, suite) in
         [("NAS", nas_suite(cfg.wl_scale())), ("Starbench", starbench_suite(cfg.wl_scale()))]
@@ -313,15 +369,15 @@ pub fn fig5(cfg: ExpConfig) -> String {
         let mut sums = [0.0f64; 4];
         for w in &suite {
             let base = native_seq(w);
-            let serial = serial_sig(w, slots).elapsed;
-            let lock8 = parallel_lockbased(w, perf_cfg(8, slots)).elapsed;
-            let free8 = parallel_lockfree(w, perf_cfg(8, slots)).elapsed;
-            let free16 = parallel_lockfree(w, perf_cfg(16, slots)).elapsed;
+            let serial = serial_sig(w, slots);
+            let lock1 = parallel_lockbased(w, perf_cfg(w1, slots));
+            let free1 = parallel_lockfree(w, perf_cfg(w1, slots));
+            let free2 = parallel_lockfree(w, perf_cfg(w2, slots));
             let sl = [
-                slowdown(serial, base),
-                slowdown(lock8, base),
-                slowdown(free8, base),
-                slowdown(free16, base),
+                slowdown(serial.elapsed, base),
+                slowdown(lock1.elapsed, base),
+                slowdown(free1.elapsed, base),
+                slowdown(free2.elapsed, base),
             ];
             for (s, v) in sums.iter_mut().zip(sl) {
                 *s += v;
@@ -334,6 +390,10 @@ pub fn fig5(cfg: ExpConfig) -> String {
                 times(sl[2]),
                 times(sl[3]),
             ]);
+            rows.push(perf_row(format!("{}/serial", w.meta.name), &serial));
+            rows.push(perf_row(format!("{}/{w1}T-lockbased", w.meta.name), &lock1));
+            rows.push(perf_row(format!("{}/{w1}T-lockfree", w.meta.name), &free1));
+            rows.push(perf_row(format!("{}/{w2}T-lockfree", w.meta.name), &free2));
         }
         let n = suite.len() as f64;
         let avgs: Vec<f64> = sums.iter().map(|s| s / n).collect();
@@ -347,28 +407,38 @@ pub fn fig5(cfg: ExpConfig) -> String {
         ]);
         group_avgs.push((label, avgs));
     }
-    format!(
+    let text = format!(
         "Figure 5 (E3): profiling slowdown, sequential targets\n\
          (paper averages: serial 190x/191x, 8T lock-free 97x/101x, 16T 78x/93x,\n\
          lock-free vs lock-based 1.6x/1.3x; this host has {} hardware thread(s) —\n\
          pipeline parallelism cannot materialize below 2 cores, see EXPERIMENTS.md)\n\n{}",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E4 / Figure 6 — slowdown profiling *parallel* Starbench (4 target
-/// threads) with 8 and 16 profiling threads.
-pub fn fig6(cfg: ExpConfig) -> String {
+/// threads) at the recipe's two profiling-thread counts.
+pub fn fig6(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let slots = cfg.perf_slots();
-    let mut t = Table::new(&["program", "native ms (4T)", "8T profiling", "16T profiling"]);
+    let w1 = ctx.workers.first().copied().unwrap_or(8);
+    let w2 = ctx.workers.get(1).copied().unwrap_or(16);
+    let mut t = Table::new(&[
+        "program",
+        "native ms (4T)",
+        &format!("{w1}T profiling"),
+        &format!("{w2}T profiling"),
+    ]);
+    let mut rows = Vec::new();
     let suite = starbench_parallel_suite(cfg.wl_scale(), 4);
     let mut sums = [0.0f64; 2];
     for w in &suite {
         let base = native_mt(w);
-        let p8 = mt_profile(w, perf_cfg(8, slots)).elapsed;
-        let p16 = mt_profile(w, perf_cfg(16, slots)).elapsed;
-        let sl = [slowdown(p8, base), slowdown(p16, base)];
+        let p1 = mt_profile(w, perf_cfg(w1, slots));
+        let p2 = mt_profile(w, perf_cfg(w2, slots));
+        let sl = [slowdown(p1.elapsed, base), slowdown(p2.elapsed, base)];
         sums[0] += sl[0];
         sums[1] += sl[1];
         t.row(&[
@@ -377,22 +447,33 @@ pub fn fig6(cfg: ExpConfig) -> String {
             times(sl[0]),
             times(sl[1]),
         ]);
+        rows.push(perf_row(format!("{}/{w1}T", w.meta.name), &p1));
+        rows.push(perf_row(format!("{}/{w2}T", w.meta.name), &p2));
     }
     let n = suite.len() as f64;
     t.row(&["average".into(), "-".into(), times(sums[0] / n), times(sums[1] / n)]);
-    format!(
+    let text = format!(
         "Figure 6 (E4): profiling slowdown, parallel Starbench (pthread-style, 4 target threads)\n\
          (paper averages: 346x with 8T, 261x with 16T)\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E5 / Figure 7 — memory consumption, sequential targets: shadow-memory
-/// naive baseline vs. 8T/16T lock-free signatures.
-pub fn fig7(cfg: ExpConfig) -> String {
+/// naive baseline vs. lock-free signatures at two worker counts.
+pub fn fig7(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let slots = cfg.perf_slots();
-    let mut t =
-        Table::new(&["program", "naive MB (shadow)", "8T lock-free MB", "16T lock-free MB"]);
+    let w1 = ctx.workers.first().copied().unwrap_or(8);
+    let w2 = ctx.workers.get(1).copied().unwrap_or(16);
+    let mut t = Table::new(&[
+        "program",
+        "naive MB (shadow)",
+        &format!("{w1}T lock-free MB"),
+        &format!("{w2}T lock-free MB"),
+    ]);
+    let mut rows = Vec::new();
     for suite in [nas_suite(cfg.wl_scale()), starbench_suite(cfg.wl_scale())] {
         let mut sums = [0usize; 3];
         let n = suite.len();
@@ -409,13 +490,22 @@ pub fn fig7(cfg: ExpConfig) -> String {
                 SequentialProfiler::with_stores(ShadowMemory::new(), ShadowMemory::new()),
             )
             .value;
-            let m8 = parallel_lockfree(w, perf_cfg(8, slots)).value;
-            let m16 = parallel_lockfree(w, perf_cfg(16, slots)).value;
-            let mems = [naive.memory.total(), m8.memory.total(), m16.memory.total()];
+            let m1 = parallel_lockfree(w, perf_cfg(w1, slots)).value;
+            let m2 = parallel_lockfree(w, perf_cfg(w2, slots)).value;
+            let mems = [naive.memory.total(), m1.memory.total(), m2.memory.total()];
             for (s, m) in sums.iter_mut().zip(mems) {
                 *s += m;
             }
             t.row(&[w.meta.name.clone(), mb(mems[0]), mb(mems[1]), mb(mems[2])]);
+            for (cfg_label, mem) in [
+                ("shadow", mems[0]),
+                (&format!("{w1}T")[..], mems[1]),
+                (&format!("{w2}T")[..], mems[2]),
+            ] {
+                let mut row = MetricRow::new(format!("{}/{cfg_label}", w.meta.name));
+                row.mem_high_water_bytes = Some(mem as u64);
+                rows.push(row);
+            }
         }
         t.row(&[label.to_string(), mb(sums[0] / n), mb(sums[1] / n), mb(sums[2] / n)]);
     }
@@ -441,44 +531,67 @@ pub fn fig7(cfg: ExpConfig) -> String {
         )
         .value;
         sweep.row(&[n.to_string(), mb(shadow.memory.signatures), mb(sig.memory.signatures)]);
+        let mut row = MetricRow::new(format!("footprint={n}/shadow"));
+        row.mem_high_water_bytes = Some(shadow.memory.signatures as u64);
+        rows.push(row);
+        let mut row = MetricRow::new(format!("footprint={n}/signature"));
+        row.mem_high_water_bytes = Some(sig.memory.signatures as u64);
+        rows.push(row);
     }
-    format!(
+    let text = format!(
         "Figure 7 (E5): profiler memory, sequential targets\n\
          (paper: naive shadow memory exceeds signatures; 473/505 MB @8T,\n\
          649/1390 MB @16T for NAS/Starbench at the unscaled sizes)\n\n{}\n\
          Footprint sweep — why signatures (store memory only):\n\n{}",
         t.render(),
         sweep.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E6 / Figure 8 — memory consumption, parallel Starbench targets.
-pub fn fig8(cfg: ExpConfig) -> String {
+pub fn fig8(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let slots = cfg.perf_slots();
-    let mut t = Table::new(&["program", "naive MB (shadow)", "8T MB", "16T MB"]);
+    let w1 = ctx.workers.first().copied().unwrap_or(8);
+    let w2 = ctx.workers.get(1).copied().unwrap_or(16);
+    let mut t =
+        Table::new(&["program", "naive MB (shadow)", &format!("{w1}T MB"), &format!("{w2}T MB")]);
+    let mut rows = Vec::new();
     let suite = starbench_parallel_suite(cfg.wl_scale(), 4);
     let mut sums = [0usize; 3];
     for w in &suite {
         let naive = mt_profile_shadow(w, perf_cfg(2, slots));
-        let m8 = mt_profile(w, perf_cfg(8, slots)).value;
-        let m16 = mt_profile(w, perf_cfg(16, slots)).value;
-        let mems = [naive.memory.total(), m8.memory.total(), m16.memory.total()];
+        let m1 = mt_profile(w, perf_cfg(w1, slots)).value;
+        let m2 = mt_profile(w, perf_cfg(w2, slots)).value;
+        let mems = [naive.memory.total(), m1.memory.total(), m2.memory.total()];
         for (s, m) in sums.iter_mut().zip(mems) {
             *s += m;
         }
         t.row(&[w.meta.name.clone(), mb(mems[0]), mb(mems[1]), mb(mems[2])]);
+        for (cfg_label, mem) in [
+            ("shadow", mems[0]),
+            (&format!("{w1}T")[..], mems[1]),
+            (&format!("{w2}T")[..], mems[2]),
+        ] {
+            let mut row = MetricRow::new(format!("{}/{cfg_label}", w.meta.name));
+            row.mem_high_water_bytes = Some(mem as u64);
+            rows.push(row);
+        }
     }
     let n = suite.len();
     t.row(&["average".into(), mb(sums[0] / n), mb(sums[1] / n), mb(sums[2] / n)]);
-    format!(
+    let text = format!(
         "Figure 8 (E6): profiler memory, parallel Starbench targets (4 target threads)\n\
          (paper: 995 MB @8T, 1920 MB @16T at unscaled sizes)\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E7 / Table II — parallelizable-loop detection in NAS.
-pub fn table2(cfg: ExpConfig) -> String {
+pub fn table2(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let mut t = Table::new(&[
         "program",
         "# OMP",
@@ -486,6 +599,7 @@ pub fn table2(cfg: ExpConfig) -> String {
         "# identified (sig)",
         "# missed (sig)",
     ]);
+    let mut rows = Vec::new();
     let mut tot = [0usize; 4];
     for w in nas_suite(cfg.wl_scale()) {
         let events = record_events(&w);
@@ -519,6 +633,13 @@ pub fn table2(cfg: ExpConfig) -> String {
             id_sig.len().to_string(),
             missed.to_string(),
         ]);
+        let mut row = MetricRow::new(&w.meta.name)
+            .check("omp", omp)
+            .check("identified_dp", id_dp.len())
+            .check("identified_sig", id_sig.len())
+            .check("missed", missed);
+        row.events = Some(events.len() as u64);
+        rows.push(row);
     }
     t.row(&[
         "Overall".into(),
@@ -527,22 +648,24 @@ pub fn table2(cfg: ExpConfig) -> String {
         tot[2].to_string(),
         tot[3].to_string(),
     ]);
-    format!(
+    let text = format!(
         "Table II (E7): detection of parallelizable loops in NAS\n\
          (paper: 147 OMP, 136 identified by DP and by signatures, 0 missed)\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E8 / Figure 9 — communication pattern of water-spatial.
-pub fn fig9(cfg: ExpConfig) -> String {
+pub fn fig9(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let nthreads = 8;
     let w = splash::water_spatial(cfg.wl_scale(), nthreads);
     // Section VII: "If not stated, we always use signatures big enough to
     // produce dependences without false positives and false negatives."
     let ample = (w.program.address_footprint() as usize * 64).next_power_of_two();
-    let r = mt_profile(&w, perf_cfg(8, ample)).value;
-    let m = dp_analysis::communication_matrix(&r, nthreads as usize + 1);
+    let r = mt_profile(&w, perf_cfg(8, ample));
+    let m = dp_analysis::communication_matrix(&r.value, nthreads as usize + 1);
     let mut detail = String::new();
     for p in 1..=nthreads as u16 {
         for c in 1..=nthreads as u16 {
@@ -551,16 +674,19 @@ pub fn fig9(cfg: ExpConfig) -> String {
             }
         }
     }
-    format!(
+    let rows = vec![perf_row("water-spatial", &r).check("cross_thread_volume", m.total())];
+    let text = format!(
         "Figure 9 (E8): communication pattern of water-spatial ({nthreads} threads)\n\
          (producers on rows, consumers on columns; near-neighbour banding as in the paper)\n\n{}\n{}",
         m.render_ascii(),
         detail
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E9 — output-size reduction by merging identical dependences.
-pub fn merge(cfg: ExpConfig) -> String {
+pub fn merge(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let mut t = Table::new(&[
         "program",
         "dynamic deps",
@@ -569,34 +695,44 @@ pub fn merge(cfg: ExpConfig) -> String {
         "est. unmerged MB",
         "report KB",
     ]);
+    let mut rows = Vec::new();
     // A plain-text record is ~32 bytes, matching the paper's file-size
     // framing (6.1 GB -> 53 KB).
     const REC_BYTES: u64 = 32;
     let mut worst = 0.0f64;
     for w in nas_suite(cfg.wl_scale()) {
-        let r = serial_sig(&w, cfg.perf_slots()).value;
-        let report = dp_core::report::render(&r, &w.program.interner, false);
-        let factor = r.merge_factor();
+        let r = serial_sig(&w, cfg.perf_slots());
+        let report = dp_core::report::render(&r.value, &w.program.interner, false);
+        let factor = r.value.merge_factor();
         worst = worst.max(factor);
         t.row(&[
             w.meta.name.clone(),
-            r.stats.deps_built.to_string(),
-            r.stats.deps_merged.to_string(),
+            r.value.stats.deps_built.to_string(),
+            r.value.stats.deps_merged.to_string(),
             format!("{factor:.0}"),
-            format!("{:.1}", (r.stats.deps_built * REC_BYTES) as f64 / 1e6),
+            format!("{:.1}", (r.value.stats.deps_built * REC_BYTES) as f64 / 1e6),
             format!("{:.1}", report.len() as f64 / 1e3),
         ]);
+        rows.push(
+            perf_row(&w.meta.name, &r)
+                .check("deps_built", r.value.stats.deps_built)
+                .check("deps_merged", r.value.stats.deps_merged)
+                .check("merge_factor", format!("{factor:.0}"))
+                .check("report_bytes", report.len()),
+        );
     }
-    format!(
+    let text = format!(
         "Merging identical dependences (E9)\n\
          (paper: NAS output shrinks 6.1 GB -> 53 KB, ~1e5x; factors here scale\n\
          with the ~1e-3 access scaling of the minis)\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E10 — signature vs. hash-table vs. shadow-memory engine speed.
-pub fn ablate_hash(cfg: ExpConfig) -> String {
+pub fn ablate_hash(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let n_addrs = ((100_000.0 * cfg.scale) as u64).max(10_000);
     let w = synth::uniform(n_addrs, n_addrs * 20);
     let events = record_events(&w);
@@ -618,68 +754,91 @@ pub fn ablate_hash(cfg: ExpConfig) -> String {
         replay(&events, SequentialProfiler::with_stores(ShadowMemory::new(), ShadowMemory::new()));
     let perfect = replay(&events, SequentialProfiler::perfect());
     let mut t = Table::new(&["store", "time ms", "vs signature", "memory MB"]);
+    let mut rows = Vec::new();
     let base = sig.elapsed;
-    for (name, tm, mem) in [
-        ("signature", sig.elapsed, sig.value.memory.signatures),
-        ("hash table (chained)", hash.elapsed, hash.value.memory.signatures),
-        ("perfect (Fx map)", perfect.elapsed, perfect.value.memory.signatures),
-        ("shadow memory", shadow.elapsed, shadow.value.memory.signatures),
+    for (name, run) in [
+        ("signature", &sig),
+        ("hash table (chained)", &hash),
+        ("perfect (Fx map)", &perfect),
+        ("shadow memory", &shadow),
     ] {
         t.row(&[
             name.to_string(),
-            format!("{:.1}", tm.as_secs_f64() * 1e3),
-            times(slowdown(tm, base)),
-            mb(mem),
+            format!("{:.1}", run.elapsed.as_secs_f64() * 1e3),
+            times(slowdown(run.elapsed, base)),
+            mb(run.value.memory.signatures),
         ]);
+        let mut row = perf_row(name, run);
+        row.mem_high_water_bytes = Some(run.value.memory.signatures as u64);
+        rows.push(row);
     }
-    format!(
+    let text = format!(
         "Store ablation (E10): signature vs. alternatives on a uniform stream\n\
          over {n_addrs} addresses (paper: hash table 1.5-3.7x slower than signatures)\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E12 — data-race detection: racy vs. locked counter.
-pub fn races(cfg: ExpConfig) -> String {
+pub fn races(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let mut out = String::from(
         "Race detection (E12): timestamp reversals (Section V-B)\n\
          A locked counter must report 0 reversals; an unlocked one usually\n\
          reports many (subject to actual interleaving on this host).\n\n",
     );
     let mut t = Table::new(&["program", "reversed deps", "race hints", "accesses"]);
+    let mut rows = Vec::new();
     for w in [synth::locked_counter(cfg.wl_scale(), 4), synth::racy_counter(cfg.wl_scale(), 4)] {
-        let r = mt_profile(&w, perf_cfg(4, cfg.perf_slots())).value;
-        let hints = dp_analysis::find_races(&r);
+        let r = mt_profile(&w, perf_cfg(4, cfg.perf_slots()));
+        let hints = dp_analysis::find_races(&r.value);
         t.row(&[
             w.meta.name.clone(),
-            r.stats.reversed.to_string(),
+            r.value.stats.reversed.to_string(),
             hints.len().to_string(),
-            r.stats.accesses.to_string(),
+            r.value.stats.accesses.to_string(),
         ]);
+        rows.push(
+            perf_row(&w.meta.name, &r)
+                .check("reversed", r.value.stats.reversed)
+                .check("race_hints", hints.len()),
+        );
     }
     out.push_str(&t.render());
-    out
+    ScenarioOutput { text: out, rows, summary_events_per_sec: None }
 }
 
 /// E13a — chunk-size sweep (lock-free, 8 workers, kmeans).
-pub fn ablate_chunk(cfg: ExpConfig) -> String {
+pub fn ablate_chunk(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let w = &starbench_suite(cfg.wl_scale())[1]; // kmeans
     let base = native_seq(w);
     let mut t = Table::new(&["chunk capacity", "slowdown", "chunks pushed"]);
+    let mut rows = Vec::new();
     for cap in [64usize, 256, 1024, 4096] {
-        let c = perf_cfg(8, cfg.perf_slots()).with_chunk_capacity(cap);
+        let c = perf_cfg(ctx.primary_workers().max(8), cfg.perf_slots()).with_chunk_capacity(cap);
         let r = parallel_lockfree(w, c);
         t.row(&[
             cap.to_string(),
             times(slowdown(r.elapsed, base)),
             r.value.stats.chunks_pushed.to_string(),
         ]);
+        rows.push(
+            perf_row(format!("chunk={cap}"), &r)
+                .check("chunks_pushed", r.value.stats.chunks_pushed),
+        );
     }
-    format!("Chunk-size ablation (E13a) on kmeans\n\n{}", t.render())
+    ScenarioOutput {
+        text: format!("Chunk-size ablation (E13a) on kmeans\n\n{}", t.render()),
+        rows,
+        summary_events_per_sec: None,
+    }
 }
 
 /// E13b — redistribution on/off on a skewed workload.
-pub fn ablate_redist(cfg: ExpConfig) -> String {
+pub fn ablate_redist(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let n = ((200_000.0 * cfg.scale) as u64).max(20_000);
     // Hot addresses 8 elements apart: all map to the same worker under
     // modulo-8 routing — the pathological imbalance of Section IV-A.
@@ -692,6 +851,7 @@ pub fn ablate_redist(cfg: ExpConfig) -> String {
         "moved addrs",
         "load imbalance (max/mean)",
     ]);
+    let mut rows = Vec::new();
     for on in [false, true] {
         let mut c = perf_cfg(8, cfg.perf_slots()).with_redistribution(on);
         c.redistribute_every = 500;
@@ -703,16 +863,23 @@ pub fn ablate_redist(cfg: ExpConfig) -> String {
             r.value.stats.redistributed_addrs.to_string(),
             format!("{:.2}", r.value.load_imbalance()),
         ]);
+        rows.push(
+            perf_row(if on { "redistribution=on" } else { "redistribution=off" }, &r)
+                .check("rounds", r.value.stats.redistributions)
+                .check("moved_addrs", r.value.stats.redistributed_addrs),
+        );
     }
-    format!(
+    let text = format!(
         "Redistribution ablation (E13b): skewed stream, 90% of accesses on 8 hot\n\
          addresses that modulo-route to a single worker\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E13c — compact (4 B) vs. extended (16 B) slots.
-pub fn ablate_slots(cfg: ExpConfig) -> String {
+pub fn ablate_slots(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let w = &starbench_suite(cfg.wl_scale())[5]; // rotate
     let events = record_events(w);
     let m = cfg.perf_slots();
@@ -743,35 +910,45 @@ pub fn ablate_slots(cfg: ExpConfig) -> String {
         mb(extended.value.memory.signatures),
         "yes".into(),
     ]);
-    format!(
+    let mut rows = Vec::new();
+    for (label, run) in [("compact", &compact), ("extended", &extended)] {
+        let mut row = perf_row(label, run);
+        row.mem_high_water_bytes = Some(run.value.memory.signatures as u64);
+        rows.push(row);
+    }
+    let text = format!(
         "Slot-layout ablation (E13c) on rotate: the paper's 4-byte slots vs. the\n\
          extended slots required for thread ids, loop-carried classification and\n\
          race detection\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E8b — the full communication-topology suite: the paper's Figure 9
 /// method applied to four kernels with known, distinct topologies
 /// (ring, 2-D grid, all-to-all, rotating broadcast). Each matrix is
 /// derived purely from the profiler's cross-thread RAW records.
-pub fn comm_suite(cfg: ExpConfig) -> String {
+pub fn comm_suite(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let nthreads = 6u32;
     let mut out = String::from(
         "Communication-topology suite (E8b): Figure 9's method across four kernels\n\n",
     );
+    let mut rows = Vec::new();
     for w in splash::comm_suite(cfg.wl_scale(), nthreads) {
         let ample = (w.program.address_footprint() as usize * 64).next_power_of_two();
-        let r = mt_profile(&w, perf_cfg(8, ample)).value;
-        let m = dp_analysis::communication_matrix(&r, nthreads as usize + 1);
+        let r = mt_profile(&w, perf_cfg(8, ample));
+        let m = dp_analysis::communication_matrix(&r.value, nthreads as usize + 1);
         out.push_str(&format!(
             "== {} (total cross-thread volume {}) ==\n{}\n",
             w.meta.name,
             m.total(),
             m.render_ascii()
         ));
+        rows.push(perf_row(&w.meta.name, &r).check("cross_thread_volume", m.total()));
     }
-    out
+    ScenarioOutput { text: out, rows, summary_events_per_sec: None }
 }
 
 /// E13d — set-based (section-level) profiling vs. statement-level detail
@@ -779,11 +956,13 @@ pub fn comm_suite(cfg: ExpConfig) -> String {
 /// improved by performing set-based profiling, which tells whether a data
 /// dependence exists between two code sections instead of two statements
 /// ... all these optimizations will decrease the generality").
-pub fn ablate_sections(cfg: ExpConfig) -> String {
+pub fn ablate_sections(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let w = &starbench_suite(cfg.wl_scale())[10]; // h264dec: most statements
     let events = record_events(w);
     let m = cfg.perf_slots();
     let mut t = Table::new(&["granularity", "time ms", "distinct deps", "store KB"]);
+    let mut rows = Vec::new();
     for (label, shift) in
         [("statement (paper)", 0u8), ("section: 16 lines", 4), ("section: 256 lines", 8)]
     {
@@ -801,13 +980,19 @@ pub fn ablate_sections(cfg: ExpConfig) -> String {
             r.value.stats.deps_merged.to_string(),
             format!("{:.1}", r.value.memory.dep_store as f64 / 1e3),
         ]);
+        rows.push(
+            perf_row(format!("shift={shift}"), &r)
+                .check("deps_merged", r.value.stats.deps_merged)
+                .check("dep_store_bytes", r.value.memory.dep_store),
+        );
     }
-    format!(
+    let text = format!(
         "Set-based profiling ablation (E13d) on h264dec: coarser sections shrink\n\
          the dependence store at the cost of the statement-level detail most\n\
          analyses need — the generality/speed trade-off the paper declines\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E14 — signature vs. SD3-style stride compression: the paper's primary
@@ -815,10 +1000,12 @@ pub fn ablate_sections(cfg: ExpConfig) -> String {
 /// signature is input-oblivious; stride compression shines on affine
 /// walks and degenerates on irregular access, and it gives up timestamps
 /// (no loop-carried classification / race detection).
-pub fn ablate_sd3(cfg: ExpConfig) -> String {
+pub fn ablate_sd3(ctx: &ScenarioCtx) -> ScenarioOutput {
     use dp_sig::StrideStore;
+    let cfg = ExpConfig::from(ctx);
     let mut t =
         Table::new(&["workload", "store", "time ms", "store memory KB", "dep FPR %", "dep FNR %"]);
+    let mut rows = Vec::new();
     let strided = &starbench_suite(cfg.wl_scale())[5]; // rotate: affine walks
     let n_rand = ((50_000.0 * cfg.scale) as u64).max(5_000);
     let random = synth::uniform(n_rand, n_rand * 8);
@@ -847,34 +1034,43 @@ pub fn ablate_sd3(cfg: ExpConfig) -> String {
                 format!("{:.2}", acc.fpr()),
                 format!("{:.2}", acc.fnr()),
             ]);
+            rows.push(
+                perf_row(format!("{label}/{store}"), run)
+                    .check("fpr", format!("{:.2}", acc.fpr()))
+                    .check("fnr", format!("{:.2}", acc.fnr())),
+            );
         }
     }
-    format!(
+    let text = format!(
         "Signature vs. SD3-style stride compression (E14)\n\
          (Section II: SD3 \"reduces the memory overhead by compressing strided\n\
          accesses using a finite state machine\"; the signature is\n\
          application-oblivious — the paper's central design argument)\n\n{}",
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: None }
 }
 
 /// E15 / SPSC transport comparison — profiles sequential MiniVM
-/// workloads end-to-end over all three per-worker transports (SPSC ring,
-/// lock-free MPMC, lock-based) with 4 workers, checks that the merged
-/// dependence sets are bit-identical, and (when `out` is given) writes a
-/// machine-readable `BENCH_spsc.json` with the throughput numbers.
-pub fn spsc(cfg: ExpConfig, out: Option<&str>) -> String {
+/// workloads end-to-end over the recipe's transport matrix (default:
+/// SPSC ring, lock-free MPMC, lock-based) and checks that the merged
+/// dependence sets are bit-identical across transports. The summary
+/// events/sec over the first transport is what `dp-bench gate` tracks.
+pub fn spsc(ctx: &ScenarioCtx) -> ScenarioOutput {
+    let cfg = ExpConfig::from(ctx);
     let slots = cfg.perf_slots();
-    let kinds = [TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock];
-    let mut t = Table::new(&[
-        "program",
-        "native ms",
-        "spsc Mev/s",
-        "lock-free Mev/s",
-        "lock-based Mev/s",
-        "spsc/mpmc",
-        "deps identical",
-    ]);
+    let workers = ctx.primary_workers();
+    let kinds: Vec<TransportKind> = if ctx.transports.is_empty() {
+        vec![TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock]
+    } else {
+        ctx.transports.clone()
+    };
+    let mut header: Vec<String> = vec!["program".into(), "native ms".into()];
+    header.extend(kinds.iter().map(|k| format!("{} Mev/s", k.name())));
+    header.push("first/second".into());
+    header.push("deps identical".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
     let suite: Vec<Workload> = if cfg.quick {
         nas_suite(cfg.wl_scale())
             .into_iter()
@@ -884,83 +1080,54 @@ pub fn spsc(cfg: ExpConfig, out: Option<&str>) -> String {
     } else {
         nas_suite(cfg.wl_scale()).into_iter().chain(starbench_suite(cfg.wl_scale())).collect()
     };
-    let mut json_rows = Vec::new();
+    let mut rows = Vec::new();
     let mut speedup_sum = 0.0f64;
+    let mut primary_events = 0u64;
+    let mut primary_secs = 0.0f64;
     for w in &suite {
         let base = native_seq(w);
-        let mut elapsed = [0.0f64; 3];
-        let mut rates = [0.0f64; 3];
-        let mut events = 0u64;
-        let mut sets: Vec<Vec<_>> = Vec::with_capacity(3);
+        let mut elapsed = vec![0.0f64; kinds.len()];
+        let mut rates = vec![0.0f64; kinds.len()];
+        let mut sets: Vec<Vec<_>> = Vec::with_capacity(kinds.len());
+        let mut runs = Vec::with_capacity(kinds.len());
         for (i, &k) in kinds.iter().enumerate() {
-            let r = parallel_with(w, perf_cfg(4, slots), k);
-            events = r.value.stats.accesses;
+            let r = parallel_with(w, perf_cfg(workers, slots), k);
             elapsed[i] = r.elapsed.as_secs_f64();
-            rates[i] = events as f64 / elapsed[i] / 1e6;
+            rates[i] = r.value.stats.accesses as f64 / elapsed[i] / 1e6;
             let mut set: Vec<_> = r.value.deps.dependences().map(|(d, e)| (d, e.count)).collect();
             set.sort();
             sets.push(set);
+            runs.push(r);
         }
-        let identical = sets[0] == sets[1] && sets[1] == sets[2];
-        let speedup = elapsed[1] / elapsed[0];
+        let identical = sets.windows(2).all(|w| w[0] == w[1]);
+        let speedup = if kinds.len() > 1 { elapsed[1] / elapsed[0] } else { 1.0 };
         speedup_sum += speedup;
-        t.row(&[
-            w.meta.name.clone(),
-            format!("{:.1}", base.as_secs_f64() * 1e3),
-            format!("{:.2}", rates[0]),
-            format!("{:.2}", rates[1]),
-            format!("{:.2}", rates[2]),
-            times(speedup),
-            if identical { "yes".into() } else { "NO".into() },
-        ]);
-        let transports: Vec<String> = kinds
-            .iter()
-            .zip(rates)
-            .zip(elapsed)
-            .map(|((k, rate), el)| {
-                format!(
-                    "{{\"kind\":\"{}\",\"ms\":{:.3},\"events_per_sec\":{:.0}}}",
-                    k.name(),
-                    el * 1e3,
-                    rate * 1e6
-                )
-            })
-            .collect();
-        json_rows.push(format!(
-            "    {{\"name\":\"{}\",\"events\":{},\"native_ms\":{:.3},\"identical_deps\":{},\n     \"transports\":[{}]}}",
-            w.meta.name,
-            events,
-            base.as_secs_f64() * 1e3,
-            identical,
-            transports.join(",")
-        ));
+        primary_events += runs[0].value.stats.accesses;
+        primary_secs += elapsed[0];
+        let mut cells = vec![w.meta.name.clone(), format!("{:.1}", base.as_secs_f64() * 1e3)];
+        cells.extend(rates.iter().map(|r| format!("{r:.2}")));
+        cells.push(times(speedup));
+        cells.push(if identical { "yes".into() } else { "NO".into() });
+        t.row(&cells);
+        for (k, r) in kinds.iter().zip(&runs) {
+            rows.push(
+                perf_row(format!("{}/{}", w.meta.name, k.name()), r)
+                    .check("identical_deps", identical),
+            );
+        }
     }
     let avg_speedup = speedup_sum / suite.len() as f64;
-    let json = format!(
-        "{{\n  \"experiment\": \"spsc-transport-comparison\",\n  \"scale\": {},\n  \"quick\": {},\n  \"workers\": 4,\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\"avg_spsc_vs_mpmc_speedup\": {:.3}}}\n}}\n",
-        cfg.scale,
-        cfg.quick,
-        json_rows.join(",\n"),
-        avg_speedup
-    );
-    let mut note = String::new();
-    if let Some(path) = out {
-        // Atomic temp-file + rename: an interrupted bench run never
-        // leaves a truncated JSON artifact for dashboards to choke on.
-        match dp_types::wire::atomic_write(std::path::Path::new(path), json.as_bytes()) {
-            Ok(()) => note = format!("\n(JSON written to {path})"),
-            Err(e) => note = format!("\n(failed to write {path}: {e})"),
-        }
-    }
-    format!(
-        "SPSC transport comparison (E15): sequential targets, 4 workers\n\
+    let summary =
+        if primary_secs > 0.0 { Some(primary_events as f64 / primary_secs) } else { None };
+    let text = format!(
+        "SPSC transport comparison (E15): sequential targets, {workers} workers\n\
          (same engine, same signatures; only the per-worker channel differs,\n\
          so the throughput gap is the transport's synchronization cost.\n\
-         avg spsc vs lock-free speedup: {}){}\n\n{}",
+         avg first-vs-second transport speedup: {})\n\n{}",
         times(avg_speedup),
-        note,
         t.render()
-    )
+    );
+    ScenarioOutput { text, rows, summary_events_per_sec: summary }
 }
 
 // ---------------------------------------------------------------------
@@ -1049,14 +1216,16 @@ fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
 
 /// E16: `dp-server` throughput over loopback TCP — aggregate events/sec
 /// and `Sync` round-trip latency (p50/p99) as the concurrent client
-/// count grows. Every client streams the same recorded trace into its
-/// own session, so the engine work scales with the client count while
-/// the accept loop, session cap and per-connection threads are shared.
-pub fn server_throughput(cfg: ExpConfig, out: Option<&str>) -> String {
+/// count grows (the recipe's `matrix.clients` axis). Every client
+/// streams the same recorded trace into its own session, so the engine
+/// work scales with the client count while the accept loop, session cap
+/// and per-connection threads are shared.
+pub fn server_throughput(ctx: &ScenarioCtx) -> ScenarioOutput {
     use dp_server::{Server, ServerConfig};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
+    let cfg = ExpConfig::from(ctx);
     // One recorded workload, shared by every client in every round.
     let w = &starbench_suite(cfg.wl_scale())[0];
     let mut collect = CollectTracer::new();
@@ -1066,15 +1235,17 @@ pub fn server_throughput(cfg: ExpConfig, out: Option<&str>) -> String {
         .map(|i| w.program.interner.resolve(i as u32).to_owned())
         .collect();
 
-    let client_counts: &[usize] = if cfg.quick { &[1, 4] } else { &[1, 4, 16] };
+    let client_counts: Vec<usize> =
+        if ctx.clients.is_empty() { vec![1, 4] } else { ctx.clients.clone() };
     let sync_every = 8;
 
     static STOP: AtomicBool = AtomicBool::new(false);
 
     let mut t =
         Table::new(&["clients", "events total", "wall ms", "Mev/s", "sync p50 us", "sync p99 us"]);
-    let mut json_rows = Vec::new();
-    for &n in client_counts {
+    let mut rows = Vec::new();
+    let mut best_evps = 0.0f64;
+    for &n in &client_counts {
         STOP.store(false, Ordering::SeqCst);
         let server = Server::bind_tcp(
             "127.0.0.1:0",
@@ -1103,6 +1274,7 @@ pub fn server_throughput(cfg: ExpConfig, out: Option<&str>) -> String {
         rtts.sort();
         let total_events = events.len() as u64 * n as u64;
         let evps = total_events as f64 / wall.as_secs_f64();
+        best_evps = best_evps.max(evps);
         let p50 = percentile_us(&rtts, 0.50);
         let p99 = percentile_us(&rtts, 0.99);
         t.row(&[
@@ -1113,114 +1285,86 @@ pub fn server_throughput(cfg: ExpConfig, out: Option<&str>) -> String {
             format!("{p50:.1}"),
             format!("{p99:.1}"),
         ]);
-        json_rows.push(format!(
-            "    {{\"clients\":{},\"events_total\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.0},\"sync_rtt_p50_us\":{:.1},\"sync_rtt_p99_us\":{:.1},\"sync_samples\":{}}}",
-            n,
-            total_events,
-            wall.as_secs_f64() * 1e3,
-            evps,
-            p50,
-            p99,
-            rtts.len()
-        ));
+        let mut row = MetricRow::new(format!("clients={n}"));
+        row.events = Some(total_events);
+        row.wall_ms = Some(wall.as_secs_f64() * 1e3);
+        row.events_per_sec = Some(evps);
+        row.rtt_p50_us = Some(p50);
+        row.rtt_p99_us = Some(p99);
+        rows.push(row.check("sync_samples", rtts.len()));
     }
 
-    let json = format!(
-        "{{\n  \"experiment\": \"server-throughput\",\n  \"scale\": {},\n  \"quick\": {},\n  \"workload\": \"{}\",\n  \"sync_every_chunks\": {},\n  \"rounds\": [\n{}\n  ]\n}}\n",
-        cfg.scale,
-        cfg.quick,
-        w.meta.name,
-        sync_every,
-        json_rows.join(",\n")
-    );
-    let mut note = String::new();
-    if let Some(path) = out {
-        match dp_types::wire::atomic_write(std::path::Path::new(path), json.as_bytes()) {
-            Ok(()) => note = format!("\n(JSON written to {path})"),
-            Err(e) => note = format!("\n(failed to write {path}: {e})"),
-        }
-    }
-    format!(
+    let text = format!(
         "Server throughput (E16): {} over loopback TCP, one session per client\n\
          (aggregate ingest rate and Sync round-trip latency; each client\n\
-         streams the same recorded trace into its own serial engine){}\n\n{}",
+         streams the same recorded trace into its own serial engine)\n\n{}",
         w.meta.name,
-        note,
         t.render()
-    )
-}
-
-/// Runs every experiment in order.
-pub fn all(cfg: ExpConfig) -> String {
-    [
-        table1(cfg),
-        formula2(cfg),
-        fig5(cfg),
-        fig6(cfg),
-        fig7(cfg),
-        fig8(cfg),
-        table2(cfg),
-        fig9(cfg),
-        comm_suite(cfg),
-        merge(cfg),
-        ablate_hash(cfg),
-        races(cfg),
-        ablate_chunk(cfg),
-        ablate_redist(cfg),
-        ablate_slots(cfg),
-        ablate_sections(cfg),
-        ablate_sd3(cfg),
-        spsc(cfg, None),
-        server_throughput(cfg, None),
-    ]
-    .join("\n\n============================================================\n\n")
+    );
+    let summary = if best_evps > 0.0 { Some(best_evps) } else { None };
+    ScenarioOutput { text, rows, summary_events_per_sec: summary }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn tiny() -> ExpConfig {
-        ExpConfig { scale: 0.02, quick: true }
+    fn tiny() -> ScenarioCtx {
+        ScenarioCtx {
+            recipe: "tiny".into(),
+            scale: 0.02,
+            quick: true,
+            seed: 42,
+            workers: vec![4, 8],
+            transports: vec![TransportKind::Spsc, TransportKind::Mpmc, TransportKind::Lock],
+            clients: vec![1, 2],
+        }
     }
 
     #[test]
     fn table2_matches_paper_at_tiny_scale() {
-        let s = table2(tiny());
+        let s = table2(&tiny());
         let overall: Vec<&str> =
-            s.lines().find(|l| l.contains("Overall")).unwrap().split_whitespace().collect();
-        assert_eq!(overall, ["Overall", "147", "136", "136", "0"], "{s}");
+            s.text.lines().find(|l| l.contains("Overall")).unwrap().split_whitespace().collect();
+        assert_eq!(overall, ["Overall", "147", "136", "136", "0"], "{}", s.text);
+        assert_eq!(s.rows.len(), 8, "one row per NAS program");
     }
 
     #[test]
-    fn formula2_runs() {
-        let s = formula2(tiny());
-        assert!(s.contains("predicted"));
+    fn formula2_runs_and_rows_are_deterministic() {
+        let a = formula2(&tiny());
+        let b = formula2(&tiny());
+        assert!(a.text.contains("predicted"));
+        assert_eq!(a.rows.len(), 7);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.checks, rb.checks, "same seed must reproduce accuracy numbers");
+        }
+        // A different seed permutes the stream; the rows still parse.
+        let mut other = tiny();
+        other.seed = 1979;
+        assert_eq!(formula2(&other).rows.len(), 7);
     }
 
     #[test]
     fn fig9_shows_neighbour_traffic() {
-        let s = fig9(tiny());
-        assert!(s.contains("t1 -> t2") || s.contains("t2 -> t1"), "{s}");
+        let s = fig9(&tiny());
+        assert!(s.text.contains("t1 -> t2") || s.text.contains("t2 -> t1"), "{}", s.text);
     }
 
     #[test]
     fn merge_factors_large() {
-        let s = merge(tiny());
-        assert!(s.contains("BT"));
+        let s = merge(&tiny());
+        assert!(s.text.contains("BT"));
+        assert!(s.rows.iter().all(|r| r.checks.contains_key("merge_factor")));
     }
 
     #[test]
-    fn spsc_comparison_deps_identical_and_json_wellformed() {
-        let dir = std::env::temp_dir().join("depprof-spsc-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("BENCH_spsc.json");
-        let s = spsc(tiny(), Some(path.to_str().unwrap()));
-        assert!(!s.contains("NO"), "dependence sets diverged across transports:\n{s}");
-        let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("\"experiment\": \"spsc-transport-comparison\""));
-        assert!(json.contains("\"kind\":\"spsc\""));
-        assert!(json.contains("\"identical_deps\":true"));
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    fn spsc_comparison_deps_identical_and_summary_present() {
+        let s = spsc(&tiny());
+        assert!(!s.text.contains("NO"), "dependence sets diverged across transports:\n{}", s.text);
+        assert!(s.rows.iter().all(|r| r.checks["identical_deps"] == "true"));
+        assert!(s.summary_events_per_sec.unwrap() > 0.0);
+        // 4 quick workloads × 3 transports
+        assert_eq!(s.rows.len(), 12);
     }
 }

@@ -1,0 +1,175 @@
+//! The regression gate: compares a fresh run's headline throughput
+//! against a committed baseline and decides pass/fail.
+//!
+//! The comparison is deliberately one-dimensional — summary events/sec,
+//! with a generous percentage threshold — because quick-recipe runs on
+//! shared CI runners are noisy. Non-timing drift (different event
+//! counts, changed checks) is reported but does not fail the gate; the
+//! deterministic fields are already pinned by unit tests.
+
+use crate::result::BenchResult;
+use std::fmt;
+
+/// Typed gate failure (configuration/input errors — *not* a regression;
+/// regressions are a [`GateReport`] with `pass == false`).
+#[derive(Debug)]
+pub enum GateError {
+    /// Baseline and current results come from different recipes.
+    RecipeMismatch {
+        /// Recipe the baseline was produced from.
+        baseline: String,
+        /// Recipe of the fresh result.
+        current: String,
+    },
+    /// The baseline has no summary events/sec to compare against.
+    NoBaselineSummary(String),
+    /// The fresh run produced no summary events/sec.
+    NoCurrentSummary(String),
+    /// Threshold must be a positive finite percentage.
+    BadThreshold(f64),
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::RecipeMismatch { baseline, current } => write!(
+                f,
+                "baseline is from recipe '{baseline}' but current result is from '{current}'"
+            ),
+            GateError::NoBaselineSummary(r) => {
+                write!(f, "baseline for recipe '{r}' has no summary events/sec to gate on")
+            }
+            GateError::NoCurrentSummary(r) => {
+                write!(f, "fresh run of recipe '{r}' produced no summary events/sec")
+            }
+            GateError::BadThreshold(t) => {
+                write!(f, "threshold must be a positive percentage, got {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// The gate's verdict for one baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Recipe under test.
+    pub recipe: String,
+    /// Baseline summary events/sec.
+    pub baseline_events_per_sec: f64,
+    /// Fresh summary events/sec.
+    pub current_events_per_sec: f64,
+    /// Relative change in percent (negative = slower than baseline).
+    pub delta_pct: f64,
+    /// Allowed regression in percent.
+    pub threshold_pct: f64,
+    /// Whether the gate passes.
+    pub pass: bool,
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate {}: baseline {:.0} ev/s, current {:.0} ev/s, delta {:+.1}% \
+             (threshold -{:.1}%) -> {}",
+            self.recipe,
+            self.baseline_events_per_sec,
+            self.current_events_per_sec,
+            self.delta_pct,
+            self.threshold_pct,
+            if self.pass { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Compares a fresh result against a baseline: fails when throughput
+/// dropped by more than `threshold_pct` percent. Improvements and
+/// within-threshold noise pass.
+pub fn compare(
+    baseline: &BenchResult,
+    current: &BenchResult,
+    threshold_pct: f64,
+) -> Result<GateReport, GateError> {
+    if !threshold_pct.is_finite() || threshold_pct <= 0.0 {
+        return Err(GateError::BadThreshold(threshold_pct));
+    }
+    if baseline.recipe != current.recipe {
+        return Err(GateError::RecipeMismatch {
+            baseline: baseline.recipe.clone(),
+            current: current.recipe.clone(),
+        });
+    }
+    let base = baseline
+        .summary_events_per_sec
+        .filter(|v| *v > 0.0)
+        .ok_or_else(|| GateError::NoBaselineSummary(baseline.recipe.clone()))?;
+    let cur = current
+        .summary_events_per_sec
+        .filter(|v| *v > 0.0)
+        .ok_or_else(|| GateError::NoCurrentSummary(current.recipe.clone()))?;
+    let delta_pct = (cur - base) / base * 100.0;
+    Ok(GateReport {
+        recipe: current.recipe.clone(),
+        baseline_events_per_sec: base,
+        current_events_per_sec: cur,
+        delta_pct,
+        threshold_pct,
+        pass: delta_pct >= -threshold_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::SCHEMA_VERSION;
+
+    fn result(recipe: &str, rate: Option<f64>) -> BenchResult {
+        BenchResult {
+            schema_version: SCHEMA_VERSION,
+            recipe: recipe.into(),
+            scenario: "spsc".into(),
+            git_rev: "abc1234".into(),
+            seed: 42,
+            scale: 0.02,
+            quick: true,
+            rows: vec![],
+            summary_events_per_sec: rate,
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes_beyond_fails() {
+        let base = result("spsc-quick", Some(1_000_000.0));
+        // 40% drop under a 50% threshold: pass.
+        let ok = compare(&base, &result("spsc-quick", Some(600_000.0)), 50.0).unwrap();
+        assert!(ok.pass, "{ok}");
+        // 60% drop: fail.
+        let bad = compare(&base, &result("spsc-quick", Some(400_000.0)), 50.0).unwrap();
+        assert!(!bad.pass, "{bad}");
+        assert!((bad.delta_pct - -60.0).abs() < 1e-9);
+        // Improvements always pass.
+        let fast = compare(&base, &result("spsc-quick", Some(5_000_000.0)), 50.0).unwrap();
+        assert!(fast.pass);
+    }
+
+    #[test]
+    fn typed_errors() {
+        let base = result("spsc-quick", Some(1.0));
+        assert!(matches!(
+            compare(&base, &result("server-quick", Some(1.0)), 50.0),
+            Err(GateError::RecipeMismatch { .. })
+        ));
+        assert!(matches!(
+            compare(&result("r", None), &result("r", Some(1.0)), 50.0),
+            Err(GateError::NoBaselineSummary(_))
+        ));
+        assert!(matches!(
+            compare(&base, &result("spsc-quick", None), 50.0),
+            Err(GateError::NoCurrentSummary(_))
+        ));
+        assert!(matches!(compare(&base, &base, 0.0), Err(GateError::BadThreshold(_))));
+        assert!(matches!(compare(&base, &base, f64::NAN), Err(GateError::BadThreshold(_))));
+    }
+}

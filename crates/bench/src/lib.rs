@@ -1,16 +1,35 @@
-//! `dp-bench` — experiment harness and shared measurement helpers.
+//! `dp-bench` — recipe-driven benchmark harness.
 //!
-//! The `experiments` binary (`src/bin/experiments.rs`) regenerates every
-//! table and figure of the paper; Criterion microbenchmarks live under
-//! `benches/`. This library holds the pieces both share: timing helpers,
-//! table formatting, and the canonical experiment configurations
-//! (signature sizes, worker counts, workload scales) so that the numbers
-//! in EXPERIMENTS.md are reproducible from one place.
+//! The harness is split the way the ROADMAP's CI direction asks for:
+//!
+//! * [`recipe`] — declarative TOML recipes (`crates/bench/recipes/`)
+//!   naming a scenario, workload, scale, matrix, and quick overrides;
+//! * [`scenario`] — the [`scenario::Scenario`] trait and the E1–E16
+//!   registry; the measurement code itself lives in [`experiments`];
+//! * [`runner`] — executes recipes (warmup, repetitions, best-of
+//!   merging, git-rev stamping) into versioned results;
+//! * [`result`] — the `BenchResult` v1 JSON schema every `BENCH_*.json`
+//!   artifact uses;
+//! * [`report`] — text/JSON/markdown rendering and `diff`;
+//! * [`gate`] — the CI regression gate comparing fresh runs against
+//!   committed baselines.
+//!
+//! The `dp-bench` binary (`src/bin/dp_bench.rs`) wires these into
+//! `run`/`run-all`/`list`/`diff`/`gate` subcommands. Criterion
+//! microbenchmarks live under `benches/`; [`fmt`] and [`measure`] hold
+//! the helpers both share.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod fmt;
+pub mod gate;
+pub mod json;
 pub mod measure;
+pub mod recipe;
+pub mod report;
+pub mod result;
+pub mod runner;
+pub mod scenario;
 
 pub use measure::{time, Timed};

@@ -1,0 +1,635 @@
+//! Benchmark recipes: what to run, at which scale, over which matrix.
+//!
+//! A [`Recipe`] is declared in a TOML file under `crates/bench/recipes/`
+//! and names a registered scenario (E1–E16), a workload family, a scale,
+//! repetition/warmup counts, a deterministic seed, and an
+//! engine/transport/worker matrix. An optional `[quick]` table overrides
+//! scale and repetitions for CI smoke runs (`--quick`).
+//!
+//! The workspace is offline, so the parser below implements the TOML
+//! subset the recipes need — `key = value` pairs (strings, integers,
+//! floats, booleans, homogeneous arrays), one level of `[tables]`, and
+//! `#` comments — with typed errors. Unknown fields are rejected so a
+//! typo in a recipe fails loudly instead of silently running defaults.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Engines a recipe matrix may request.
+pub const ENGINES: &[&str] = &["serial", "parallel", "mt"];
+/// Transports a recipe matrix may request.
+pub const TRANSPORTS: &[&str] = &["spsc", "mpmc", "lock"];
+/// Workload families a recipe may name.
+pub const WORKLOADS: &[&str] = &["nas", "starbench", "mixed", "splash", "synthetic"];
+
+/// A declarative benchmark recipe (one TOML file).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recipe {
+    /// Unique recipe name (also the `recipe` field of results).
+    pub name: String,
+    /// Registered scenario id (e.g. `spsc`, `table1`).
+    pub scenario: String,
+    /// Workload family the scenario draws from.
+    pub workload: String,
+    /// Workload scale multiplier (1.0 = default minis).
+    pub scale: f64,
+    /// Timed repetitions; the best (min wall / max rate) is reported.
+    pub repetitions: u32,
+    /// Untimed warmup runs before the repetitions.
+    pub warmup: u32,
+    /// Deterministic seed threaded to the scenario.
+    pub seed: u64,
+    /// Engine / transport / worker / client matrix.
+    pub matrix: Matrix,
+    /// Overrides applied when running with `--quick`.
+    pub quick: QuickOverride,
+}
+
+/// The execution matrix of a recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Engines to exercise (`serial` / `parallel` / `mt`).
+    pub engines: Vec<String>,
+    /// Transports to exercise (`spsc` / `mpmc` / `lock`).
+    pub transports: Vec<String>,
+    /// Profiling worker counts.
+    pub workers: Vec<usize>,
+    /// Concurrent client counts (server scenarios).
+    pub clients: Vec<usize>,
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix {
+            engines: vec!["parallel".into()],
+            transports: vec!["spsc".into()],
+            workers: vec![4],
+            clients: vec![1],
+        }
+    }
+}
+
+/// The `[quick]` override table of a recipe.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuickOverride {
+    /// Scale used under `--quick` (defaults to min(scale, 0.05)).
+    pub scale: Option<f64>,
+    /// Repetitions used under `--quick` (defaults to 1).
+    pub repetitions: Option<u32>,
+    /// Client counts used under `--quick` (defaults to the matrix's).
+    pub clients: Option<Vec<usize>>,
+}
+
+/// Typed recipe failure.
+#[derive(Debug)]
+pub enum RecipeError {
+    /// TOML syntax error with a 1-based line number.
+    Syntax {
+        /// Line the parser choked on.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A field the schema does not know (typo guard).
+    UnknownField(String),
+    /// A required field is missing.
+    MissingField(&'static str),
+    /// The matrix names an unknown engine/transport or an empty/zero axis.
+    InvalidMatrix(String),
+    /// The top-level `scenario`/`workload` value is not recognized.
+    InvalidValue {
+        /// Offending field.
+        field: &'static str,
+        /// Offending value.
+        value: String,
+    },
+    /// Filesystem error while loading.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RecipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecipeError::Syntax { line, msg } => write!(f, "TOML syntax error, line {line}: {msg}"),
+            RecipeError::UnknownField(k) => write!(f, "unknown recipe field '{k}'"),
+            RecipeError::MissingField(k) => write!(f, "missing required recipe field '{k}'"),
+            RecipeError::InvalidMatrix(m) => write!(f, "invalid matrix: {m}"),
+            RecipeError::InvalidValue { field, value } => {
+                write!(f, "invalid value '{value}' for recipe field '{field}'")
+            }
+            RecipeError::Io(e) => write!(f, "recipe I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecipeError {}
+
+impl From<std::io::Error> for RecipeError {
+    fn from(e: std::io::Error) -> Self {
+        RecipeError::Io(e)
+    }
+}
+
+// ------------------------------------------------------------- TOML subset
+
+/// A parsed TOML value (subset: scalars + homogeneous scalar arrays).
+#[derive(Debug, Clone, PartialEq)]
+enum TomlValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Arr(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Arr(_) => "array",
+        }
+    }
+}
+
+/// `(table, key) -> value` pairs; the root table uses `""`.
+type TomlDoc = Vec<(String, String, TomlValue)>;
+
+fn parse_toml(src: &str) -> Result<TomlDoc, RecipeError> {
+    let mut doc = Vec::new();
+    let mut table = String::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest.strip_suffix(']').ok_or(RecipeError::Syntax {
+                line: line_no,
+                msg: "unterminated table header".into(),
+            })?;
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(RecipeError::Syntax {
+                    line: line_no,
+                    msg: format!("bad table name '{name}'"),
+                });
+            }
+            table = name.to_string();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or(RecipeError::Syntax { line: line_no, msg: "expected 'key = value'".into() })?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(RecipeError::Syntax { line: line_no, msg: format!("bad key '{key}'") });
+        }
+        let value = parse_value(value.trim(), line_no)?;
+        doc.push((table.clone(), key.to_string(), value));
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, respecting `"..."` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(s: &str, line: usize) -> Result<TomlValue, RecipeError> {
+    let syntax = |msg: String| RecipeError::Syntax { line, msg };
+    if let Some(rest) = s.strip_prefix('"') {
+        let inner = rest.strip_suffix('"').ok_or_else(|| syntax("unterminated string".into()))?;
+        if inner.contains('"') {
+            return Err(syntax("embedded quote in string".into()));
+        }
+        return Ok(TomlValue::Str(inner.to_string()));
+    }
+    if let Some(rest) = s.strip_prefix('[') {
+        let inner = rest.strip_suffix(']').ok_or_else(|| syntax("unterminated array".into()))?;
+        let mut items = Vec::new();
+        let inner = inner.trim();
+        if !inner.is_empty() {
+            for part in inner.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue; // tolerate a trailing comma
+                }
+                match parse_value(part, line)? {
+                    TomlValue::Arr(_) => return Err(syntax("nested arrays unsupported".into())),
+                    v => items.push(v),
+                }
+            }
+        }
+        return Ok(TomlValue::Arr(items));
+    }
+    match s {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(TomlValue::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Ok(TomlValue::Float(f));
+    }
+    Err(syntax(format!("cannot parse value '{s}'")))
+}
+
+// ------------------------------------------------------------ field access
+
+fn want_str(v: &TomlValue, field: &'static str) -> Result<String, RecipeError> {
+    match v {
+        TomlValue::Str(s) => Ok(s.clone()),
+        other => {
+            Err(RecipeError::InvalidValue { field, value: format!("<{}>", other.type_name()) })
+        }
+    }
+}
+
+fn want_f64(v: &TomlValue, field: &'static str) -> Result<f64, RecipeError> {
+    match v {
+        TomlValue::Float(f) => Ok(*f),
+        TomlValue::Int(i) => Ok(*i as f64),
+        other => {
+            Err(RecipeError::InvalidValue { field, value: format!("<{}>", other.type_name()) })
+        }
+    }
+}
+
+fn want_u32(v: &TomlValue, field: &'static str) -> Result<u32, RecipeError> {
+    match v {
+        TomlValue::Int(i) if *i >= 0 && *i <= u32::MAX as i64 => Ok(*i as u32),
+        other => {
+            Err(RecipeError::InvalidValue { field, value: format!("<{}>", other.type_name()) })
+        }
+    }
+}
+
+fn want_u64(v: &TomlValue, field: &'static str) -> Result<u64, RecipeError> {
+    match v {
+        TomlValue::Int(i) if *i >= 0 => Ok(*i as u64),
+        other => {
+            Err(RecipeError::InvalidValue { field, value: format!("<{}>", other.type_name()) })
+        }
+    }
+}
+
+fn want_str_arr(v: &TomlValue, field: &'static str) -> Result<Vec<String>, RecipeError> {
+    match v {
+        TomlValue::Arr(items) => items.iter().map(|i| want_str(i, field)).collect(),
+        other => {
+            Err(RecipeError::InvalidValue { field, value: format!("<{}>", other.type_name()) })
+        }
+    }
+}
+
+fn want_usize_arr(v: &TomlValue, field: &'static str) -> Result<Vec<usize>, RecipeError> {
+    match v {
+        TomlValue::Arr(items) => items
+            .iter()
+            .map(|i| match i {
+                TomlValue::Int(n) if *n >= 0 => Ok(*n as usize),
+                other => Err(RecipeError::InvalidValue {
+                    field,
+                    value: format!("<{}>", other.type_name()),
+                }),
+            })
+            .collect(),
+        other => {
+            Err(RecipeError::InvalidValue { field, value: format!("<{}>", other.type_name()) })
+        }
+    }
+}
+
+// ----------------------------------------------------------------- Recipe
+
+impl Recipe {
+    /// Parses a recipe from TOML source, rejecting unknown fields and
+    /// validating the matrix.
+    pub fn from_toml_str(src: &str) -> Result<Recipe, RecipeError> {
+        let doc = parse_toml(src)?;
+        let mut name = None;
+        let mut scenario = None;
+        let mut workload = None;
+        let mut scale = 0.25f64;
+        let mut repetitions = 1u32;
+        let mut warmup = 0u32;
+        let mut seed = 42u64;
+        let mut matrix = Matrix::default();
+        let mut quick = QuickOverride::default();
+        for (table, key, value) in &doc {
+            match (table.as_str(), key.as_str()) {
+                ("", "name") => name = Some(want_str(value, "name")?),
+                ("", "scenario") => scenario = Some(want_str(value, "scenario")?),
+                ("", "workload") => workload = Some(want_str(value, "workload")?),
+                ("", "scale") => scale = want_f64(value, "scale")?,
+                ("", "repetitions") => repetitions = want_u32(value, "repetitions")?,
+                ("", "warmup") => warmup = want_u32(value, "warmup")?,
+                ("", "seed") => seed = want_u64(value, "seed")?,
+                ("matrix", "engines") => matrix.engines = want_str_arr(value, "matrix.engines")?,
+                ("matrix", "transports") => {
+                    matrix.transports = want_str_arr(value, "matrix.transports")?
+                }
+                ("matrix", "workers") => matrix.workers = want_usize_arr(value, "matrix.workers")?,
+                ("matrix", "clients") => matrix.clients = want_usize_arr(value, "matrix.clients")?,
+                ("quick", "scale") => quick.scale = Some(want_f64(value, "quick.scale")?),
+                ("quick", "repetitions") => {
+                    quick.repetitions = Some(want_u32(value, "quick.repetitions")?)
+                }
+                ("quick", "clients") => {
+                    quick.clients = Some(want_usize_arr(value, "quick.clients")?)
+                }
+                ("", k) => return Err(RecipeError::UnknownField(k.to_string())),
+                (t, k) => return Err(RecipeError::UnknownField(format!("{t}.{k}"))),
+            }
+        }
+        let r = Recipe {
+            name: name.ok_or(RecipeError::MissingField("name"))?,
+            scenario: scenario.ok_or(RecipeError::MissingField("scenario"))?,
+            workload: workload.ok_or(RecipeError::MissingField("workload"))?,
+            scale,
+            repetitions,
+            warmup,
+            seed,
+            matrix,
+            quick,
+        };
+        r.validate()?;
+        Ok(r)
+    }
+
+    /// Loads one recipe file.
+    pub fn load(path: &Path) -> Result<Recipe, RecipeError> {
+        Recipe::from_toml_str(&std::fs::read_to_string(path)?)
+    }
+
+    /// Loads every `*.toml` recipe in a directory, sorted by file name.
+    pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Recipe)>, RecipeError> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+            .collect();
+        paths.sort();
+        let mut out = Vec::with_capacity(paths.len());
+        for p in paths {
+            let r = Recipe::load(&p).map_err(|e| match e {
+                RecipeError::Syntax { line, msg } => {
+                    RecipeError::Syntax { line, msg: format!("{}: {msg}", p.display()) }
+                }
+                other => other,
+            })?;
+            out.push((p, r));
+        }
+        Ok(out)
+    }
+
+    fn validate(&self) -> Result<(), RecipeError> {
+        if !WORKLOADS.contains(&self.workload.as_str()) {
+            return Err(RecipeError::InvalidValue {
+                field: "workload",
+                value: self.workload.clone(),
+            });
+        }
+        if self.repetitions == 0 {
+            return Err(RecipeError::InvalidValue { field: "repetitions", value: "0".into() });
+        }
+        if !self.scale.is_finite() || self.scale <= 0.0 {
+            return Err(RecipeError::InvalidValue {
+                field: "scale",
+                value: format!("{}", self.scale),
+            });
+        }
+        let m = &self.matrix;
+        if m.engines.is_empty() {
+            return Err(RecipeError::InvalidMatrix("engines axis is empty".into()));
+        }
+        for e in &m.engines {
+            if !ENGINES.contains(&e.as_str()) {
+                return Err(RecipeError::InvalidMatrix(format!("unknown engine '{e}'")));
+            }
+        }
+        if m.transports.is_empty() {
+            return Err(RecipeError::InvalidMatrix("transports axis is empty".into()));
+        }
+        for t in &m.transports {
+            if !TRANSPORTS.contains(&t.as_str()) {
+                return Err(RecipeError::InvalidMatrix(format!("unknown transport '{t}'")));
+            }
+        }
+        let dup: BTreeSet<&String> = m.transports.iter().collect();
+        if dup.len() != m.transports.len() {
+            return Err(RecipeError::InvalidMatrix("duplicate transport".into()));
+        }
+        if m.workers.is_empty() || m.workers.contains(&0) {
+            return Err(RecipeError::InvalidMatrix(
+                "workers must be non-empty and non-zero".into(),
+            ));
+        }
+        if m.clients.is_empty() || m.clients.contains(&0) {
+            return Err(RecipeError::InvalidMatrix(
+                "clients must be non-empty and non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Effective scale under quick/full mode.
+    pub fn effective_scale(&self, quick: bool) -> f64 {
+        if quick {
+            self.quick.scale.unwrap_or_else(|| self.scale.min(0.05))
+        } else {
+            self.scale
+        }
+    }
+
+    /// Effective repetitions under quick/full mode.
+    pub fn effective_repetitions(&self, quick: bool) -> u32 {
+        if quick {
+            self.quick.repetitions.unwrap_or(1)
+        } else {
+            self.repetitions
+        }
+    }
+
+    /// Effective client counts under quick/full mode.
+    pub fn effective_clients(&self, quick: bool) -> Vec<usize> {
+        if quick {
+            self.quick.clients.clone().unwrap_or_else(|| self.matrix.clients.clone())
+        } else {
+            self.matrix.clients.clone()
+        }
+    }
+
+    /// Serializes back to canonical TOML (round-trips through
+    /// [`Recipe::from_toml_str`]).
+    pub fn to_toml(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("name = \"{}\"\n", self.name));
+        s.push_str(&format!("scenario = \"{}\"\n", self.scenario));
+        s.push_str(&format!("workload = \"{}\"\n", self.workload));
+        s.push_str(&format!("scale = {}\n", toml_float(self.scale)));
+        s.push_str(&format!("repetitions = {}\n", self.repetitions));
+        s.push_str(&format!("warmup = {}\n", self.warmup));
+        s.push_str(&format!("seed = {}\n", self.seed));
+        s.push_str("\n[matrix]\n");
+        s.push_str(&format!("engines = [{}]\n", quote_list(&self.matrix.engines)));
+        s.push_str(&format!("transports = [{}]\n", quote_list(&self.matrix.transports)));
+        s.push_str(&format!("workers = [{}]\n", int_list(&self.matrix.workers)));
+        s.push_str(&format!("clients = [{}]\n", int_list(&self.matrix.clients)));
+        let q = &self.quick;
+        if q.scale.is_some() || q.repetitions.is_some() || q.clients.is_some() {
+            s.push_str("\n[quick]\n");
+            if let Some(sc) = q.scale {
+                s.push_str(&format!("scale = {}\n", toml_float(sc)));
+            }
+            if let Some(r) = q.repetitions {
+                s.push_str(&format!("repetitions = {r}\n"));
+            }
+            if let Some(c) = &q.clients {
+                s.push_str(&format!("clients = [{}]\n", int_list(c)));
+            }
+        }
+        s
+    }
+}
+
+/// A float literal that always parses back as a float (never bare int).
+fn toml_float(f: f64) -> String {
+    if f.fract() == 0.0 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+fn quote_list(items: &[String]) -> String {
+    items.iter().map(|s| format!("\"{s}\"")).collect::<Vec<_>>().join(", ")
+}
+
+fn int_list(items: &[usize]) -> String {
+    items.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# E15 quick recipe
+name = "spsc-quick"
+scenario = "spsc"
+workload = "mixed"
+scale = 0.25
+repetitions = 3
+warmup = 1
+seed = 7
+
+[matrix]
+engines = ["parallel"]
+transports = ["spsc", "mpmc", "lock"]
+workers = [4]
+clients = [1]
+
+[quick]
+scale = 0.03
+repetitions = 1
+"#;
+
+    #[test]
+    fn parses_full_recipe() {
+        let r = Recipe::from_toml_str(GOOD).unwrap();
+        assert_eq!(r.name, "spsc-quick");
+        assert_eq!(r.matrix.transports, ["spsc", "mpmc", "lock"]);
+        assert_eq!(r.effective_scale(true), 0.03);
+        assert_eq!(r.effective_scale(false), 0.25);
+        assert_eq!(r.effective_repetitions(false), 3);
+        assert_eq!(r.effective_repetitions(true), 1);
+    }
+
+    #[test]
+    fn toml_roundtrip() {
+        let r = Recipe::from_toml_str(GOOD).unwrap();
+        let again = Recipe::from_toml_str(&r.to_toml()).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let src = GOOD.replace("warmup = 1", "warump = 1");
+        match Recipe::from_toml_str(&src) {
+            Err(RecipeError::UnknownField(k)) => assert_eq!(k, "warump"),
+            other => panic!("wanted UnknownField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_table_field_rejected() {
+        let src = GOOD.replace("workers = [4]", "wrokers = [4]");
+        match Recipe::from_toml_str(&src) {
+            Err(RecipeError::UnknownField(k)) => assert_eq!(k, "matrix.wrokers"),
+            other => panic!("wanted UnknownField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_matrix_rejected() {
+        for (from, to, needle) in [
+            ("transports = [\"spsc\", \"mpmc\", \"lock\"]", "transports = []", "empty"),
+            (
+                "transports = [\"spsc\", \"mpmc\", \"lock\"]",
+                "transports = [\"carrier-pigeon\"]",
+                "unknown transport",
+            ),
+            ("workers = [4]", "workers = [0]", "non-zero"),
+            ("engines = [\"parallel\"]", "engines = [\"steam\"]", "unknown engine"),
+        ] {
+            let src = GOOD.replace(from, to);
+            match Recipe::from_toml_str(&src) {
+                Err(RecipeError::InvalidMatrix(m)) => {
+                    assert!(m.contains(needle), "{m} !~ {needle}")
+                }
+                other => panic!("wanted InvalidMatrix for {to}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_required_field() {
+        let src = GOOD.replace("scenario = \"spsc\"", "");
+        assert!(matches!(Recipe::from_toml_str(&src), Err(RecipeError::MissingField("scenario"))));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line() {
+        match Recipe::from_toml_str("name = \"x\"\nscenario ~ bad\n") {
+            Err(RecipeError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("wanted Syntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_defaults() {
+        let r = Recipe::from_toml_str(
+            "name = \"m\" # inline\nscenario = \"merge\"\nworkload = \"nas\"\n",
+        )
+        .unwrap();
+        assert_eq!(r.name, "m");
+        assert_eq!(r.seed, 42);
+        assert_eq!(r.matrix, Matrix::default());
+    }
+}

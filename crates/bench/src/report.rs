@@ -1,0 +1,239 @@
+//! The [`Reporter`]: renders a [`BenchResult`] (or a batch of them) as
+//! text, JSON, or markdown.
+
+use crate::fmt::Table;
+use crate::result::BenchResult;
+use std::fmt;
+
+/// Output format for `dp-bench` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Plain text tables (default; what the legacy binary printed).
+    #[default]
+    Text,
+    /// The schema-v1 JSON document itself.
+    Json,
+    /// GitHub-flavoured markdown tables (for CI job summaries).
+    Markdown,
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "markdown" | "md" => Ok(Format::Markdown),
+            other => Err(format!("unknown format '{other}' (text|json|markdown)")),
+        }
+    }
+}
+
+/// Renders benchmark results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reporter {
+    /// Selected output format.
+    pub format: Format,
+}
+
+impl Reporter {
+    /// A reporter for the given format.
+    pub fn new(format: Format) -> Reporter {
+        Reporter { format }
+    }
+
+    /// Renders one result. `text` is the scenario's own rendered tables,
+    /// used verbatim for [`Format::Text`].
+    pub fn render(&self, result: &BenchResult, text: &str) -> String {
+        match self.format {
+            Format::Text => text.to_string(),
+            Format::Json => result.to_json(),
+            Format::Markdown => render_markdown(result),
+        }
+    }
+
+    /// Renders a one-line summary for run-all progress output.
+    pub fn summary_line(&self, result: &BenchResult) -> String {
+        let rate = match result.summary_events_per_sec {
+            Some(r) => format!("{:.2} Mev/s", r / 1e6),
+            None => "-".to_string(),
+        };
+        format!(
+            "{:<16} {:<14} rows={:<3} summary={}",
+            result.recipe,
+            result.scenario,
+            result.rows.len(),
+            rate
+        )
+    }
+}
+
+fn fmt_opt(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "-".to_string(),
+    }
+}
+
+fn render_markdown(r: &BenchResult) -> String {
+    let mut out = String::new();
+    let _ = writeln_md(
+        &mut out,
+        format!(
+            "### {} ({}) — rev {}, scale {}, seed {}{}\n",
+            r.recipe,
+            r.scenario,
+            r.git_rev,
+            r.scale,
+            r.seed,
+            if r.quick { ", quick" } else { "" }
+        ),
+    );
+    out.push_str("| label | events | wall ms | events/s | rtt p50 us | rtt p99 us | mem bytes | degraded | checks |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    for row in &r.rows {
+        let checks =
+            row.checks.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(", ");
+        let _ = writeln_md(
+            &mut out,
+            format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                row.label,
+                row.events.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
+                fmt_opt(row.wall_ms, 1),
+                fmt_opt(row.events_per_sec, 0),
+                fmt_opt(row.rtt_p50_us, 1),
+                fmt_opt(row.rtt_p99_us, 1),
+                row.mem_high_water_bytes.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+                row.degraded_events.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+                checks
+            ),
+        );
+    }
+    if let Some(s) = r.summary_events_per_sec {
+        let _ = writeln_md(&mut out, format!("\n**summary: {:.0} events/s**", s));
+    }
+    out
+}
+
+fn writeln_md(out: &mut String, line: String) -> fmt::Result {
+    use fmt::Write;
+    writeln!(out, "{line}")
+}
+
+/// Side-by-side comparison of two results (`dp-bench diff`): per-label
+/// timing deltas plus any non-timing fields that changed.
+pub fn render_diff(base: &BenchResult, new: &BenchResult) -> String {
+    let mut t = Table::new(&[
+        "label",
+        "base ev/s",
+        "new ev/s",
+        "delta %",
+        "base wall ms",
+        "new wall ms",
+        "non-timing",
+    ]);
+    for row in &new.rows {
+        let old = base.rows.iter().find(|r| r.label == row.label);
+        let (b_rate, b_wall, drift) = match old {
+            Some(o) => {
+                let drift = o.events != row.events
+                    || o.mem_high_water_bytes != row.mem_high_water_bytes
+                    || o.degraded_events != row.degraded_events
+                    || o.checks != row.checks;
+                (o.events_per_sec, o.wall_ms, if drift { "CHANGED" } else { "same" })
+            }
+            None => (None, None, "NEW"),
+        };
+        let delta = match (b_rate, row.events_per_sec) {
+            (Some(b), Some(n)) if b > 0.0 => format!("{:+.1}", (n - b) / b * 100.0),
+            _ => "-".to_string(),
+        };
+        t.row(&[
+            row.label.clone(),
+            fmt_opt(b_rate, 0),
+            fmt_opt(row.events_per_sec, 0),
+            delta,
+            fmt_opt(b_wall, 1),
+            fmt_opt(row.wall_ms, 1),
+            drift.to_string(),
+        ]);
+    }
+    for row in &base.rows {
+        if !new.rows.iter().any(|r| r.label == row.label) {
+            t.row(&[
+                row.label.clone(),
+                fmt_opt(row.events_per_sec, 0),
+                "-".into(),
+                "-".into(),
+                fmt_opt(row.wall_ms, 1),
+                "-".into(),
+                "REMOVED".into(),
+            ]);
+        }
+    }
+    let summary = match (base.summary_events_per_sec, new.summary_events_per_sec) {
+        (Some(b), Some(n)) if b > 0.0 => {
+            format!("summary events/s: {b:.0} -> {n:.0} ({:+.1}%)", (n - b) / b * 100.0)
+        }
+        _ => "summary events/s: n/a".to_string(),
+    };
+    format!(
+        "diff {} @{} vs @{}\n\n{}\n{}",
+        new.recipe,
+        base.git_rev,
+        new.git_rev,
+        t.render(),
+        summary
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{MetricRow, SCHEMA_VERSION};
+
+    fn sample(rate: f64) -> BenchResult {
+        BenchResult {
+            schema_version: SCHEMA_VERSION,
+            recipe: "spsc-quick".into(),
+            scenario: "spsc".into(),
+            git_rev: "abc1234".into(),
+            seed: 42,
+            scale: 0.02,
+            quick: true,
+            rows: vec![MetricRow {
+                label: "bt/spsc".into(),
+                events: Some(1000),
+                wall_ms: Some(2.0),
+                events_per_sec: Some(rate),
+                ..Default::default()
+            }
+            .check("identical_deps", "true")],
+            summary_events_per_sec: Some(rate),
+        }
+    }
+
+    #[test]
+    fn formats_parse_and_render() {
+        let r = sample(500_000.0);
+        assert_eq!("md".parse::<Format>().unwrap(), Format::Markdown);
+        assert!("bogus".parse::<Format>().is_err());
+        assert_eq!(Reporter::new(Format::Text).render(&r, "the tables"), "the tables");
+        assert!(Reporter::new(Format::Json).render(&r, "").contains("\"schema_version\": 1"));
+        let md = Reporter::new(Format::Markdown).render(&r, "");
+        assert!(md.contains("| bt/spsc |"));
+        assert!(md.contains("identical_deps=true"));
+    }
+
+    #[test]
+    fn diff_flags_regression_and_drift() {
+        let base = sample(1_000_000.0);
+        let mut new = sample(500_000.0);
+        new.rows[0].events = Some(999);
+        let d = render_diff(&base, &new);
+        assert!(d.contains("-50.0"), "{d}");
+        assert!(d.contains("CHANGED"), "{d}");
+        assert!(d.contains("summary events/s"), "{d}");
+    }
+}

@@ -1,0 +1,339 @@
+//! `BenchResult` v1 — the one versioned JSON schema every benchmark
+//! artifact uses.
+//!
+//! Every `BENCH_*.json` the harness emits (and every baseline `gate`
+//! consumes) is a serialized [`BenchResult`]: schema version, recipe id,
+//! git revision, seed, and a list of [`MetricRow`]s carrying the metrics
+//! the ISSUE/ROADMAP trajectory tracks — events/sec, wall-clock, RTT
+//! percentiles, memory high-water, degradation counters — plus
+//! per-scenario deterministic `checks` (accuracy numbers, identical-deps
+//! flags, dependence counts).
+//!
+//! Timing fields (`wall_ms`, `events_per_sec`, `rtt_*`) vary run to run;
+//! everything else must be a pure function of (recipe, seed, code). The
+//! [`BenchResult::non_timing_fingerprint`] projection captures exactly
+//! the deterministic part and is what the runner determinism test pins.
+
+use crate::json::{Json, JsonError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Current result schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One measured row of a benchmark result (a workload × matrix point).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricRow {
+    /// Row label, e.g. `"kmeans/spsc"` or `"clients=16"`.
+    pub label: String,
+    /// Events processed (deterministic).
+    pub events: Option<u64>,
+    /// Wall-clock milliseconds (timing).
+    pub wall_ms: Option<f64>,
+    /// Throughput in events per second (timing).
+    pub events_per_sec: Option<f64>,
+    /// Sync round-trip p50 in microseconds (timing, server scenarios).
+    pub rtt_p50_us: Option<f64>,
+    /// Sync round-trip p99 in microseconds (timing, server scenarios).
+    pub rtt_p99_us: Option<f64>,
+    /// Peak resident bytes attributed to the profiler (deterministic for
+    /// a fixed recipe: store sizes are configuration-driven).
+    pub mem_high_water_bytes: Option<u64>,
+    /// Events lost to degradation (deterministic under an inert fault
+    /// plan: 0).
+    pub degraded_events: Option<u64>,
+    /// Scenario-specific deterministic facts (FPR/FNR, identical-deps,
+    /// merge factors, …), keyed in sorted order.
+    pub checks: BTreeMap<String, String>,
+}
+
+impl MetricRow {
+    /// A row with only a label set.
+    pub fn new(label: impl Into<String>) -> Self {
+        MetricRow { label: label.into(), ..Default::default() }
+    }
+
+    /// Adds a deterministic check fact.
+    pub fn check(mut self, key: &str, value: impl fmt::Display) -> Self {
+        self.checks.insert(key.to_string(), value.to_string());
+        self
+    }
+}
+
+/// A complete benchmark result under schema v1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Always [`SCHEMA_VERSION`] for freshly produced results.
+    pub schema_version: u64,
+    /// Recipe name this result was produced from.
+    pub recipe: String,
+    /// Scenario id the recipe named.
+    pub scenario: String,
+    /// `git rev-parse --short HEAD` at run time (or `"unknown"`).
+    pub git_rev: String,
+    /// Deterministic seed the run used.
+    pub seed: u64,
+    /// Effective workload scale.
+    pub scale: f64,
+    /// Whether quick overrides were applied.
+    pub quick: bool,
+    /// Measured rows.
+    pub rows: Vec<MetricRow>,
+    /// Headline throughput (events/sec) `gate` compares, when the
+    /// scenario measures one.
+    pub summary_events_per_sec: Option<f64>,
+}
+
+/// Typed failure when reading a result file.
+#[derive(Debug)]
+pub enum ResultError {
+    /// The file is not valid JSON.
+    Json(JsonError),
+    /// The document has no `schema_version` field — a pre-v1 artifact.
+    Unversioned,
+    /// The document declares a schema version this build cannot read.
+    SchemaVersion(u64),
+    /// A required field is missing or has the wrong type.
+    Malformed(&'static str),
+    /// Filesystem error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ResultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResultError::Json(e) => write!(f, "{e}"),
+            ResultError::Unversioned => write!(
+                f,
+                "result file has no 'schema_version' field (pre-v1 artifact); \
+                 regenerate it with 'dp-bench run'"
+            ),
+            ResultError::SchemaVersion(v) => write!(
+                f,
+                "result file declares schema_version {v}, this build reads {SCHEMA_VERSION}"
+            ),
+            ResultError::Malformed(field) => write!(f, "result file field '{field}' is malformed"),
+            ResultError::Io(e) => write!(f, "result I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResultError {}
+
+impl From<std::io::Error> for ResultError {
+    fn from(e: std::io::Error) -> Self {
+        ResultError::Io(e)
+    }
+}
+
+impl From<JsonError> for ResultError {
+    fn from(e: JsonError) -> Self {
+        ResultError::Json(e)
+    }
+}
+
+fn opt_f64(fields: &mut Vec<(&str, Json)>, key: &'static str, v: Option<f64>) {
+    if let Some(x) = v {
+        fields.push((key, Json::num(round6(x))));
+    }
+}
+
+/// Clamp noisy float output to 6 decimals so artifacts stay diffable.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+impl BenchResult {
+    /// Serializes to pretty JSON with stable key order.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut fields: Vec<(&str, Json)> = vec![("label", Json::str(&r.label))];
+                if let Some(e) = r.events {
+                    fields.push(("events", Json::num(e as f64)));
+                }
+                opt_f64(&mut fields, "wall_ms", r.wall_ms);
+                opt_f64(&mut fields, "events_per_sec", r.events_per_sec);
+                opt_f64(&mut fields, "rtt_p50_us", r.rtt_p50_us);
+                opt_f64(&mut fields, "rtt_p99_us", r.rtt_p99_us);
+                if let Some(m) = r.mem_high_water_bytes {
+                    fields.push(("mem_high_water_bytes", Json::num(m as f64)));
+                }
+                if let Some(d) = r.degraded_events {
+                    fields.push(("degraded_events", Json::num(d as f64)));
+                }
+                if !r.checks.is_empty() {
+                    let checks =
+                        r.checks.iter().map(|(k, v)| (k.clone(), Json::str(v.clone()))).collect();
+                    fields.push(("checks", Json::Obj(checks)));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        let mut fields: Vec<(&str, Json)> = vec![
+            ("schema_version", Json::num(self.schema_version as f64)),
+            ("recipe", Json::str(&self.recipe)),
+            ("scenario", Json::str(&self.scenario)),
+            ("git_rev", Json::str(&self.git_rev)),
+            ("seed", Json::num(self.seed as f64)),
+            ("scale", Json::num(self.scale)),
+            ("quick", Json::Bool(self.quick)),
+            ("rows", Json::Arr(rows)),
+        ];
+        let mut summary: Vec<(&str, Json)> = Vec::new();
+        opt_f64(&mut summary, "events_per_sec", self.summary_events_per_sec);
+        fields.push(("summary", Json::obj(summary)));
+        Json::obj(fields).render_pretty()
+    }
+
+    /// Parses a result document, enforcing the schema version.
+    pub fn from_json(src: &str) -> Result<BenchResult, ResultError> {
+        let doc = Json::parse(src)?;
+        let version = match doc.get("schema_version") {
+            None => return Err(ResultError::Unversioned),
+            Some(v) => v.as_u64().ok_or(ResultError::Malformed("schema_version"))?,
+        };
+        if version != SCHEMA_VERSION {
+            return Err(ResultError::SchemaVersion(version));
+        }
+        let field_str = |key: &'static str| -> Result<String, ResultError> {
+            doc.get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or(ResultError::Malformed(key))
+        };
+        let rows_json =
+            doc.get("rows").and_then(|v| v.as_arr()).ok_or(ResultError::Malformed("rows"))?;
+        let mut rows = Vec::with_capacity(rows_json.len());
+        for r in rows_json {
+            let label = r
+                .get("label")
+                .and_then(|v| v.as_str())
+                .ok_or(ResultError::Malformed("rows[].label"))?;
+            let mut row = MetricRow::new(label);
+            row.events = r.get("events").and_then(|v| v.as_u64());
+            row.wall_ms = r.get("wall_ms").and_then(|v| v.as_f64());
+            row.events_per_sec = r.get("events_per_sec").and_then(|v| v.as_f64());
+            row.rtt_p50_us = r.get("rtt_p50_us").and_then(|v| v.as_f64());
+            row.rtt_p99_us = r.get("rtt_p99_us").and_then(|v| v.as_f64());
+            row.mem_high_water_bytes = r.get("mem_high_water_bytes").and_then(|v| v.as_u64());
+            row.degraded_events = r.get("degraded_events").and_then(|v| v.as_u64());
+            if let Some(Json::Obj(checks)) = r.get("checks") {
+                for (k, v) in checks {
+                    row.checks.insert(
+                        k.clone(),
+                        v.as_str().ok_or(ResultError::Malformed("rows[].checks"))?.to_string(),
+                    );
+                }
+            }
+            rows.push(row);
+        }
+        Ok(BenchResult {
+            schema_version: version,
+            recipe: field_str("recipe")?,
+            scenario: field_str("scenario")?,
+            git_rev: field_str("git_rev")?,
+            seed: doc.get("seed").and_then(|v| v.as_u64()).ok_or(ResultError::Malformed("seed"))?,
+            scale: doc
+                .get("scale")
+                .and_then(|v| v.as_f64())
+                .ok_or(ResultError::Malformed("scale"))?,
+            quick: doc
+                .get("quick")
+                .and_then(|v| v.as_bool())
+                .ok_or(ResultError::Malformed("quick"))?,
+            rows,
+            summary_events_per_sec: doc
+                .get("summary")
+                .and_then(|s| s.get("events_per_sec"))
+                .and_then(|v| v.as_f64()),
+        })
+    }
+
+    /// Loads a result file.
+    pub fn load(path: &std::path::Path) -> Result<BenchResult, ResultError> {
+        BenchResult::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// The deterministic projection of this result: everything except
+    /// timing fields and the git revision. Two runs of the same recipe
+    /// with the same seed must produce identical fingerprints.
+    pub fn non_timing_fingerprint(&self) -> String {
+        let mut s = format!(
+            "schema={} recipe={} scenario={} seed={} scale={} quick={}\n",
+            self.schema_version, self.recipe, self.scenario, self.seed, self.scale, self.quick
+        );
+        for r in &self.rows {
+            s.push_str(&format!(
+                "row label={} events={:?} mem={:?} degraded={:?} checks={:?}\n",
+                r.label, r.events, r.mem_high_water_bytes, r.degraded_events, r.checks
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchResult {
+        BenchResult {
+            schema_version: SCHEMA_VERSION,
+            recipe: "spsc-quick".into(),
+            scenario: "spsc".into(),
+            git_rev: "abc1234".into(),
+            seed: 42,
+            scale: 0.03,
+            quick: true,
+            rows: vec![
+                MetricRow {
+                    label: "kmeans/spsc".into(),
+                    events: Some(123456),
+                    wall_ms: Some(12.5),
+                    events_per_sec: Some(9_876_543.0),
+                    mem_high_water_bytes: Some(1 << 20),
+                    degraded_events: Some(0),
+                    ..Default::default()
+                }
+                .check("identical_deps", "true"),
+                MetricRow::new("clients=4"),
+            ],
+            summary_events_per_sec: Some(9_876_543.0),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let parsed = BenchResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, parsed);
+    }
+
+    #[test]
+    fn unversioned_rejected_with_typed_error() {
+        let legacy = r#"{"experiment": "spsc-transport-comparison", "workloads": []}"#;
+        assert!(matches!(BenchResult::from_json(legacy), Err(ResultError::Unversioned)));
+    }
+
+    #[test]
+    fn future_schema_rejected() {
+        let doc = sample().to_json().replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(matches!(BenchResult::from_json(&doc), Err(ResultError::SchemaVersion(99))));
+    }
+
+    #[test]
+    fn fingerprint_ignores_timing() {
+        let a = sample();
+        let mut b = sample();
+        b.rows[0].wall_ms = Some(99.9);
+        b.rows[0].events_per_sec = Some(1.0);
+        b.git_rev = "fffffff".into();
+        assert_eq!(a.non_timing_fingerprint(), b.non_timing_fingerprint());
+        let mut c = sample();
+        c.rows[0].events = Some(1);
+        assert_ne!(a.non_timing_fingerprint(), c.non_timing_fingerprint());
+    }
+}

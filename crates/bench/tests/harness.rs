@@ -1,0 +1,137 @@
+//! Harness-level integration tests: recipes dir ↔ registry coverage,
+//! runner determinism, and the regression gate on synthetic baselines.
+
+use dp_bench::gate;
+use dp_bench::recipe::Recipe;
+use dp_bench::result::{BenchResult, MetricRow, ResultError, SCHEMA_VERSION};
+use dp_bench::runner::Runner;
+use dp_bench::scenario;
+use std::path::Path;
+
+fn recipes_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("recipes")
+}
+
+#[test]
+fn every_committed_recipe_parses_and_names_a_registered_scenario() {
+    let recipes = Recipe::load_dir(&recipes_dir()).expect("recipes dir loads");
+    assert!(recipes.len() >= 19, "expected all experiment recipes, got {}", recipes.len());
+    for (path, r) in &recipes {
+        assert!(
+            scenario::find(&r.scenario).is_some(),
+            "{}: scenario '{}' is not registered",
+            path.display(),
+            r.scenario
+        );
+        // Quick scale must be small enough for CI smoke runs.
+        assert!(r.effective_scale(true) <= 0.05, "{}: quick scale too large", path.display());
+        // Round-trips through canonical TOML.
+        assert_eq!(&Recipe::from_toml_str(&r.to_toml()).unwrap(), r, "{}", path.display());
+    }
+}
+
+#[test]
+fn every_registered_scenario_has_a_recipe() {
+    let recipes = Recipe::load_dir(&recipes_dir()).expect("recipes dir loads");
+    for s in scenario::registry() {
+        assert!(
+            recipes.iter().any(|(_, r)| r.scenario == s.id()),
+            "scenario '{}' ({}) has no recipe under crates/bench/recipes/",
+            s.id(),
+            s.experiment()
+        );
+    }
+    // Recipe names are unique (they name result artifacts).
+    let mut names: Vec<&str> = recipes.iter().map(|(_, r)| r.name.as_str()).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(before, names.len(), "duplicate recipe name");
+}
+
+#[test]
+fn runner_is_deterministic_on_non_timing_fields() {
+    // table2 is pure replay analysis: same recipe + seed must reproduce
+    // every non-timing field bit-for-bit.
+    let recipe = Recipe::from_toml_str(
+        "name = \"det\"\nscenario = \"table2\"\nworkload = \"nas\"\nscale = 0.02\n",
+    )
+    .unwrap();
+    let runner = Runner::new(true);
+    let a = runner.run(&recipe).unwrap().result;
+    let b = runner.run(&recipe).unwrap().result;
+    assert_eq!(a.non_timing_fingerprint(), b.non_timing_fingerprint());
+    assert!(!a.rows.is_empty());
+}
+
+fn synthetic(recipe: &str, rate: f64) -> BenchResult {
+    BenchResult {
+        schema_version: SCHEMA_VERSION,
+        recipe: recipe.into(),
+        scenario: "spsc".into(),
+        git_rev: "test0000".into(),
+        seed: 42,
+        scale: 0.03,
+        quick: true,
+        rows: vec![MetricRow {
+            label: "bt/spsc".into(),
+            events: Some(10_000),
+            events_per_sec: Some(rate),
+            ..Default::default()
+        }],
+        summary_events_per_sec: Some(rate),
+    }
+}
+
+#[test]
+fn gate_passes_within_threshold_and_fails_beyond() {
+    let baseline = synthetic("spsc", 1_000_000.0);
+    let slightly_slower = synthetic("spsc", 800_000.0);
+    let much_slower = synthetic("spsc", 300_000.0);
+    let ok = gate::compare(&baseline, &slightly_slower, 50.0).unwrap();
+    assert!(ok.pass, "{ok}");
+    let bad = gate::compare(&baseline, &much_slower, 50.0).unwrap();
+    assert!(!bad.pass, "{bad}");
+    // An inflated baseline (the acceptance-criteria probe) must fail.
+    let inflated = synthetic("spsc", 100_000_000.0);
+    let fresh = synthetic("spsc", 1_000_000.0);
+    assert!(!gate::compare(&inflated, &fresh, 50.0).unwrap().pass);
+}
+
+#[test]
+fn unversioned_baseline_is_a_typed_error() {
+    // The pre-v1 artifact shape the old flag-soup binary wrote.
+    let legacy = r#"{
+      "experiment": "spsc-transport-comparison",
+      "quick": true,
+      "workloads": [{"name": "BT", "transports": []}]
+    }"#;
+    match BenchResult::from_json(legacy) {
+        Err(ResultError::Unversioned) => {}
+        other => panic!("wanted ResultError::Unversioned, got {other:?}"),
+    }
+}
+
+#[test]
+fn committed_baselines_are_versioned_and_gateable() {
+    // The repo-root baselines the CI gate runs against.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for name in ["BENCH_spsc.json", "BENCH_server.json"] {
+        let path = root.join(name);
+        let baseline =
+            BenchResult::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(baseline.schema_version, SCHEMA_VERSION);
+        assert!(
+            baseline.summary_events_per_sec.is_some(),
+            "{name}: no summary events/sec to gate on"
+        );
+        assert!(
+            Recipe::load_dir(&recipes_dir())
+                .unwrap()
+                .iter()
+                .any(|(_, r)| r.name == baseline.recipe),
+            "{name}: baseline recipe '{}' has no committed recipe file",
+            baseline.recipe
+        );
+    }
+}

@@ -113,7 +113,9 @@ fn recipes_dir(opt: &Option<String>) -> PathBuf {
 /// recipe names (and file stems) in the recipes directory.
 fn resolve_recipe(arg: &str, dir: &Path) -> Result<Recipe, String> {
     let as_path = Path::new(arg);
-    if as_path.extension().is_some_and(|e| e == "toml") || as_path.exists() {
+    // Only a file can be a recipe path: a bare name like `fuzz` must fall
+    // through to name lookup even when a same-named directory exists.
+    if as_path.extension().is_some_and(|e| e == "toml") || as_path.is_file() {
         return Recipe::load(as_path).map_err(|e| format!("{arg}: {e}"));
     }
     let all = Recipe::load_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;

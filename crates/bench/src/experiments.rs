@@ -1305,6 +1305,69 @@ pub fn server_throughput(ctx: &ScenarioCtx) -> ScenarioOutput {
     ScenarioOutput { text, rows, summary_events_per_sec: summary }
 }
 
+// ------------------------------------------ E17: differential fuzzing
+
+/// E17: a seeded fuzz campaign as a benchmark — oracle throughput
+/// (generated accesses replayed through all eight engine legs per
+/// second) plus the campaign's deterministic verdicts: divergence count
+/// and the Formula-2 accuracy aggregate.
+pub fn fuzz_campaign(ctx: &ScenarioCtx) -> ScenarioOutput {
+    use dp_fuzz::{run_fuzz, FuzzOpts};
+
+    // scale 1.0 ≙ a 1000-seed campaign; the committed recipe runs 100
+    // seeds full / 20 seeds quick.
+    let seeds = ((1000.0 * ctx.scale) as u64).max(8);
+    let opts = FuzzOpts {
+        seeds,
+        start_seed: ctx.seed,
+        quick: ctx.quick,
+        // The web-scale Zipf stream is its own stress (and dominates
+        // quick wall-clock); only the full run includes it.
+        webscale: !ctx.quick,
+        workers: ctx.primary_workers().min(4),
+        ..FuzzOpts::default()
+    };
+    let timed = time(|| run_fuzz(&opts, &mut |_| {}));
+    let report = timed.value;
+    let evps = report.total_accesses as f64 / timed.elapsed.as_secs_f64();
+
+    let mut t = Table::new(&["seeds", "seq", "mt", "accesses", "wall ms", "kev/s", "divergences"]);
+    t.row(&[
+        report.seeds.to_string(),
+        report.sequential.to_string(),
+        report.mt.to_string(),
+        report.total_accesses.to_string(),
+        format!("{:.1}", timed.elapsed.as_secs_f64() * 1e3),
+        format!("{:.1}", evps / 1e3),
+        report.divergences.len().to_string(),
+    ]);
+
+    let mut row = MetricRow::new(format!("campaign/seeds={seeds}"));
+    row.events = Some(report.total_accesses);
+    row.wall_ms = Some(timed.elapsed.as_secs_f64() * 1e3);
+    row.events_per_sec = Some(evps);
+    let row = row
+        .check("divergences", report.divergences.len())
+        .check("webscale_failures", report.webscale_failures.len())
+        .check("accuracy_within_formula2", report.accuracy_within_formula2())
+        .check("mean_fpr_pct", format!("{:.2}", report.mean_fpr()))
+        .check("mean_fnr_pct", format!("{:.2}", report.mean_fnr()))
+        .check("formula2_dep_bound_pct", format!("{:.2}", report.mean_dep_bound()));
+
+    let text = format!(
+        "Differential fuzzing (E17): seeded MiniVM programs replayed through\n\
+         serial, parallel (spsc/mpmc/lock), served and resumed engines; every\n\
+         leg must agree dependence-for-dependence\n\n{}\n\
+         accuracy: mean FPR {:.2}% / FNR {:.2}% vs Formula-2 dep-level bound {:.2}% — {}\n",
+        t.render(),
+        report.mean_fpr(),
+        report.mean_fnr(),
+        report.mean_dep_bound(),
+        if report.accuracy_within_formula2() { "within bound" } else { "EXCEEDED" },
+    );
+    ScenarioOutput { text, rows: vec![row], summary_events_per_sec: Some(evps) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -130,6 +130,7 @@ scenarios! {
     AblateSd3 { id: "ablate-sd3", exp: "E14", title: "Signature vs SD3-style stride compression", run: exp::ablate_sd3 },
     Spsc { id: "spsc", exp: "E15", title: "SPSC vs MPMC vs lock-based transport comparison", run: exp::spsc },
     Server { id: "server", exp: "E16", title: "Server throughput and Sync RTT vs client count", run: exp::server_throughput },
+    FuzzCampaign { id: "fuzz", exp: "E17", title: "Differential fuzzing: all engine legs agree on seeded MiniVM programs", run: exp::fuzz_campaign },
 }
 
 /// Looks up a scenario by id.

@@ -486,6 +486,9 @@ impl MtProfiler {
             MetricsSnapshot {
                 enabled: true,
                 workers: w,
+                // The chaos seed is a run-level fact the CLI stamps on
+                // the snapshot; engines report 0.
+                chaos_seed: 0,
                 conservation,
                 chunks: ChunkStats {
                     pushed: self.shared.chunks_pushed.load(Ordering::Relaxed),

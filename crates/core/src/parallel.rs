@@ -1171,6 +1171,9 @@ where
         MetricsSnapshot {
             enabled: true,
             workers: w,
+            // The chaos seed is a run-level fact the CLI stamps on the
+            // snapshot; engines report 0.
+            chaos_seed: 0,
             conservation,
             chunks,
             stall_nanos: stall_total,

@@ -349,6 +349,10 @@ pub struct MetricsSnapshot {
     pub enabled: bool,
     /// Worker count of the run.
     pub workers: usize,
+    /// Effective chaos/fault-injection seed of the run (0 when no fault
+    /// plan was active). Surfaced so a failure observed under chaos can
+    /// be replayed from the `--stats` artifact alone.
+    pub chaos_seed: u64,
     /// The event-conservation ledger.
     pub conservation: Conservation,
     /// Chunk/queue traffic.
@@ -376,6 +380,7 @@ impl MetricsSnapshot {
         s.push_str("{\n");
         let _ = writeln!(s, "  \"enabled\": {},", self.enabled);
         let _ = writeln!(s, "  \"workers\": {},", self.workers);
+        let _ = writeln!(s, "  \"chaos_seed\": {},", self.chaos_seed);
         s.push_str("  \"conservation\": {\n");
         let c = &self.conservation;
         let _ = writeln!(s, "    \"pushed\": {},", c.pushed);
@@ -446,6 +451,9 @@ impl MetricsSnapshot {
         let mut s = String::with_capacity(512);
         let _ = writeln!(s, "metrics: {}", if self.enabled { "enabled" } else { "disabled" });
         let _ = writeln!(s, "workers: {}", self.workers);
+        if self.chaos_seed != 0 {
+            let _ = writeln!(s, "chaos seed: {}", self.chaos_seed);
+        }
         let c = &self.conservation;
         let _ = writeln!(
             s,

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod fuzz;
 pub mod interp;
 pub mod ir;
 pub mod stream;

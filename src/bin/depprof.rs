@@ -71,7 +71,7 @@
 
 use depprof::analysis::{degradation, Framework, LoopMeta};
 use depprof::core::{
-    report, AnyParallelProfiler, CheckpointMetrics, CheckpointStore, OverflowPolicy,
+    report, AnyParallelProfiler, CheckpointMetrics, CheckpointStore, OverflowPolicy, ProfileResult,
     ProfileSession, ProfilerConfig, SequentialProfiler, SessionSpec, TransportKind, Watchdog,
     WorkerFault,
 };
@@ -148,6 +148,16 @@ struct Args {
     chunk_events: usize,
     /// Push: sleep between chunk frames (ms).
     throttle_ms: u64,
+    /// Fuzz: programs to generate and check.
+    seeds: u64,
+    /// Fuzz: first seed (shards campaigns across CI jobs).
+    start_seed: u64,
+    /// Fuzz: small/fast generator configuration.
+    quick: bool,
+    /// Fuzz: directory minimized repros are written to.
+    corpus: Option<String>,
+    /// Fuzz: skip the web-scale Zipfian stress streams.
+    no_webscale: bool,
 }
 
 fn base_args() -> Args {
@@ -435,6 +445,47 @@ fn parse() -> Result<Args, String> {
         }
         return Ok(a);
     }
+    if argv[0] == "fuzz" {
+        let mut a = base_args();
+        a.engine = "fuzz".into();
+        a.seeds = 50;
+        a.workers = 3;
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--seeds" => {
+                    i += 1;
+                    a.seeds = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--seeds: positive count")?;
+                }
+                "--start-seed" => {
+                    i += 1;
+                    a.start_seed =
+                        argv.get(i).and_then(|s| s.parse().ok()).ok_or("--start-seed: int")?;
+                }
+                "--quick" => a.quick = true,
+                "--corpus" => {
+                    i += 1;
+                    a.corpus = Some(argv.get(i).cloned().ok_or("--corpus needs a directory")?);
+                }
+                "--no-webscale" => a.no_webscale = true,
+                "--workers" => {
+                    i += 1;
+                    a.workers = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or("--workers: positive count")?;
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            i += 1;
+        }
+        return Ok(a);
+    }
     if argv[0] == "list" {
         return Ok(Args { workload: "list".into(), ..Args::default() });
     }
@@ -623,6 +674,22 @@ fn emit(path: Option<&str>, content: &str) {
     }
 }
 
+/// Prints the degraded-profile banner (worker failures plus the
+/// Formula-1 coverage estimate). The effective chaos seed rides along so
+/// a loss observed under fault injection can be replayed exactly from
+/// the log alone.
+fn warn_degraded(result: &ProfileResult, chaos_seed: u64) {
+    for f in &result.stats.worker_failures {
+        eprintln!("WARNING: {f}");
+    }
+    let d = degradation(result);
+    eprintln!(
+        "WARNING: {} — expected FNR ~{:.2}% (chaos seed {chaos_seed})",
+        d.summary(),
+        d.expected_fnr()
+    );
+}
+
 /// `depprof replay` — feed a recorded trace into an engine, with optional
 /// durability: periodic checkpoints, crash resume, and a run watchdog.
 fn run_replay(args: &Args) {
@@ -692,6 +759,7 @@ fn run_replay(args: &Args) {
     // Build (or restore) the engine. Fault-injection knobs (stall,
     // overflow policy) are runtime test levers, deliberately NOT part of
     // the persisted ReplayConfig — a resumed run is healthy by default.
+    let chaos_seed = depprof::queue::chaos_seeds(&[0])[0];
     let mut engine = if rc.parallel {
         let mut cfg = ProfilerConfig::default()
             .with_workers(rc.workers)
@@ -703,7 +771,9 @@ fn run_replay(args: &Args) {
         }
         if let Some(f) = args.inject_stall {
             cfg = cfg.with_fault_plan(
-                depprof::core::FaultPlan::none().with_stall(f.worker, f.after_chunks),
+                depprof::core::FaultPlan::none()
+                    .with_seed(chaos_seed)
+                    .with_stall(f.worker, f.after_chunks),
             );
         }
         if let Some(ms) = args.stall_deadline_ms {
@@ -874,6 +944,7 @@ fn run_replay(args: &Args) {
 
     let mut result = engine.finish();
     result.metrics.checkpoints = ck;
+    result.metrics.chaos_seed = chaos_seed;
 
     eprintln!("{}", report::summary(&result));
     let content = match args.stats.as_deref() {
@@ -883,12 +954,8 @@ fn run_replay(args: &Args) {
     };
     emit(args.out.as_deref(), &content);
 
-    let d = degradation(&result);
-    if d.degraded() {
-        for f in &result.stats.worker_failures {
-            eprintln!("WARNING: {f}");
-        }
-        eprintln!("WARNING: {} — expected FNR ~{:.2}%", d.summary(), d.expected_fnr());
+    if degradation(&result).degraded() {
+        warn_degraded(&result, chaos_seed);
         std::process::exit(EXIT_DEGRADED);
     }
 }
@@ -958,6 +1025,104 @@ fn bind_tcp_or_die(args: &Args, cfg: ServerConfig) -> Server {
     }
 }
 
+/// `depprof fuzz` — run the differential fuzz campaign: seeded MiniVM
+/// programs through every engine (serial, three parallel transports,
+/// served over DPSV, killed-and-resumed), dependence-for-dependence,
+/// plus undersized-signature accuracy vs Formula 2 and the web-scale
+/// Zipfian stress. Exit 1 when any divergence survives.
+fn run_fuzz_cmd(args: &Args) {
+    let opts = depprof::fuzz::FuzzOpts {
+        seeds: args.seeds,
+        start_seed: args.start_seed,
+        quick: args.quick,
+        corpus_dir: args.corpus.as_ref().map(PathBuf::from),
+        webscale: !args.no_webscale,
+        workers: args.workers,
+        ..depprof::fuzz::FuzzOpts::default()
+    };
+    eprintln!(
+        "fuzzing {} seeds from {} ({} mode, {} workers) ...",
+        opts.seeds,
+        opts.start_seed,
+        if opts.quick { "quick" } else { "full" },
+        opts.workers
+    );
+    let start = Instant::now();
+    let report = depprof::fuzz::run_fuzz(&opts, &mut |line| eprintln!("{line}"));
+    eprintln!(
+        "fuzz: {} seeds ({} sequential x 8 legs, {} multi-threaded), {} accesses, \
+         {} webscale streams, {:.1}s",
+        report.seeds,
+        report.sequential,
+        report.mt,
+        report.total_accesses,
+        report.webscale_runs,
+        start.elapsed().as_secs_f64()
+    );
+    if !report.samples.is_empty() {
+        eprintln!(
+            "fuzz: accuracy over {} undersized runs: mean FPR {:.2}% / FNR {:.2}% \
+             vs Formula-2 dep-level bound {:.2}% — {}",
+            report.samples.len(),
+            report.mean_fpr(),
+            report.mean_fnr(),
+            report.mean_dep_bound(),
+            if report.accuracy_within_formula2() { "within bound" } else { "EXCEEDED" }
+        );
+    }
+    for d in &report.divergences {
+        eprintln!(
+            "fuzz: DIVERGENCE seed {} leg {} ({} stmts minimized){}: {}",
+            d.seed,
+            d.leg,
+            d.stmts,
+            d.corpus_path.as_ref().map(|p| format!(", repro {}", p.display())).unwrap_or_default(),
+            d.detail
+        );
+    }
+    for e in &report.webscale_failures {
+        eprintln!("fuzz: WEBSCALE FAILURE: {e}");
+    }
+    if report.passed() {
+        eprintln!("fuzz: all engines agree");
+    } else {
+        std::process::exit(1);
+    }
+}
+
+/// Connects with bounded, jittered exponential backoff: the server may
+/// still be binding its socket when `push` starts (scripts launch both
+/// at once), so transient refusals get 3 attempts at ~100ms/~200ms
+/// before the error is fatal. The jitter is derived from the process id
+/// so a fleet of pushers does not retry in lockstep.
+fn connect_with_backoff<T>(
+    what: &str,
+    mut connect: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    const ATTEMPTS: u32 = 3;
+    let mut delay_ms = 100u64;
+    let mut last = None;
+    for attempt in 1..=ATTEMPTS {
+        match connect() {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                if attempt < ATTEMPTS {
+                    let jitter = (std::process::id() as u64 ^ (attempt as u64 * 7919)) % 50;
+                    eprintln!(
+                        "cannot connect to {what} (attempt {attempt}/{ATTEMPTS}): {e}; \
+                         retrying in {}ms",
+                        delay_ms + jitter
+                    );
+                    std::thread::sleep(Duration::from_millis(delay_ms + jitter));
+                    delay_ms *= 2;
+                }
+                last = Some(e);
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
 /// `depprof push` — stream a recorded trace to a running `serve` and
 /// print the report it sends back. If the server resumed the session
 /// from a checkpoint, the already-profiled prefix is skipped client-side.
@@ -1015,19 +1180,23 @@ fn run_push(args: &Args) {
     });
 
     let outcome = if let Some(addr) = &args.connect {
-        let mut conn = match std::net::TcpStream::connect(addr) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("cannot connect to '{addr}': {e}");
-                std::process::exit(EXIT_INPUT);
-            }
-        };
+        let mut conn =
+            match connect_with_backoff(&format!("'{addr}'"), || std::net::TcpStream::connect(addr))
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot connect to '{addr}': {e}");
+                    std::process::exit(EXIT_INPUT);
+                }
+            };
         push_events(&mut conn, names, events, &opts)
     } else {
         #[cfg(unix)]
         {
             let sock = args.unix_sock.as_ref().expect("parse() requires --connect or --unix");
-            let mut conn = match std::os::unix::net::UnixStream::connect(sock) {
+            let mut conn = match connect_with_backoff(&format!("unix socket '{sock}'"), || {
+                std::os::unix::net::UnixStream::connect(sock)
+            }) {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("cannot connect to unix socket '{sock}': {e}");
@@ -1095,7 +1264,9 @@ fn main() {
                  [--transport spsc|mpmc|lock] [--overflow block|drop] \
                  [--workers N] [--slots N] [--checkpoint-every N] \
                  [--chunk-events N] [--throttle-ms MS] [--no-redistribution] \
-                 [--stats json] [--report-out PATH]\n\n\
+                 [--stats json] [--report-out PATH]\n  \
+                 depprof fuzz [--seeds N] [--start-seed N] [--quick] \
+                 [--corpus DIR] [--no-webscale] [--workers N]\n\n\
                  exit codes: 0 ok, 2 usage, 3 missing input, 4 corrupt trace or \
                  checkpoint, 5 degraded profile, 6 watchdog gave up, \
                  7 terminated by signal"
@@ -1165,6 +1336,10 @@ fn main() {
         run_push(&args);
         return;
     }
+    if args.engine == "fuzz" {
+        run_fuzz_cmd(&args);
+        return;
+    }
     if args.workload == "list" {
         println!("NAS:       BT SP LU IS EP CG MG FT");
         println!(
@@ -1185,7 +1360,8 @@ fn main() {
     if let Some(p) = args.overflow {
         cfg = cfg.with_overflow(p);
     }
-    let mut plan = depprof::core::FaultPlan::none();
+    let chaos_seed = depprof::queue::chaos_seeds(&[0])[0];
+    let mut plan = depprof::core::FaultPlan::none().with_seed(chaos_seed);
     if let Some(f) = args.inject_panic {
         plan = plan.with_panic(f.worker, f.after_chunks);
     }
@@ -1193,7 +1369,7 @@ fn main() {
         plan = plan.with_stall(f.worker, f.after_chunks);
     }
     cfg = cfg.with_fault_plan(plan);
-    let result = if w.meta.parallel {
+    let mut result = if w.meta.parallel {
         eprintln!(
             "profiling {} ({} target threads) with the multi-threaded engine, {} workers ...",
             w.meta.name, w.meta.nthreads, args.workers
@@ -1235,6 +1411,7 @@ fn main() {
         }
     };
 
+    result.metrics.chaos_seed = chaos_seed;
     eprintln!("{}\n", report::summary(&result));
     if let Some(fmt) = &args.stats {
         // Stats mode replaces the report: stdout carries *only* the
@@ -1244,12 +1421,8 @@ fn main() {
             _ => result.metrics.to_text(),
         };
         emit(args.out.as_deref(), &content);
-        let d = degradation(&result);
-        if d.degraded() {
-            for f in &result.stats.worker_failures {
-                eprintln!("WARNING: {f}");
-            }
-            eprintln!("WARNING: {} — expected FNR ~{:.2}%", d.summary(), d.expected_fnr());
+        if degradation(&result).degraded() {
+            warn_degraded(&result, chaos_seed);
             std::process::exit(EXIT_DEGRADED);
         }
         return;
@@ -1290,12 +1463,8 @@ fn main() {
 
     // The dependences that WERE reported are exact; the banner and exit
     // code make the coverage loss impossible to miss in scripts and CI.
-    let d = degradation(&result);
-    if d.degraded() {
-        for f in &result.stats.worker_failures {
-            eprintln!("WARNING: {f}");
-        }
-        eprintln!("WARNING: {} — expected FNR ~{:.2}%", d.summary(), d.expected_fnr());
+    if degradation(&result).degraded() {
+        warn_degraded(&result, chaos_seed);
         std::process::exit(EXIT_DEGRADED);
     }
 }

@@ -49,6 +49,7 @@
 
 pub use dp_analysis as analysis;
 pub use dp_core as core;
+pub use dp_fuzz as fuzz;
 pub use dp_queue as queue;
 pub use dp_server as server;
 pub use dp_sig as sig;

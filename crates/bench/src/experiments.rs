@@ -1173,21 +1173,21 @@ fn e16_client(
     let mut nonce = 0u64;
     for ev in events {
         for frame in chunker.push(*ev) {
-            let was_chunk = matches!(frame, Frame::Chunk(_));
+            let was_chunk = matches!(frame, Frame::Chunk { .. });
             protocol::write_frame(&mut conn, &frame).unwrap();
             if was_chunk {
                 chunks += 1;
                 if chunks.is_multiple_of(sync_every) {
-                    // The Sync echo measures the full frame round trip:
+                    // The SyncAck measures the full frame round trip:
                     // our queued writes drain, the server profiles them,
-                    // decodes the Sync and answers.
+                    // decodes the Sync and acks its watermark.
                     nonce += 1;
                     let t0 = std::time::Instant::now();
                     protocol::write_frame(&mut conn, &Frame::Sync { nonce }).unwrap();
                     conn.flush().unwrap();
                     match protocol::read_frame(&mut conn, MAX_FRAME_BYTES).unwrap() {
-                        Some(Frame::Sync { nonce: n }) => assert_eq!(n, nonce),
-                        other => panic!("wanted Sync echo, got {other:?}"),
+                        Some(Frame::SyncAck { nonce: n, .. }) => assert_eq!(n, nonce),
+                        other => panic!("wanted SyncAck, got {other:?}"),
                     }
                     rtts.push(t0.elapsed());
                 }
@@ -1366,6 +1366,165 @@ pub fn fuzz_campaign(ctx: &ScenarioCtx) -> ScenarioOutput {
         if report.accuracy_within_formula2() { "within bound" } else { "EXCEEDED" },
     );
     ScenarioOutput { text, rows: vec![row], summary_events_per_sec: Some(evps) }
+}
+
+// ------------------------------------------ E18: chaos goodput
+
+/// E18: goodput under an adversarial network — `push_with_retry`
+/// against a checkpointing server while a seeded client-side
+/// [`ChaosStream`](dp_server::ChaosStream) kills the connection every N
+/// frames (and, at the harshest point, also duplicates every data frame
+/// and fragments I/O). Each severity reports goodput (unique events
+/// profiled per wall second), duplicated work (events resent across
+/// reconnects) and mean recovery latency per reconnect — and asserts
+/// the final report is byte-identical to the clean run's, which is the
+/// exactly-once contract measured end to end.
+pub fn chaos_goodput(ctx: &ScenarioCtx) -> ScenarioOutput {
+    use dp_server::{
+        push_with_retry, ChaosStream, NetFaultPlan, PushOptions, RetryPolicy, Server, ServerConfig,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let cfg = ExpConfig::from(ctx);
+    let w = &starbench_suite(cfg.wl_scale())[0];
+    let mut collect = CollectTracer::new();
+    Interp::new(&w.program).run_seq(&mut collect);
+    let events = collect.events;
+    let names: Vec<String> = (0..w.program.interner.len())
+        .map(|i| w.program.interner.resolve(i as u32).to_owned())
+        .collect();
+
+    let ckpt = std::env::temp_dir().join(format!("dp-bench-e18-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    std::fs::create_dir_all(&ckpt).expect("e18 checkpoint dir");
+
+    // (label, reset the connection every N written frames, harsh extras).
+    // Frames, not chunks: loop events ride in their own frames, so the
+    // per-connection budget is what a flaky link would actually allow.
+    let severities: &[(&str, Option<u64>, bool)] = if ctx.quick {
+        &[("clean", None, false), ("reset/512", Some(512), false)]
+    } else {
+        &[
+            ("clean", None, false),
+            ("reset/4096", Some(4096), false),
+            ("reset/1024", Some(1024), false),
+            ("reset/256+dup", Some(256), true),
+        ]
+    };
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+    STOP.store(false, Ordering::SeqCst);
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions: 4,
+            checkpoint_dir: Some(ckpt.clone()),
+            checkpoint_every: 512,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run(&STOP).unwrap());
+
+    // Tight backoff: the sweep measures protocol overhead, not sleeps.
+    // The attempt budget is sized for the harshest severity (a reconnect
+    // every 8 frames across the whole stream).
+    let policy =
+        RetryPolicy { max_attempts: 100_000, base_delay_ms: 1, max_delay_ms: 8, seed: ctx.seed };
+
+    let mut t = Table::new(&[
+        "severity",
+        "reconnects",
+        "resent",
+        "recover ms",
+        "wall ms",
+        "goodput kev/s",
+        "identical",
+    ]);
+    let mut rows = Vec::new();
+    let mut clean_report: Option<String> = None;
+    let mut clean_evps = 0.0f64;
+    for (label, reset, harsh) in severities {
+        let mut plan = NetFaultPlan::new().with_seed(ctx.seed | 1);
+        if let Some(k) = reset {
+            plan = plan.with_reset_at_frames(*k);
+        }
+        if *harsh {
+            plan = plan.with_dup_every(3).with_short_io();
+        }
+        let opts = PushOptions {
+            session: format!("e18-{label}"),
+            // A modest signature keeps the per-reconnect checkpoint
+            // cycle about the service layer, not signature capacity.
+            spec: dp_core::SessionSpec { slots: 1 << 16, ..Default::default() },
+            chunk_events: 64,
+            sync_every_chunks: 16,
+            ..PushOptions::default()
+        };
+        let t0 = std::time::Instant::now();
+        let r = push_with_retry(
+            || {
+                let c = std::net::TcpStream::connect(addr)?;
+                c.set_nodelay(true).ok();
+                Ok(ChaosStream::new(c, plan.clone()))
+            },
+            &names,
+            &events,
+            &opts,
+            &policy,
+        )
+        .expect("push survives the fault plan");
+        let wall = t0.elapsed();
+
+        // Goodput counts *unique* events — the profile's worth of work —
+        // against the wall clock that includes every reconnect.
+        let goodput = events.len() as f64 / wall.as_secs_f64();
+        let identical = match &clean_report {
+            None => {
+                clean_report = Some(r.outcome.report.clone());
+                clean_evps = goodput;
+                true
+            }
+            Some(want) => want == &r.outcome.report,
+        };
+        let recover_per_reconnect =
+            if r.reconnects > 0 { r.recovery_ms_total as f64 / r.reconnects as f64 } else { 0.0 };
+        t.row(&[
+            label.to_string(),
+            r.reconnects.to_string(),
+            r.events_resent.to_string(),
+            format!("{recover_per_reconnect:.1}"),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{:.1}", goodput / 1e3),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+        let mut row = MetricRow::new(format!("chaos/{label}"));
+        row.events = Some(events.len() as u64);
+        row.wall_ms = Some(wall.as_secs_f64() * 1e3);
+        row.events_per_sec = Some(goodput);
+        rows.push(
+            row.check("reconnects", r.reconnects)
+                .check("busy_waits", r.busy_waits)
+                .check("events_resent", r.events_resent)
+                .check("recovery_ms_per_reconnect", format!("{recover_per_reconnect:.1}"))
+                .check("report_identical_to_clean", identical),
+        );
+    }
+    STOP.store(true, Ordering::SeqCst);
+    server_thread.join().unwrap();
+    let _ = std::fs::remove_dir_all(&ckpt);
+
+    let text = format!(
+        "Chaos goodput (E18): {} pushed through a seeded fault injector,\n\
+         retry/resume client vs checkpointing server over loopback TCP\n\
+         (goodput = unique events per wall second including recovery;\n\
+         every severity must reproduce the clean run's report exactly)\n\n{}",
+        w.meta.name,
+        t.render()
+    );
+    let summary = if clean_evps > 0.0 { Some(clean_evps) } else { None };
+    ScenarioOutput { text, rows, summary_events_per_sec: summary }
 }
 
 #[cfg(test)]

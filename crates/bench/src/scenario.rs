@@ -131,6 +131,7 @@ scenarios! {
     Spsc { id: "spsc", exp: "E15", title: "SPSC vs MPMC vs lock-based transport comparison", run: exp::spsc },
     Server { id: "server", exp: "E16", title: "Server throughput and Sync RTT vs client count", run: exp::server_throughput },
     FuzzCampaign { id: "fuzz", exp: "E17", title: "Differential fuzzing: all engine legs agree on seeded MiniVM programs", run: exp::fuzz_campaign },
+    ChaosGoodput { id: "chaos", exp: "E18", title: "Chaos goodput: retry/resume client vs seeded network faults", run: exp::chaos_goodput },
 }
 
 /// Looks up a scenario by id.

@@ -508,6 +508,7 @@ impl MtProfiler {
                 // Checkpoint accounting is owned by the driver that owns
                 // the checkpoint store, not by the engine.
                 checkpoints: Default::default(),
+                service: Default::default(),
                 // The MT router is distributed across target threads, so
                 // there is no central hot-address table to report.
                 hot_addresses: Vec::new(),

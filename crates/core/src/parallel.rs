@@ -1181,6 +1181,7 @@ where
             // Engines only produce checkpoint blobs on demand; the driver
             // that owns the checkpoint store fills these in afterwards.
             checkpoints: Default::default(),
+            service: Default::default(),
             hot_addresses,
             per_worker,
             timings: PhaseTimings {

@@ -1,7 +1,7 @@
 //! The differential oracle: one program, every engine, one verdict.
 //!
 //! For a sequential program the oracle records its trace once and feeds
-//! the identical event stream to eight legs:
+//! the identical event stream to ten legs:
 //!
 //! 1. serial in-line engine (the reference),
 //! 2. parallel pipeline, SPSC transport,
@@ -9,10 +9,14 @@
 //! 4. parallel pipeline, lock-based transport,
 //! 5. the DPSV service engine wrapping the serial engine,
 //! 6. the DPSV service engine wrapping the parallel pipeline,
-//! 7. serial engine checkpointed mid-stream and resumed,
-//! 8. parallel pipeline checkpointed mid-stream and resumed.
+//! 7. the service engine over a flaky transport (seeded mid-stream
+//!    disconnect, checkpointed resume with resend overlap, every frame
+//!    delivered twice) wrapping the serial engine,
+//! 8. the same flaky transport wrapping the parallel pipeline,
+//! 9. serial engine checkpointed mid-stream and resumed,
+//! 10. parallel pipeline checkpointed mid-stream and resumed.
 //!
-//! All eight must produce the same dependence multiset, and the serial
+//! All ten must produce the same dependence multiset, and the serial
 //! result must additionally show zero false positives and zero false
 //! negatives against the perfect-signature baseline. Both comparisons
 //! are exact, not statistical: [`injective_slots`] grows the signature
@@ -217,6 +221,78 @@ pub fn served(spec: &SessionSpec, events: &[TraceEvent], names: Vec<String>) -> 
     engine.finish_result().expect("engine still live before Finish")
 }
 
+/// Replays events through the service engine over a simulated flaky
+/// transport: frames are cut at a seeded offset mid-stream (the
+/// server's disconnect path writes an emergency checkpoint and drops
+/// the engine), the client re-`Hello`s the same session, and resends
+/// from the acked resume watermark with deliberate overlap — and every
+/// single frame, both before and after the cut, is delivered *twice*,
+/// the way a retransmitting network would. The positional protocol must
+/// make all of it land in the profile exactly once.
+pub fn flaky_served(
+    spec: &SessionSpec,
+    events: &[TraceEvent],
+    names: Vec<String>,
+    seed: u64,
+) -> ProfileResult {
+    let base = std::env::temp_dir().join(format!(
+        "dp-fuzz-flaky-{}-{}-{seed}",
+        std::process::id(),
+        spec.parallel as u8
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("flaky temp dir");
+    let hello = Hello { session: "flaky".into(), spec: spec.encode(), checkpoint_every: 0, names };
+
+    // First connection: duplicated delivery of every frame up to a
+    // seeded cut, then the client is "lost" — emergency checkpoint,
+    // engine dropped.
+    let (mut engine, ack) = SessionEngine::open(&hello, 1, Some(&base), 0).expect("hello");
+    assert!(matches!(ack, Frame::HelloAck { resume_from: 0, .. }));
+    let frames: Vec<Frame> = {
+        let mut c = FrameChunker::new(16);
+        let mut v: Vec<Frame> = events.iter().flat_map(|ev| c.push(*ev)).collect();
+        v.extend(c.flush());
+        v
+    };
+    let cut = if frames.is_empty() { 0 } else { seed as usize % frames.len() };
+    for f in &frames[..cut] {
+        engine.handle(f.clone()).expect("pre-cut frame");
+        engine.handle(f.clone()).expect("pre-cut duplicate");
+    }
+    engine.write_checkpoint().expect("emergency checkpoint");
+    drop(engine);
+
+    // Reconnect under the same name: the ack carries the watermark.
+    // Resend from a few events *before* it (retry overlap), duplicated
+    // again — the positional skip dedupes overlap and duplicates alike.
+    let (mut engine, ack) = SessionEngine::open(&hello, 2, Some(&base), 0).expect("re-hello");
+    let resume = match ack {
+        Frame::HelloAck { resume_from, .. } => resume_from,
+        other => panic!("wanted HelloAck, got {other:?}"),
+    };
+    let overlap = resume.min(seed % 5);
+    let start = resume - overlap;
+    let mut c = FrameChunker::with_base(16, start);
+    let mut resent: Vec<Frame> =
+        events[start as usize..].iter().flat_map(|ev| c.push(*ev)).collect();
+    resent.extend(c.flush());
+    for f in resent {
+        engine.handle(f.clone()).expect("resent frame");
+        engine.handle(f).expect("resent duplicate");
+    }
+    let acks = engine.handle(Frame::Sync { nonce: 1 }).expect("sync");
+    match acks[..] {
+        [Frame::SyncAck { nonce: 1, position }] => {
+            assert_eq!(position, events.len() as u64, "watermark covers the whole stream");
+        }
+        ref other => panic!("wanted one SyncAck, got {other:?}"),
+    }
+    let result = engine.finish_result().expect("engine still live before Finish");
+    let _ = std::fs::remove_dir_all(&base);
+    result
+}
+
 /// Replays events with a kill at `cut`: the first engine checkpoints
 /// after `cut` events and is dropped (the process is gone — only the
 /// checkpoint bytes survive); a second engine is rebuilt from the
@@ -351,7 +427,29 @@ pub fn check_program(prog: &Program, cfg: &OracleConfig) -> Result<OracleOutcome
     // Service layer, both engines.
     expect_equal("served-serial", &want, &served(&serial_spec, &events, names.clone()))?;
     legs += 1;
-    expect_equal("served-par", &want, &served(&par_spec(TransportKind::Spsc), &events, names))?;
+    expect_equal(
+        "served-par",
+        &want,
+        &served(&par_spec(TransportKind::Spsc), &events, names.clone()),
+    )?;
+    legs += 1;
+
+    // Flaky transport: seeded mid-stream disconnect + reconnect with
+    // resend overlap, every frame delivered twice. The seed varies per
+    // program so the cut lands at different frame offsets across a
+    // campaign.
+    let flaky_seed = (events.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    expect_equal(
+        "flaky-served-serial",
+        &want,
+        &flaky_served(&serial_spec, &events, names.clone(), flaky_seed),
+    )?;
+    legs += 1;
+    expect_equal(
+        "flaky-served-par",
+        &want,
+        &flaky_served(&par_spec(TransportKind::Spsc), &events, names, flaky_seed ^ 0xdead_beef),
+    )?;
     legs += 1;
 
     // Kill-and-resume mid-stream, both engines.
@@ -466,7 +564,7 @@ mod tests {
             let out = check_program(&prog, &cfg).unwrap_or_else(|d| {
                 panic!("seed {seed}: {d}\n{}", dp_trace::fuzz::print_program(&prog))
             });
-            assert!(out.legs >= 8, "seed {seed} ran only {} legs", out.legs);
+            assert!(out.legs >= 10, "seed {seed} ran only {} legs", out.legs);
         }
     }
 

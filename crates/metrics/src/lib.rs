@@ -298,6 +298,25 @@ pub struct CheckpointMetrics {
     pub resumed_from: u64,
 }
 
+/// Service-layer resilience counters: what the DPSV session survived.
+/// Zero everywhere for offline runs; filled in by the server's
+/// `SessionEngine` when a profile arrived over the network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Times a client re-`Hello`ed into this session (resume after a
+    /// disconnect or a hibernation).
+    pub reconnects: u64,
+    /// Times the session was hibernated to the checkpoint store after
+    /// sitting idle (engine evicted, slot freed).
+    pub hibernated: u64,
+    /// Times the session was rehydrated from a checkpoint on `Hello`.
+    pub rehydrated: u64,
+    /// Events the server discarded because their stream position was
+    /// below the already-profiled watermark — resend overlap and
+    /// duplicated frames, dropped so nothing is double-counted.
+    pub events_skipped_on_resume: u64,
+}
+
 /// One entry of the hot-address top-K (the router-side counts that drive
 /// Section IV-A redistribution).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -363,6 +382,9 @@ pub struct MetricsSnapshot {
     pub signatures: SigGauges,
     /// Durability counters (checkpoints written, resume position).
     pub checkpoints: CheckpointMetrics,
+    /// Service-layer resilience counters (reconnects, hibernation,
+    /// duplicate-skip accounting); all zero for offline runs.
+    pub service: ServiceMetrics,
     /// Hot-address top-K, ordered by count descending then address
     /// ascending.
     pub hot_addresses: Vec<HotAddress>,
@@ -411,6 +433,13 @@ impl MetricsSnapshot {
             "  \"checkpoints\": {{ \"generations\": {}, \"last_bytes\": {}, \
              \"write_nanos\": {}, \"resumed_from\": {} }},",
             p.generations, p.last_bytes, p.write_nanos, p.resumed_from
+        );
+        let v = &self.service;
+        let _ = writeln!(
+            s,
+            "  \"service\": {{ \"reconnects\": {}, \"hibernated\": {}, \
+             \"rehydrated\": {}, \"events_skipped_on_resume\": {} }},",
+            v.reconnects, v.hibernated, v.rehydrated, v.events_skipped_on_resume
         );
         s.push_str("  \"hot_addresses\": [");
         for (i, h) in self.hot_addresses.iter().enumerate() {
@@ -486,6 +515,14 @@ impl MetricsSnapshot {
                 p.generations, p.last_bytes, p.write_nanos, p.resumed_from
             );
         }
+        let v = &self.service;
+        if *v != ServiceMetrics::default() {
+            let _ = writeln!(
+                s,
+                "service: reconnects={} hibernated={} rehydrated={} skipped_on_resume={}",
+                v.reconnects, v.hibernated, v.rehydrated, v.events_skipped_on_resume
+            );
+        }
         if !self.hot_addresses.is_empty() {
             let _ = writeln!(s, "hot addresses:");
             for h in &self.hot_addresses {
@@ -540,6 +577,15 @@ pub struct SessionMetrics {
     pub resumed_from: u64,
     /// Checkpoint generations written for this session.
     pub checkpoint_generations: u64,
+    /// Times a client re-`Hello`ed into this session name.
+    pub reconnects: u64,
+    /// Times this session was hibernated to the checkpoint store.
+    pub hibernated: u64,
+    /// Times this session was rehydrated from a checkpoint on `Hello`.
+    pub rehydrated: u64,
+    /// Events discarded because their positions were below the
+    /// already-profiled watermark (resend overlap, duplicate frames).
+    pub events_skipped_on_resume: u64,
 }
 
 impl SessionMetrics {
@@ -548,14 +594,20 @@ impl SessionMetrics {
     pub fn to_json(&self) -> String {
         format!(
             "{{ \"frames\": {}, \"chunks\": {}, \"events\": {}, \"syncs\": {}, \
-             \"bytes_in\": {}, \"resumed_from\": {}, \"checkpoint_generations\": {} }}",
+             \"bytes_in\": {}, \"resumed_from\": {}, \"checkpoint_generations\": {}, \
+             \"reconnects\": {}, \"hibernated\": {}, \"rehydrated\": {}, \
+             \"events_skipped_on_resume\": {} }}",
             self.frames,
             self.chunks,
             self.events,
             self.syncs,
             self.bytes_in,
             self.resumed_from,
-            self.checkpoint_generations
+            self.checkpoint_generations,
+            self.reconnects,
+            self.hibernated,
+            self.rehydrated,
+            self.events_skipped_on_resume
         )
     }
 }
@@ -711,6 +763,7 @@ mod tests {
             "\"stall_nanos\"",
             "\"signatures\"",
             "\"checkpoints\"",
+            "\"service\"",
             "\"hot_addresses\"",
             "\"per_worker\"",
             "\"timings_nanos\"",
@@ -754,6 +807,44 @@ mod tests {
         let j = snap.to_json();
         assert!(j.contains("\"generations\": 3"), "{j}");
         assert!(j.contains("\"resumed_from\": 500"), "{j}");
+    }
+
+    #[test]
+    fn service_metrics_render_in_both_forms() {
+        let mut snap = MetricsSnapshot { enabled: true, ..Default::default() };
+        // Offline runs keep the text form quiet but the JSON keys stable.
+        assert!(!snap.to_text().contains("service:"));
+        assert!(snap.to_json().contains("\"service\": { \"reconnects\": 0"));
+        snap.service = ServiceMetrics {
+            reconnects: 2,
+            hibernated: 1,
+            rehydrated: 1,
+            events_skipped_on_resume: 4096,
+        };
+        let t = snap.to_text();
+        assert!(t.contains("service: reconnects=2 hibernated=1 rehydrated=1"), "{t}");
+        let j = snap.to_json();
+        assert!(j.contains("\"events_skipped_on_resume\": 4096"), "{j}");
+    }
+
+    #[test]
+    fn session_metrics_json_carries_resilience_counters() {
+        let m = SessionMetrics {
+            reconnects: 3,
+            hibernated: 1,
+            rehydrated: 2,
+            events_skipped_on_resume: 77,
+            ..Default::default()
+        };
+        let j = m.to_json();
+        for want in [
+            "\"reconnects\": 3",
+            "\"hibernated\": 1",
+            "\"rehydrated\": 2",
+            "\"events_skipped_on_resume\": 77",
+        ] {
+            assert!(j.contains(want), "{want} missing in {j}");
+        }
     }
 
     #[test]

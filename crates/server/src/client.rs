@@ -1,13 +1,20 @@
 //! The client half of the protocol: open a session, stream events,
 //! collect the report — what `depprof push` drives over a socket, and
 //! what the in-process tests drive over a loopback connection.
+//!
+//! Two entry points: [`push_events`] runs one session over one
+//! connection and fails on the first transport error; [`push_with_retry`]
+//! wraps it in a reconnect loop with bounded jittered backoff, resuming
+//! from the server's `HelloAck.resume_from` watermark after every
+//! disconnect — the client half of the exactly-once contract.
 
 use dp_core::SessionSpec;
 use dp_trace::FrameChunker;
-use dp_types::protocol::{self, Frame, Hello, ProtocolError, MAX_FRAME_BYTES};
+use dp_types::protocol::{self, error_code, Frame, Hello, ProtocolError, MAX_FRAME_BYTES};
 use dp_types::TraceEvent;
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::Instant;
 
 /// How a push streams its session.
 #[derive(Debug, Clone)]
@@ -25,6 +32,10 @@ pub struct PushOptions {
     pub throttle_ms: u64,
     /// Request the per-session metrics snapshot before finishing.
     pub request_stats: bool,
+    /// Send a `Sync` watermark probe every N chunks and wait for its
+    /// `SyncAck` (0 = never) — applicative backpressure plus a durable
+    /// high-water mark for duplicated-work accounting.
+    pub sync_every_chunks: u64,
 }
 
 impl Default for PushOptions {
@@ -36,6 +47,7 @@ impl Default for PushOptions {
             chunk_events: 512,
             throttle_ms: 0,
             request_stats: false,
+            sync_every_chunks: 0,
         }
     }
 }
@@ -65,6 +77,12 @@ pub enum ClientError {
         /// Server-provided description.
         message: String,
     },
+    /// The server refused the session with typed backpressure; retry
+    /// after the hinted delay.
+    Busy {
+        /// The server's suggested reconnect delay, milliseconds.
+        retry_after_ms: u64,
+    },
     /// The server sent a well-formed frame the client did not expect
     /// in this state.
     Unexpected(&'static str),
@@ -76,6 +94,9 @@ impl fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "{e}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error {code}: {message}")
+            }
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy (retry after {retry_after_ms}ms)")
             }
             ClientError::Unexpected(what) => write!(f, "unexpected server frame: {what}"),
         }
@@ -90,12 +111,52 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
+impl ClientError {
+    /// True for failures a reconnect can cure: transport errors, typed
+    /// backpressure, and the server-side conditions (`SHUTDOWN`,
+    /// `HIBERNATED`) that explicitly invite a resume. Spec rejections
+    /// and protocol misuse are fatal — retrying cannot change them.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Protocol(_) | ClientError::Busy { .. } => true,
+            ClientError::Server { code, .. } => {
+                *code == error_code::SHUTDOWN || *code == error_code::HIBERNATED
+            }
+            ClientError::Unexpected(_) => false,
+        }
+    }
+}
+
 fn read_reply(conn: &mut impl Read) -> Result<Frame, ClientError> {
     match protocol::read_frame(conn, MAX_FRAME_BYTES)? {
         Some(Frame::Error { code, message }) => Err(ClientError::Server { code, message }),
+        Some(Frame::Busy { retry_after_ms }) => Err(ClientError::Busy { retry_after_ms }),
         Some(f) => Ok(f),
         None => Err(ClientError::Protocol(ProtocolError::Wire(dp_types::WireError::Truncated))),
     }
+}
+
+/// Like [`read_reply`], but skips stray `SyncAck` frames — a duplicated
+/// `Sync` on a chaotic link produces an extra ack that would otherwise
+/// land where `Stats` or `Report` is expected.
+fn read_reply_skipping_acks(conn: &mut impl Read) -> Result<Frame, ClientError> {
+    loop {
+        match read_reply(conn)? {
+            Frame::SyncAck { .. } => continue,
+            f => return Ok(f),
+        }
+    }
+}
+
+/// In-flight progress of one connection attempt, visible to the retry
+/// loop even when the attempt dies mid-stream — this is what makes the
+/// duplicated-work accounting exact.
+#[derive(Debug, Clone, Copy, Default)]
+struct PushProgress {
+    /// Events written to the socket this attempt.
+    events_sent: u64,
+    /// `HelloAck.resume_from`, once received.
+    resumed_from: Option<u64>,
 }
 
 /// Runs one full push session over `conn`: preamble, `Hello` carrying
@@ -106,6 +167,16 @@ pub fn push_events(
     names: Vec<String>,
     events: impl IntoIterator<Item = TraceEvent>,
     opts: &PushOptions,
+) -> Result<PushOutcome, ClientError> {
+    push_once(conn, names, events, opts, &mut PushProgress::default())
+}
+
+fn push_once(
+    conn: &mut (impl Read + Write),
+    names: Vec<String>,
+    events: impl IntoIterator<Item = TraceEvent>,
+    opts: &PushOptions,
+    progress: &mut PushProgress,
 ) -> Result<PushOutcome, ClientError> {
     protocol::write_preamble(conn).map_err(ProtocolError::Io)?;
     conn.flush().map_err(ProtocolError::Io)?;
@@ -129,32 +200,61 @@ pub fn push_events(
         Frame::HelloAck { resume_from, .. } => resume_from,
         _ => return Err(ClientError::Unexpected("wanted HelloAck")),
     };
+    progress.resumed_from = Some(resumed_from);
 
-    let mut chunker = FrameChunker::new(opts.chunk_events.max(1));
-    let mut events_sent: u64 = 0;
+    // Positions are absolute: the chunker starts at the server's
+    // watermark so every frame says exactly where it belongs, and the
+    // server can drop any overlap without double-counting.
+    let mut chunker = FrameChunker::with_base(opts.chunk_events.max(1), resumed_from);
     let mut skipped: u64 = 0;
+    let mut chunks_since_sync: u64 = 0;
+    let mut sync_nonce: u64 = 0;
     for ev in events {
         if skipped < resumed_from {
             skipped += 1;
             continue;
         }
         for frame in chunker.push(ev) {
+            let is_chunk = matches!(frame, Frame::Chunk { .. });
             protocol::write_frame(conn, &frame)?;
-            if opts.throttle_ms > 0 && matches!(frame, Frame::Chunk(_)) {
-                conn.flush().map_err(ProtocolError::Io)?;
-                std::thread::sleep(std::time::Duration::from_millis(opts.throttle_ms));
+            if is_chunk {
+                chunks_since_sync += 1;
+                if opts.throttle_ms > 0 {
+                    conn.flush().map_err(ProtocolError::Io)?;
+                    std::thread::sleep(std::time::Duration::from_millis(opts.throttle_ms));
+                }
+                if opts.sync_every_chunks > 0 && chunks_since_sync >= opts.sync_every_chunks {
+                    chunks_since_sync = 0;
+                    sync_nonce += 1;
+                    protocol::write_frame(conn, &Frame::Sync { nonce: sync_nonce })?;
+                    conn.flush().map_err(ProtocolError::Io)?;
+                    // Wait for this probe's ack (skipping acks of any
+                    // duplicated earlier probes): everything sent so far
+                    // is consumed — a durable watermark.
+                    loop {
+                        match read_reply(conn)? {
+                            Frame::SyncAck { nonce, .. } if nonce == sync_nonce => break,
+                            Frame::SyncAck { .. } => continue,
+                            _ => return Err(ClientError::Unexpected("wanted SyncAck")),
+                        }
+                    }
+                }
             }
         }
-        events_sent += 1;
+        progress.events_sent += 1;
     }
+    // Flush the trailing partial chunk and drain the socket buffer
+    // before the stats/finish exchange: a buffered or throttled
+    // connection must not sit on an unsent chunk at disconnect time.
     if let Some(frame) = chunker.flush() {
         protocol::write_frame(conn, &frame)?;
     }
+    conn.flush().map_err(ProtocolError::Io)?;
 
     let stats_json = if opts.request_stats {
         protocol::write_frame(conn, &Frame::StatsRequest)?;
         conn.flush().map_err(ProtocolError::Io)?;
-        match read_reply(conn)? {
+        match read_reply_skipping_acks(conn)? {
             Frame::Stats { json } => Some(json),
             _ => return Err(ClientError::Unexpected("wanted Stats")),
         }
@@ -164,9 +264,152 @@ pub fn push_events(
 
     protocol::write_frame(conn, &Frame::Finish)?;
     conn.flush().map_err(ProtocolError::Io)?;
-    let report = match read_reply(conn)? {
+    let report = match read_reply_skipping_acks(conn)? {
         Frame::Report { text } => text,
         _ => return Err(ClientError::Unexpected("wanted Report")),
     };
-    Ok(PushOutcome { report, resumed_from, events_sent, stats_json })
+    Ok(PushOutcome { report, resumed_from, events_sent: progress.events_sent, stats_json })
+}
+
+/// Reconnect policy for [`push_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Connection attempts without watermark progress before giving up
+    /// (minimum 1). Any reconnect that finds the server's resume
+    /// position advanced refills the budget: a client that moves the
+    /// stream forward on every connection keeps going no matter how
+    /// often the link drops, while a stalled one stays bounded.
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per consecutive failure.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling (also caps a server `Busy` hint).
+    pub max_delay_ms: u64,
+    /// Jitter seed, so concurrent clients don't reconnect in lockstep.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 5, base_delay_ms: 100, max_delay_ms: 2_000, seed: 0 }
+    }
+}
+
+/// What [`push_with_retry`] survived on the way to its outcome.
+#[derive(Debug, Clone)]
+pub struct RetryOutcome {
+    /// The successful push.
+    pub outcome: PushOutcome,
+    /// Connection attempts used (1 = no faults encountered).
+    pub attempts: u32,
+    /// Reconnects after a mid-stream failure (`attempts - 1`).
+    pub reconnects: u32,
+    /// `Busy` refusals honored (waited and retried).
+    pub busy_waits: u32,
+    /// Events sent more than once across attempts — the duplicated
+    /// work the positional protocol discarded server-side.
+    pub events_resent: u64,
+    /// Wall-clock spent between the first failure and final success.
+    pub recovery_ms_total: u64,
+}
+
+/// Bounded exponential backoff with deterministic downward jitter:
+/// `base * 2^attempt`, capped at `max`, minus a seed-derived slice of
+/// up to a quarter of the delay. Shared by the service client and the
+/// CLI's connect loop.
+pub fn backoff_delay_ms(base_ms: u64, max_ms: u64, attempt: u32, seed: u64) -> u64 {
+    let exp = base_ms.max(1).saturating_mul(1u64 << attempt.min(20));
+    let capped = exp.min(max_ms.max(base_ms.max(1)));
+    let jitter = (seed ^ u64::from(attempt + 1).wrapping_mul(7919)) % (capped / 4 + 1);
+    capped - jitter
+}
+
+/// Pushes `events` until the session completes, surviving disconnects,
+/// server shutdowns/hibernations and `Busy` backpressure: each attempt
+/// reconnects via `connect`, re-`Hello`s the same session, and resumes
+/// from the watermark the server reports. Positional frames make the
+/// resend overlap (and any wire-level duplication) land exactly once in
+/// the profile.
+pub fn push_with_retry<C: Read + Write>(
+    mut connect: impl FnMut() -> std::io::Result<C>,
+    names: &[String],
+    events: &[TraceEvent],
+    opts: &PushOptions,
+    policy: &RetryPolicy,
+) -> Result<RetryOutcome, ClientError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempts = 0u32;
+    let mut busy_waits = 0u32;
+    let mut sent_total = 0u64;
+    let mut first_resume: Option<u64> = None;
+    let mut first_failure: Option<Instant> = None;
+    let mut consecutive_failures = 0u32;
+    let mut stalled_attempts = 0u32;
+    let mut last_watermark = 0u64;
+    loop {
+        attempts += 1;
+        let mut progress = PushProgress::default();
+        let err = match connect() {
+            Ok(mut conn) => {
+                match push_once(
+                    &mut conn,
+                    names.to_vec(),
+                    events.iter().cloned(),
+                    opts,
+                    &mut progress,
+                ) {
+                    Ok(outcome) => {
+                        sent_total += progress.events_sent;
+                        let unique =
+                            (events.len() as u64).saturating_sub(first_resume.unwrap_or(0));
+                        return Ok(RetryOutcome {
+                            outcome,
+                            attempts,
+                            reconnects: attempts - 1,
+                            busy_waits,
+                            events_resent: sent_total.saturating_sub(unique),
+                            recovery_ms_total: first_failure
+                                .map(|t| t.elapsed().as_millis() as u64)
+                                .unwrap_or(0),
+                        });
+                    }
+                    Err(e) => e,
+                }
+            }
+            Err(e) => ClientError::Protocol(ProtocolError::Io(e)),
+        };
+        sent_total += progress.events_sent;
+        if first_resume.is_none() {
+            first_resume = progress.resumed_from;
+        }
+        // The budget bounds attempts WITHOUT progress: a reconnect that
+        // finds the watermark advanced proves the previous connection
+        // delivered events durably, so the loop is converging.
+        let watermark = progress.resumed_from.unwrap_or(0);
+        if watermark > last_watermark {
+            last_watermark = watermark;
+            stalled_attempts = 0;
+            consecutive_failures = 0;
+        }
+        stalled_attempts += 1;
+        if !err.is_retryable() || stalled_attempts >= max_attempts {
+            return Err(err);
+        }
+        first_failure.get_or_insert_with(Instant::now);
+        let delay = match err {
+            ClientError::Busy { retry_after_ms } => {
+                busy_waits += 1;
+                retry_after_ms.min(policy.max_delay_ms.max(1))
+            }
+            _ => {
+                consecutive_failures += 1;
+                backoff_delay_ms(
+                    policy.base_delay_ms,
+                    policy.max_delay_ms,
+                    consecutive_failures - 1,
+                    policy.seed,
+                )
+            }
+        };
+        std::thread::sleep(std::time::Duration::from_millis(delay));
+    }
 }

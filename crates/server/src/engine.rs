@@ -110,6 +110,7 @@ impl SessionEngine {
             let session = spec.resume(&data).ok()?;
             Some((spec, session, data.generation, data.records_read))
         });
+        let rehydrated = resumed.is_some();
         let (spec, session, generation, events_fed) = match resumed {
             Some((spec, session, generation, records_read)) => {
                 (spec, session, generation + 1, records_read)
@@ -134,7 +135,11 @@ impl SessionEngine {
             checkpoint_every,
             generation,
             events_fed,
-            metrics: SessionMetrics { resumed_from: events_fed, ..SessionMetrics::default() },
+            metrics: SessionMetrics {
+                resumed_from: events_fed,
+                rehydrated: rehydrated as u64,
+                ..SessionMetrics::default()
+            },
             finished: false,
         };
         let ack = Frame::HelloAck { session_id, resume_from: engine.events_fed };
@@ -150,28 +155,48 @@ impl SessionEngine {
         self.metrics.frames += 1;
         match frame {
             Frame::Hello(_) => Err(SessionError::OutOfOrder("second Hello on one connection")),
-            Frame::HelloAck { .. } | Frame::Stats { .. } | Frame::Report { .. } => {
+            Frame::HelloAck { .. }
+            | Frame::Stats { .. }
+            | Frame::Report { .. }
+            | Frame::SyncAck { .. }
+            | Frame::Busy { .. } => {
                 Err(SessionError::OutOfOrder("server-to-client frame sent by client"))
             }
             Frame::Error { .. } => Err(SessionError::OutOfOrder("Error frame sent by client")),
-            Frame::Chunk(accesses) => {
+            Frame::Chunk { base, accesses } => {
                 self.metrics.chunks += 1;
                 self.metrics.bytes_in +=
                     (accesses.len() * dp_types::protocol::ACCESS_WIRE_BYTES) as u64;
-                for a in accesses {
+                if base > self.events_fed {
+                    return Err(SessionError::OutOfOrder("chunk beyond the stream watermark"));
+                }
+                // Everything below the watermark was already profiled
+                // (resend overlap after a reconnect, or a duplicated
+                // frame): skip it exactly, feed only the new suffix.
+                let skip = (self.events_fed - base).min(accesses.len() as u64) as usize;
+                self.metrics.events_skipped_on_resume += skip as u64;
+                for a in accesses.into_iter().skip(skip) {
                     self.feed(TraceEvent::Access(a))?;
                 }
                 Ok(Vec::new())
             }
-            Frame::LoopEvent(ev) => {
+            Frame::LoopEvent { seq, ev } => {
+                if seq > self.events_fed {
+                    return Err(SessionError::OutOfOrder("event beyond the stream watermark"));
+                }
+                if seq < self.events_fed {
+                    self.metrics.events_skipped_on_resume += 1;
+                    return Ok(Vec::new());
+                }
                 self.feed(ev)?;
                 Ok(Vec::new())
             }
             Frame::Sync { nonce } => {
                 // Handling is synchronous: every earlier frame on this
-                // connection has been fed by the time we reply.
+                // connection has been fed by the time we reply, so the
+                // acked position is a durable watermark.
                 self.metrics.syncs += 1;
-                Ok(vec![Frame::Sync { nonce }])
+                Ok(vec![Frame::SyncAck { nonce, position: self.events_fed }])
             }
             Frame::StatsRequest => Ok(vec![Frame::Stats { json: self.metrics.to_json() }]),
             Frame::Finish => {
@@ -215,12 +240,58 @@ impl SessionEngine {
         Ok(())
     }
 
+    /// Hibernates an idle session: checkpoint the engine to the store
+    /// and release it, so `max_sessions` bounds *live* engines rather
+    /// than named sessions. A later `Hello` under the same name
+    /// rehydrates from the checkpoint and resumes exactly. Only durable
+    /// sessions (a checkpoint base was configured) can hibernate.
+    pub fn hibernate(&mut self) -> Result<(), SessionError> {
+        if self.finished {
+            return Err(SessionError::OutOfOrder("hibernate after Finish"));
+        }
+        if self.store.is_none() {
+            // A session below its first periodic checkpoint has no store
+            // yet — create it on demand so idle eviction still works.
+            let dir = self
+                .store_dir
+                .as_ref()
+                .ok_or(SessionError::OutOfOrder("hibernate without a checkpoint dir"))?;
+            self.store = Some(CheckpointStore::create(dir).map_err(SessionError::Io)?);
+        }
+        self.write_checkpoint()?;
+        self.metrics.hibernated += 1;
+        self.session = None;
+        self.finished = true;
+        Ok(())
+    }
+
+    /// True when the session can survive engine eviction (a checkpoint
+    /// directory was configured for it).
+    pub fn durable(&self) -> bool {
+        self.store_dir.is_some()
+    }
+
+    /// Records how many times a client re-`Hello`ed into this session
+    /// name (tracked by the server across connections).
+    pub fn set_reconnects(&mut self, reconnects: u64) {
+        self.metrics.reconnects = reconnects;
+    }
+
     /// Finishes the engine in-process and returns the raw result —
     /// the handle the equivalence tests compare dependence-for-
-    /// dependence against an offline replay.
+    /// dependence against an offline replay. The session's service
+    /// resilience counters are stamped into the result's snapshot.
     pub fn finish_result(mut self) -> Option<ProfileResult> {
         self.finished = true;
-        self.session.take().map(ProfileSession::finish)
+        let m = self.metrics;
+        self.session.take().map(|s| {
+            let mut result = s.finish();
+            result.metrics.service.reconnects = m.reconnects;
+            result.metrics.service.hibernated = m.hibernated;
+            result.metrics.service.rehydrated = m.rehydrated;
+            result.metrics.service.events_skipped_on_resume = m.events_skipped_on_resume;
+            result
+        })
     }
 
     /// The session's name as the client sent it.
@@ -281,9 +352,9 @@ mod tests {
     fn session_profiles_and_reports() {
         let (mut s, ack) = SessionEngine::open(&hello("t", 0), 1, None, 0).unwrap();
         assert_eq!(ack, Frame::HelloAck { session_id: 1, resume_from: 0 });
-        assert!(s.handle(Frame::Chunk(accesses(0..50))).unwrap().is_empty());
+        assert!(s.handle(Frame::Chunk { base: 0, accesses: accesses(0..50) }).unwrap().is_empty());
         let replies = s.handle(Frame::Sync { nonce: 99 }).unwrap();
-        assert_eq!(replies, vec![Frame::Sync { nonce: 99 }]);
+        assert_eq!(replies, vec![Frame::SyncAck { nonce: 99, position: 50 }]);
         let replies = s.handle(Frame::StatsRequest).unwrap();
         assert!(matches!(&replies[..], [Frame::Stats { json }] if json.contains("\"events\": 50")));
         let replies = s.handle(Frame::Finish).unwrap();
@@ -300,22 +371,28 @@ mod tests {
 
         // Reference: one uninterrupted session.
         let (mut all, _) = SessionEngine::open(&hello("ref", 0), 1, None, 0).unwrap();
-        all.handle(Frame::Chunk(evs.clone())).unwrap();
+        all.handle(Frame::Chunk { base: 0, accesses: evs.clone() }).unwrap();
         let reference = all.finish_result().unwrap();
 
         // Interrupted: feed 60, checkpoint (emergency), drop the engine.
         let (mut first, ack) = SessionEngine::open(&hello("job", 10), 2, Some(&base), 0).unwrap();
         assert_eq!(ack, Frame::HelloAck { session_id: 2, resume_from: 0 });
-        first.handle(Frame::Chunk(evs[..60].to_vec())).unwrap();
+        first.handle(Frame::Chunk { base: 0, accesses: evs[..60].to_vec() }).unwrap();
         first.write_checkpoint().unwrap();
         drop(first);
 
-        // Reconnect under the same name: resume position is handed back.
+        // Reconnect under the same name: resume position is handed back,
+        // and an overlapping resend (a client that restarted from 40)
+        // dedupes positionally instead of double-counting.
         let (mut second, ack) = SessionEngine::open(&hello("job", 10), 3, Some(&base), 0).unwrap();
         assert_eq!(ack, Frame::HelloAck { session_id: 3, resume_from: 60 });
         assert_eq!(second.metrics().resumed_from, 60);
-        second.handle(Frame::Chunk(evs[60..].to_vec())).unwrap();
+        assert_eq!(second.metrics().rehydrated, 1);
+        second.handle(Frame::Chunk { base: 40, accesses: evs[40..].to_vec() }).unwrap();
+        assert_eq!(second.metrics().events_skipped_on_resume, 20);
+        assert_eq!(second.position(), 100);
         let resumed = second.finish_result().unwrap();
+        assert_eq!(resumed.metrics.service.events_skipped_on_resume, 20);
 
         assert_eq!(reference.stats.accesses, resumed.stats.accesses);
         let deps = |r: &ProfileResult| {
@@ -333,11 +410,65 @@ mod tests {
         let base = std::env::temp_dir().join(format!("dpsv-engine-clear-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
         let (mut s, _) = SessionEngine::open(&hello("a b/c", 5), 1, Some(&base), 0).unwrap();
-        s.handle(Frame::Chunk(accesses(0..20))).unwrap();
+        s.handle(Frame::Chunk { base: 0, accesses: accesses(0..20) }).unwrap();
         assert!(base.join("a_b_c").exists(), "sanitized checkpoint dir");
         s.handle(Frame::Finish).unwrap();
         assert!(!base.join("a_b_c").exists(), "spent checkpoints are removed");
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn duplicate_and_gap_frames_are_handled_positionally() {
+        let evs = accesses(0..30);
+        let (mut s, _) = SessionEngine::open(&hello("dup", 0), 1, None, 0).unwrap();
+        s.handle(Frame::Chunk { base: 0, accesses: evs[..20].to_vec() }).unwrap();
+        // Exact duplicate delivery of the last frame: fully skipped.
+        s.handle(Frame::Chunk { base: 0, accesses: evs[..20].to_vec() }).unwrap();
+        assert_eq!(s.position(), 20);
+        assert_eq!(s.metrics().events_skipped_on_resume, 20);
+        // A gap is a protocol violation, not silent data loss.
+        let err = s.handle(Frame::Chunk { base: 25, accesses: evs[25..].to_vec() }).unwrap_err();
+        assert!(matches!(err, SessionError::OutOfOrder(_)));
+        let err = s
+            .handle(Frame::LoopEvent {
+                seq: 25,
+                ev: TraceEvent::CallBegin { func: 1, thread: 0, ts: 1 },
+            })
+            .unwrap_err();
+        assert!(matches!(err, SessionError::OutOfOrder(_)));
+    }
+
+    #[test]
+    fn hibernated_session_rehydrates_exactly() {
+        let base = std::env::temp_dir().join(format!("dpsv-engine-hib-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let evs = accesses(0..80);
+
+        let (mut all, _) = SessionEngine::open(&hello("ref", 0), 1, None, 0).unwrap();
+        all.handle(Frame::Chunk { base: 0, accesses: evs.clone() }).unwrap();
+        let reference = all.finish_result().unwrap();
+
+        // Hibernate mid-stream: even without a periodic checkpoint
+        // interval the store is created on demand.
+        let (mut idle, _) = SessionEngine::open(&hello("nap", 0), 2, Some(&base), 0).unwrap();
+        assert!(idle.durable());
+        idle.handle(Frame::Chunk { base: 0, accesses: evs[..50].to_vec() }).unwrap();
+        idle.hibernate().unwrap();
+        assert_eq!(idle.metrics().hibernated, 1);
+        drop(idle);
+
+        let (mut woken, ack) = SessionEngine::open(&hello("nap", 0), 3, Some(&base), 0).unwrap();
+        assert_eq!(ack, Frame::HelloAck { session_id: 3, resume_from: 50 });
+        assert_eq!(woken.metrics().rehydrated, 1);
+        woken.handle(Frame::Chunk { base: 50, accesses: evs[50..].to_vec() }).unwrap();
+        let resumed = woken.finish_result().unwrap();
+        assert_eq!(reference.stats.accesses, resumed.stats.accesses);
+        let _ = std::fs::remove_dir_all(&base);
+
+        // Sessions without a checkpoint dir cannot hibernate.
+        let (mut ephemeral, _) = SessionEngine::open(&hello("e", 0), 4, None, 0).unwrap();
+        assert!(!ephemeral.durable());
+        assert!(ephemeral.hibernate().is_err());
     }
 
     #[test]

@@ -28,18 +28,34 @@
 //!   `Drop`-policy session sheds load inside the engine with the PR 2
 //!   overflow accounting.
 //!
+//! - **Resilience** — the client side ships a [`push_with_retry`] loop
+//!   that survives mid-stream disconnects: reconnect with bounded
+//!   jittered backoff, re-`Hello` the same session, and skip the prefix
+//!   the server reports in `HelloAck.resume_from`. Frames are
+//!   positional, so resend overlap and duplicated delivery dedupe
+//!   exactly — at-least-once transport, exactly-once profiling. A
+//!   seeded [`ChaosStream`] fault injector ([`NetFaultPlan`]) proves
+//!   the path under adversarial networks, and idle durable sessions
+//!   hibernate to the checkpoint store so `max_sessions` bounds live
+//!   engines rather than named sessions.
+//!
 //! The session state machine itself ([`SessionEngine`]) is socket-free:
 //! it maps incoming frames to reply frames, which is what the
 //! equivalence tests drive directly and both socket front-ends share.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod engine;
 pub mod server;
 pub mod shutdown;
 
-pub use client::{push_events, ClientError, PushOptions, PushOutcome};
+pub use chaos::{ChaosStream, NetFaultPlan};
+pub use client::{
+    backoff_delay_ms, push_events, push_with_retry, ClientError, PushOptions, PushOutcome,
+    RetryOutcome, RetryPolicy,
+};
 pub use engine::{SessionEngine, SessionError};
 pub use server::{Server, ServerConfig};
 pub use shutdown::{

@@ -1,25 +1,27 @@
 //! The socket front-end: accept loop, per-connection threads, the
 //! global session cap, and shutdown/disconnect handling.
 
+use crate::chaos::{ChaosStream, NetFaultPlan};
 use crate::engine::SessionEngine;
 use crate::shutdown;
 use dp_types::protocol::{
     self, error_code, Frame, ProtocolError, MAX_FRAME_BYTES, PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
+use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Server-wide policy knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Concurrent-session cap; a client past it receives
-    /// `Error{AT_CAPACITY}` instead of queueing invisibly.
+    /// Concurrent-session cap; a client past it receives a typed
+    /// `Busy{retry_after_ms}` instead of queueing invisibly.
     pub max_sessions: usize,
     /// Base directory for per-session checkpoints (`<dir>/<session>`);
     /// `None` disables durability.
@@ -31,6 +33,16 @@ pub struct ServerConfig {
     pub max_frame_bytes: usize,
     /// How often blocked reads wake up to observe the shutdown flag.
     pub poll_interval_ms: u64,
+    /// The reconnect-delay hint handed to refused clients in `Busy`.
+    pub busy_retry_ms: u64,
+    /// Hibernate a durable session whose connection has been idle this
+    /// long: checkpoint it, evict the engine, free the slot (0 = never).
+    /// The client is told with `Error{HIBERNATED}` and a re-`Hello`
+    /// rehydrates the session exactly where it stopped.
+    pub hibernate_after_ms: u64,
+    /// Seeded network-fault injection applied to every accepted
+    /// connection (inactive by default; `depprof serve --chaos`).
+    pub fault_plan: NetFaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +53,9 @@ impl Default for ServerConfig {
             checkpoint_every: 0,
             max_frame_bytes: MAX_FRAME_BYTES,
             poll_interval_ms: 50,
+            busy_retry_ms: 200,
+            hibernate_after_ms: 0,
+            fault_plan: NetFaultPlan::default(),
         }
     }
 }
@@ -48,7 +63,7 @@ impl Default for ServerConfig {
 /// A socket stream the connection handler can drive: both `TcpStream`
 /// and `UnixStream`, behind read timeouts so the handler can poll the
 /// shutdown flag between frames.
-trait Conn: Read + Write + Send {
+pub(crate) trait Conn: Read + Write + Send {
     fn set_read_timeout_ms(&self, ms: Option<u64>) -> io::Result<()>;
 }
 
@@ -62,6 +77,12 @@ impl Conn for TcpStream {
 impl Conn for UnixStream {
     fn set_read_timeout_ms(&self, ms: Option<u64>) -> io::Result<()> {
         self.set_read_timeout(ms.map(Duration::from_millis))
+    }
+}
+
+impl<S: Conn> Conn for ChaosStream<S> {
+    fn set_read_timeout_ms(&self, ms: Option<u64>) -> io::Result<()> {
+        self.get_ref().set_read_timeout_ms(ms)
     }
 }
 
@@ -91,13 +112,22 @@ enum Poll {
     Byte(u8),
     Eof,
     Shutdown,
+    /// The idle deadline passed with no traffic (hibernation trigger).
+    Idle,
 }
 
-fn poll_byte<S: Conn>(s: &mut S, stop: &AtomicBool) -> Result<Poll, ProtocolError> {
+fn poll_byte<S: Conn>(
+    s: &mut S,
+    stop: &AtomicBool,
+    idle_deadline: Option<Instant>,
+) -> Result<Poll, ProtocolError> {
     let mut b = [0u8; 1];
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(Poll::Shutdown);
+        }
+        if idle_deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(Poll::Idle);
         }
         match s.read(&mut b) {
             Ok(0) => return Ok(Poll::Eof),
@@ -124,10 +154,53 @@ impl Drop for SessionSlot {
     }
 }
 
+/// Exclusive claim on a session name for the lifetime of its
+/// connection, released however the connection ends.
+struct NameLease<'a> {
+    shared: &'a Shared,
+    name: String,
+}
+
+impl Drop for NameLease<'_> {
+    fn drop(&mut self) {
+        self.shared.live_names.lock().expect("name registry poisoned").remove(&self.name);
+    }
+}
+
 struct Shared {
     cfg: ServerConfig,
     active: Arc<AtomicUsize>,
     next_id: AtomicU64,
+    /// `Hello` count per session name across the server's lifetime —
+    /// the second `Hello` under a name is the first reconnect.
+    hellos: Mutex<HashMap<String, u64>>,
+    /// Session names with a live engine. A reconnect can land before
+    /// the dead connection's thread has noticed the EOF and written its
+    /// emergency checkpoint; admitting it would put two engines on one
+    /// checkpoint store and lose the resume watermark. The second
+    /// `Hello` is refused with `Busy` until the name is released.
+    live_names: Mutex<HashSet<String>>,
+}
+
+impl Shared {
+    fn new(cfg: ServerConfig) -> Arc<Shared> {
+        Arc::new(Shared {
+            cfg,
+            active: Arc::new(AtomicUsize::new(0)),
+            next_id: AtomicU64::new(1),
+            hellos: Mutex::new(HashMap::new()),
+            live_names: Mutex::new(HashSet::new()),
+        })
+    }
+
+    /// Registers one more `Hello` for `session`, returning how many
+    /// reconnects (re-`Hello`s after the first) the name has seen.
+    fn count_hello(&self, session: &str) -> u64 {
+        let mut map = self.hellos.lock().expect("hello registry poisoned");
+        let n = map.entry(session.to_string()).or_insert(0);
+        *n += 1;
+        *n - 1
+    }
 }
 
 /// The profiling service: accept loop + per-connection threads.
@@ -145,11 +218,7 @@ impl Server {
         let tcp = TcpListener::bind(addr)?;
         tcp.set_nonblocking(true)?;
         Ok(Server {
-            shared: Arc::new(Shared {
-                cfg,
-                active: Arc::new(AtomicUsize::new(0)),
-                next_id: AtomicU64::new(1),
-            }),
+            shared: Shared::new(cfg),
             tcp: Some(tcp),
             #[cfg(unix)]
             unix: None,
@@ -164,15 +233,7 @@ impl Server {
         let _ = std::fs::remove_file(&path);
         let unix = UnixListener::bind(&path)?;
         unix.set_nonblocking(true)?;
-        Ok(Server {
-            shared: Arc::new(Shared {
-                cfg,
-                active: Arc::new(AtomicUsize::new(0)),
-                next_id: AtomicU64::new(1),
-            }),
-            tcp: None,
-            unix: Some(unix),
-        })
+        Ok(Server { shared: Shared::new(cfg), tcp: None, unix: Some(unix) })
     }
 
     /// The bound TCP address, when TCP-bound.
@@ -198,10 +259,14 @@ impl Server {
                 match tcp.accept() {
                     Ok((s, _)) => {
                         accepted = true;
+                        // Replies are small frames (HelloAck, SyncAck);
+                        // Nagle + delayed ACK would stall every sync
+                        // roundtrip by tens of milliseconds.
+                        let _ = s.set_nodelay(true);
                         let shared = Arc::clone(&self.shared);
                         threads.push(std::thread::spawn(move || {
                             if s.set_nonblocking(false).is_ok() {
-                                serve_conn(s, &shared, stop);
+                                dispatch_conn(s, &shared, stop);
                             }
                         }));
                     }
@@ -217,7 +282,7 @@ impl Server {
                         let shared = Arc::clone(&self.shared);
                         threads.push(std::thread::spawn(move || {
                             if s.set_nonblocking(false).is_ok() {
-                                serve_conn(s, &shared, stop);
+                                dispatch_conn(s, &shared, stop);
                             }
                         }));
                     }
@@ -242,6 +307,16 @@ impl Server {
     }
 }
 
+/// Routes an accepted connection through the chaos wrapper when a fault
+/// plan is configured, otherwise serves it directly.
+fn dispatch_conn<S: Conn>(s: S, shared: &Shared, stop: &AtomicBool) {
+    if shared.cfg.fault_plan.is_active() {
+        serve_conn(ChaosStream::new(s, shared.cfg.fault_plan.clone()), shared, stop);
+    } else {
+        serve_conn(s, shared, stop);
+    }
+}
+
 fn send(s: &mut impl Write, frames: &[Frame]) -> Result<(), ProtocolError> {
     for f in frames {
         protocol::write_frame(s, f)?;
@@ -260,7 +335,7 @@ fn serve_conn<S: Conn>(mut s: S, shared: &Shared, stop: &AtomicBool) {
     if protocol::write_preamble(&mut s).is_err() || s.flush().is_err() {
         return;
     }
-    match poll_byte(&mut s, stop) {
+    match poll_byte(&mut s, stop, None) {
         Ok(Poll::Byte(first)) => {
             let mut rest = [0u8; 4];
             if Retry(&mut s).read_exact(&mut rest).is_err() {
@@ -306,19 +381,21 @@ fn serve_conn<S: Conn>(mut s: S, shared: &Shared, stop: &AtomicBool) {
         })
         .is_ok();
     if !claimed {
-        let _ = send(
-            &mut s,
-            &[Frame::Error {
-                code: error_code::AT_CAPACITY,
-                message: format!(
-                    "server at capacity ({} concurrent sessions)",
-                    shared.cfg.max_sessions
-                ),
-            }],
-        );
+        // Typed backpressure: the client gets a machine-readable retry
+        // hint instead of a flat refusal, and `push_with_retry` honors
+        // it — overload shows up as latency, not failure.
+        let _ = send(&mut s, &[Frame::Busy { retry_after_ms: shared.cfg.busy_retry_ms }]);
         return;
     }
     let _slot = SessionSlot(Arc::clone(&shared.active));
+    // One engine per name: a reconnect that beats the dead connection's
+    // teardown would race it over the session's checkpoint store, so it
+    // waits its turn behind the same typed backpressure as capacity.
+    if !shared.live_names.lock().expect("name registry poisoned").insert(hello.session.clone()) {
+        let _ = send(&mut s, &[Frame::Busy { retry_after_ms: shared.cfg.busy_retry_ms }]);
+        return;
+    }
+    let _name = NameLease { shared, name: hello.session.clone() };
     let session_id = shared.next_id.fetch_add(1, Ordering::SeqCst);
     let (mut engine, ack) = match SessionEngine::open(
         &hello,
@@ -332,6 +409,7 @@ fn serve_conn<S: Conn>(mut s: S, shared: &Shared, stop: &AtomicBool) {
             return;
         }
     };
+    engine.set_reconnects(shared.count_hello(engine.name()));
     if send(&mut s, &[ack]).is_err() {
         checkpoint_on_exit(&mut engine, "client lost before HelloAck");
         return;
@@ -344,7 +422,41 @@ fn serve_conn<S: Conn>(mut s: S, shared: &Shared, stop: &AtomicBool) {
     );
 
     loop {
-        match poll_byte(&mut s, stop) {
+        // A durable session idling past the hibernation deadline is
+        // checkpointed and evicted so its slot can serve live traffic.
+        let idle_deadline = (shared.cfg.hibernate_after_ms > 0 && engine.durable())
+            .then(|| Instant::now() + Duration::from_millis(shared.cfg.hibernate_after_ms));
+        match poll_byte(&mut s, stop, idle_deadline) {
+            Ok(Poll::Idle) => {
+                match engine.hibernate() {
+                    Ok(()) => {
+                        eprintln!(
+                            "session {} '{}' hibernated at event {} (idle)",
+                            engine.session_id(),
+                            engine.name(),
+                            engine.position()
+                        );
+                        let _ = send(
+                            &mut s,
+                            &[Frame::Error {
+                                code: error_code::HIBERNATED,
+                                message: format!(
+                                    "session hibernated after {}ms idle; reconnect to resume",
+                                    shared.cfg.hibernate_after_ms
+                                ),
+                            }],
+                        );
+                    }
+                    Err(e) => {
+                        checkpoint_on_exit(&mut engine, "hibernate failed");
+                        let _ = send(
+                            &mut s,
+                            &[Frame::Error { code: error_code::ENGINE, message: e.to_string() }],
+                        );
+                    }
+                }
+                return;
+            }
             Ok(Poll::Shutdown) => {
                 checkpoint_on_exit(&mut engine, "shutdown");
                 let _ = send(
@@ -409,7 +521,7 @@ fn serve_conn<S: Conn>(mut s: S, shared: &Shared, stop: &AtomicBool) {
 }
 
 fn read_one<S: Conn>(s: &mut S, shared: &Shared, stop: &AtomicBool) -> Option<Frame> {
-    match poll_byte(s, stop) {
+    match poll_byte(s, stop, None) {
         Ok(Poll::Byte(tag)) => {
             protocol::resume_frame(&mut Retry(s), tag, shared.cfg.max_frame_bytes).ok()
         }

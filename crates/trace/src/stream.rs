@@ -9,6 +9,12 @@
 //! 6-byte frame overhead over hundreds of accesses), while loop, call
 //! and dealloc events flush the pending chunk first so the server feeds
 //! its engine in exactly the recorded order.
+//!
+//! Every emitted frame is *positional*: `Chunk` frames carry the
+//! absolute stream index of their first access and `LoopEvent` frames
+//! their own index, counted from the chunker's base. A resuming client
+//! constructs the chunker [`with_base`](FrameChunker::with_base) at the
+//! server's `resume_from` watermark and the positions line up exactly.
 
 use dp_types::protocol::Frame;
 use dp_types::{MemAccess, TraceEvent};
@@ -18,14 +24,35 @@ use dp_types::{MemAccess, TraceEvent};
 pub struct FrameChunker {
     pending: Vec<MemAccess>,
     capacity: usize,
+    /// Absolute index of the next event pushed.
+    pos: u64,
+    /// Absolute index of `pending[0]` (valid while `pending` is non-empty).
+    chunk_base: u64,
 }
 
 impl FrameChunker {
     /// A chunker emitting `Chunk` frames of at most `chunk_events`
-    /// accesses (minimum 1).
+    /// accesses (minimum 1), positions counted from 0.
     pub fn new(chunk_events: usize) -> Self {
+        Self::with_base(chunk_events, 0)
+    }
+
+    /// A chunker whose first event has absolute stream index `base` —
+    /// what a resumed push uses so its frames carry the positions the
+    /// server expects after `HelloAck.resume_from`.
+    pub fn with_base(chunk_events: usize, base: u64) -> Self {
         let capacity = chunk_events.max(1);
-        FrameChunker { pending: Vec::with_capacity(capacity), capacity }
+        FrameChunker {
+            pending: Vec::with_capacity(capacity),
+            capacity,
+            pos: base,
+            chunk_base: base,
+        }
+    }
+
+    /// Absolute index the next pushed event will occupy.
+    pub fn position(&self) -> u64 {
+        self.pos
     }
 
     /// Accepts one event. Returns the frames that became ready: zero or
@@ -34,7 +61,11 @@ impl FrameChunker {
     pub fn push(&mut self, ev: TraceEvent) -> Vec<Frame> {
         match ev {
             TraceEvent::Access(a) => {
+                if self.pending.is_empty() {
+                    self.chunk_base = self.pos;
+                }
                 self.pending.push(a);
+                self.pos += 1;
                 if self.pending.len() >= self.capacity {
                     vec![self.take_chunk().expect("pending chunk is non-empty")]
                 } else {
@@ -46,7 +77,8 @@ impl FrameChunker {
                 if let Some(chunk) = self.take_chunk() {
                     out.push(chunk);
                 }
-                out.push(Frame::LoopEvent(other));
+                out.push(Frame::LoopEvent { seq: self.pos, ev: other });
+                self.pos += 1;
                 out
             }
         }
@@ -67,18 +99,21 @@ impl FrameChunker {
         if self.pending.is_empty() {
             None
         } else {
-            Some(Frame::Chunk(std::mem::take(&mut self.pending)))
+            Some(Frame::Chunk {
+                base: self.chunk_base,
+                accesses: std::mem::take(&mut self.pending),
+            })
         }
     }
 }
 
 /// Unpacks one incoming frame back into the events it carries (the
-/// server-side inverse of [`FrameChunker`]). Non-event frames yield an
-/// empty vector.
+/// server-side inverse of [`FrameChunker`]), dropping the positions.
+/// Non-event frames yield an empty vector.
 pub fn frame_events(frame: Frame) -> Vec<TraceEvent> {
     match frame {
-        Frame::Chunk(accesses) => accesses.into_iter().map(TraceEvent::Access).collect(),
-        Frame::LoopEvent(ev) => vec![ev],
+        Frame::Chunk { accesses, .. } => accesses.into_iter().map(TraceEvent::Access).collect(),
+        Frame::LoopEvent { ev, .. } => vec![ev],
         _ => Vec::new(),
     }
 }
@@ -113,12 +148,49 @@ mod tests {
         // Chunks never exceed the capacity, and a control event always
         // flushes the pending chunk ahead of itself.
         for f in &frames {
-            if let Frame::Chunk(c) = f {
-                assert!(!c.is_empty() && c.len() <= 2);
+            if let Frame::Chunk { accesses, .. } = f {
+                assert!(!accesses.is_empty() && accesses.len() <= 2);
             }
         }
         let roundtrip: Vec<TraceEvent> = frames.into_iter().flat_map(frame_events).collect();
         assert_eq!(roundtrip, evs, "order preserved exactly");
+        assert_eq!(chunker.position(), evs.len() as u64);
+    }
+
+    #[test]
+    fn frames_carry_contiguous_positions() {
+        let evs: Vec<TraceEvent> = vec![
+            acc(0),
+            TraceEvent::LoopBegin { loop_id: 1, loc: loc(1, 5), thread: 0, ts: 10 },
+            acc(1),
+            acc(2),
+            acc(3),
+        ];
+        for base in [0u64, 17] {
+            let mut chunker = FrameChunker::with_base(2, base);
+            let mut frames = Vec::new();
+            for ev in evs.clone() {
+                frames.extend(chunker.push(ev));
+            }
+            frames.extend(chunker.flush());
+            // Walk the frames: every frame's position must equal the
+            // running event count — no gaps, no overlap.
+            let mut next = base;
+            for f in frames {
+                match f {
+                    Frame::Chunk { base: b, accesses } => {
+                        assert_eq!(b, next, "chunk base");
+                        next += accesses.len() as u64;
+                    }
+                    Frame::LoopEvent { seq, .. } => {
+                        assert_eq!(seq, next, "loop event seq");
+                        next += 1;
+                    }
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+            assert_eq!(next, base + evs.len() as u64);
+        }
     }
 
     #[test]

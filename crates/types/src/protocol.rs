@@ -30,14 +30,22 @@
 //! |-----|--------------|-----------|---------|
 //! | 1   | `Hello`      | C → S     | session name, opaque engine spec, checkpoint interval, variable-name table |
 //! | 2   | `HelloAck`   | S → C     | session id, resume position |
-//! | 3   | `Chunk`      | C → S     | batched memory accesses |
-//! | 4   | `LoopEvent`  | C → S     | one non-access trace event |
-//! | 5   | `Sync`       | C ↔ S     | client-chosen nonce, echoed after everything before it was consumed |
+//! | 3   | `Chunk`      | C → S     | absolute stream position of the first access + batched memory accesses |
+//! | 4   | `LoopEvent`  | C → S     | absolute stream position + one non-access trace event |
+//! | 5   | `Sync`       | C → S     | client-chosen nonce; the server answers with `SyncAck` |
 //! | 6   | `Finish`     | C → S     | empty; server finalizes and replies `Report` |
 //! | 7   | `StatsRequest` | C → S   | empty; server replies `Stats` |
 //! | 8   | `Stats`      | S → C     | per-session metrics as JSON |
 //! | 9   | `Report`     | S → C     | the rendered dependence report |
 //! | 10  | `Error`      | S → C     | numeric code + message; the connection closes after it |
+//! | 11  | `SyncAck`    | S → C     | the `Sync` nonce plus the server's durable stream position (watermark) |
+//! | 12  | `Busy`       | S → C     | typed backpressure: retry the `Hello` after `retry_after_ms` |
+//!
+//! `Chunk` and `LoopEvent` frames are *positional*: they carry the
+//! absolute index of their first event in the session's logical event
+//! stream. A server that already profiled `N` events skips anything
+//! below `N` exactly — resend overlap after a reconnect and wire-level
+//! duplicate delivery both dedupe to exactly-once profiling.
 //!
 //! The engine spec inside `Hello` is an opaque blob by design: this crate
 //! cannot see the profiler's configuration types, so the spec is encoded
@@ -73,6 +81,8 @@ const TAG_STATS_REQUEST: u8 = 7;
 const TAG_STATS: u8 = 8;
 const TAG_REPORT: u8 = 9;
 const TAG_ERROR: u8 = 10;
+const TAG_SYNC_ACK: u8 = 11;
+const TAG_BUSY: u8 = 12;
 
 /// Error codes carried by [`Frame::Error`].
 pub mod error_code {
@@ -85,6 +95,9 @@ pub mod error_code {
     pub const SHUTDOWN: u16 = 3;
     /// The profiling engine rejected the session configuration or failed.
     pub const ENGINE: u16 = 4;
+    /// The session was hibernated to the checkpoint store after sitting
+    /// idle; reconnecting with the same `Hello` rehydrates it exactly.
+    pub const HIBERNATED: u16 = 5;
 }
 
 /// Everything that can go wrong speaking DPSV.
@@ -182,12 +195,24 @@ pub enum Frame {
         resume_from: u64,
     },
     /// A batch of memory accesses — the bulk of the stream.
-    Chunk(Vec<MemAccess>),
+    Chunk {
+        /// Absolute index of the first access in the session's logical
+        /// event stream. The server skips any prefix it has already
+        /// profiled, so resends and duplicates dedupe exactly.
+        base: u64,
+        /// The batched accesses.
+        accesses: Vec<MemAccess>,
+    },
     /// One non-access event (loop boundary, call boundary, dealloc),
     /// in-order relative to surrounding chunks.
-    LoopEvent(TraceEvent),
-    /// Flush marker: the receiver echoes the nonce once every frame
-    /// before it has been consumed.
+    LoopEvent {
+        /// Absolute index of this event in the session's logical stream.
+        seq: u64,
+        /// The event itself (never [`TraceEvent::Access`]).
+        ev: TraceEvent,
+    },
+    /// Watermark probe: the server answers with [`Frame::SyncAck`] once
+    /// every frame before it has been consumed.
     Sync {
         /// Caller-chosen correlation value.
         nonce: u64,
@@ -213,6 +238,21 @@ pub enum Frame {
         code: u16,
         /// Human-readable description.
         message: String,
+    },
+    /// Answer to [`Frame::Sync`]: the nonce plus the server's event
+    /// position — the durable watermark a retrying client can trust.
+    SyncAck {
+        /// The `Sync` frame's nonce, for correlation.
+        nonce: u64,
+        /// Events the server has consumed for this session so far.
+        position: u64,
+    },
+    /// Typed backpressure (server → client): the server is at its
+    /// live-session cap; retry the same `Hello` after the hint elapses.
+    /// The connection closes after this frame.
+    Busy {
+        /// Suggested delay before reconnecting, in milliseconds.
+        retry_after_ms: u64,
     },
 }
 
@@ -339,14 +379,16 @@ impl Frame {
         match self {
             Frame::Hello(_) => TAG_HELLO,
             Frame::HelloAck { .. } => TAG_HELLO_ACK,
-            Frame::Chunk(_) => TAG_CHUNK,
-            Frame::LoopEvent(_) => TAG_LOOP_EVENT,
+            Frame::Chunk { .. } => TAG_CHUNK,
+            Frame::LoopEvent { .. } => TAG_LOOP_EVENT,
             Frame::Sync { .. } => TAG_SYNC,
             Frame::Finish => TAG_FINISH,
             Frame::StatsRequest => TAG_STATS_REQUEST,
             Frame::Stats { .. } => TAG_STATS,
             Frame::Report { .. } => TAG_REPORT,
             Frame::Error { .. } => TAG_ERROR,
+            Frame::SyncAck { .. } => TAG_SYNC_ACK,
+            Frame::Busy { .. } => TAG_BUSY,
         }
     }
 
@@ -368,13 +410,17 @@ impl Frame {
                 w.u64(*session_id);
                 w.u64(*resume_from);
             }
-            Frame::Chunk(accesses) => {
+            Frame::Chunk { base, accesses } => {
+                w.u64(*base);
                 w.u32(accesses.len() as u32);
                 for a in accesses {
                     put_access(&mut w, a);
                 }
             }
-            Frame::LoopEvent(ev) => put_event(&mut w, ev)?,
+            Frame::LoopEvent { seq, ev } => {
+                w.u64(*seq);
+                put_event(&mut w, ev)?;
+            }
             Frame::Sync { nonce } => w.u64(*nonce),
             Frame::Finish | Frame::StatsRequest => {}
             Frame::Stats { json } => w.blob(json.as_bytes()),
@@ -383,6 +429,11 @@ impl Frame {
                 w.u16(*code);
                 w.blob(message.as_bytes());
             }
+            Frame::SyncAck { nonce, position } => {
+                w.u64(*nonce);
+                w.u64(*position);
+            }
+            Frame::Busy { retry_after_ms } => w.u64(*retry_after_ms),
         }
         Ok(w.into_bytes())
     }
@@ -412,6 +463,7 @@ impl Frame {
             }
             TAG_HELLO_ACK => Frame::HelloAck { session_id: r.u64()?, resume_from: r.u64()? },
             TAG_CHUNK => {
+                let base = r.u64()?;
                 let n = r.u32()? as usize;
                 if n.saturating_mul(ACCESS_WIRE_BYTES) > r.remaining() {
                     return Err(WireError::Invalid("access count exceeds payload size").into());
@@ -420,15 +472,17 @@ impl Frame {
                 for _ in 0..n {
                     accesses.push(get_access(&mut r)?);
                 }
-                Frame::Chunk(accesses)
+                Frame::Chunk { base, accesses }
             }
-            TAG_LOOP_EVENT => Frame::LoopEvent(get_event(&mut r)?),
+            TAG_LOOP_EVENT => Frame::LoopEvent { seq: r.u64()?, ev: get_event(&mut r)? },
             TAG_SYNC => Frame::Sync { nonce: r.u64()? },
             TAG_FINISH => Frame::Finish,
             TAG_STATS_REQUEST => Frame::StatsRequest,
             TAG_STATS => Frame::Stats { json: get_string(&mut r)? },
             TAG_REPORT => Frame::Report { text: get_string(&mut r)? },
             TAG_ERROR => Frame::Error { code: r.u16()?, message: get_string(&mut r)? },
+            TAG_SYNC_ACK => Frame::SyncAck { nonce: r.u64()?, position: r.u64()? },
+            TAG_BUSY => Frame::Busy { retry_after_ms: r.u64()? },
             tag => return Err(ProtocolError::UnknownFrame { tag }),
         };
         if !r.is_done() {
@@ -547,33 +601,45 @@ mod tests {
                 names: vec!["*".into(), "alpha".into()],
             }),
             Frame::HelloAck { session_id: 42, resume_from: 12_345 },
-            Frame::Chunk(vec![
-                MemAccess::write(0xdead_beef, 3, loc(2, 60), 7, 1),
-                MemAccess::read(0xdead_beef, 4, loc(2, 61), 7, 2),
-            ]),
-            Frame::LoopEvent(TraceEvent::LoopBegin {
-                loop_id: 3,
-                loc: loc(1, 10),
-                thread: 0,
-                ts: 1,
-            }),
-            Frame::LoopEvent(TraceEvent::LoopIter { loop_id: 3, iter: 9, thread: 0, ts: 2 }),
-            Frame::LoopEvent(TraceEvent::LoopEnd {
-                loop_id: 3,
-                loc: loc(1, 20),
-                iters: 10,
-                thread: 0,
-                ts: 3,
-            }),
-            Frame::LoopEvent(TraceEvent::CallBegin { func: 5, thread: 1, ts: 4 }),
-            Frame::LoopEvent(TraceEvent::CallEnd { func: 5, thread: 1, ts: 5 }),
-            Frame::LoopEvent(TraceEvent::Dealloc { base: 0x100, len: 64, thread: 0, ts: 6 }),
+            Frame::Chunk {
+                base: 1_000_000,
+                accesses: vec![
+                    MemAccess::write(0xdead_beef, 3, loc(2, 60), 7, 1),
+                    MemAccess::read(0xdead_beef, 4, loc(2, 61), 7, 2),
+                ],
+            },
+            Frame::LoopEvent {
+                seq: 11,
+                ev: TraceEvent::LoopBegin { loop_id: 3, loc: loc(1, 10), thread: 0, ts: 1 },
+            },
+            Frame::LoopEvent {
+                seq: 12,
+                ev: TraceEvent::LoopIter { loop_id: 3, iter: 9, thread: 0, ts: 2 },
+            },
+            Frame::LoopEvent {
+                seq: 13,
+                ev: TraceEvent::LoopEnd {
+                    loop_id: 3,
+                    loc: loc(1, 20),
+                    iters: 10,
+                    thread: 0,
+                    ts: 3,
+                },
+            },
+            Frame::LoopEvent { seq: 14, ev: TraceEvent::CallBegin { func: 5, thread: 1, ts: 4 } },
+            Frame::LoopEvent { seq: 15, ev: TraceEvent::CallEnd { func: 5, thread: 1, ts: 5 } },
+            Frame::LoopEvent {
+                seq: 16,
+                ev: TraceEvent::Dealloc { base: 0x100, len: 64, thread: 0, ts: 6 },
+            },
             Frame::Sync { nonce: 7 },
             Frame::Finish,
             Frame::StatsRequest,
             Frame::Stats { json: "{\"events\":1}".into() },
             Frame::Report { text: "BGN loop ...".into() },
             Frame::Error { code: error_code::AT_CAPACITY, message: "server full".into() },
+            Frame::SyncAck { nonce: 7, position: 1_000_002 },
+            Frame::Busy { retry_after_ms: 250 },
         ]
     }
 
@@ -631,8 +697,9 @@ mod tests {
     #[test]
     fn bit_flips_fail_checksum_or_typed() {
         let mut clean = Vec::new();
-        write_frame(&mut clean, &Frame::Chunk(vec![MemAccess::read(8, 1, loc(1, 1), 0, 0)]))
-            .unwrap();
+        let chunk =
+            Frame::Chunk { base: 0, accesses: vec![MemAccess::read(8, 1, loc(1, 1), 0, 0)] };
+        write_frame(&mut clean, &chunk).unwrap();
         for i in 0..clean.len() {
             let mut bad = clean.clone();
             bad[i] ^= 0x20;
@@ -651,7 +718,10 @@ mod tests {
 
     #[test]
     fn access_in_loop_event_is_rejected() {
-        let f = Frame::LoopEvent(TraceEvent::Access(MemAccess::read(8, 1, loc(1, 1), 0, 0)));
+        let f = Frame::LoopEvent {
+            seq: 0,
+            ev: TraceEvent::Access(MemAccess::read(8, 1, loc(1, 1), 0, 0)),
+        };
         assert!(f.encode_payload().is_err());
     }
 

@@ -21,11 +21,15 @@
 //! depprof serve              [--listen HOST:PORT] [--unix PATH]
 //!                            [--max-sessions N]
 //!                            [--checkpoint-dir DIR] [--checkpoint-every N]
+//!                            [--busy-retry-ms MS] [--hibernate-after MS]
+//!                            [--chaos SPEC]
 //! depprof push <trace.dptr>  (--connect HOST:PORT | --unix PATH)
 //!                            [--session NAME] [--engine serial|parallel]
 //!                            [--transport spsc|mpmc|lock] [--workers N]
 //!                            [--slots N] [--checkpoint-every N]
 //!                            [--chunk-events N] [--throttle-ms MS]
+//!                            [--retries N] [--retry-delay-ms MS]
+//!                            [--sync-every N] [--chaos SPEC]
 //!                            [--stats json] [--report-out PATH]
 //! ```
 //!
@@ -58,7 +62,17 @@
 //! started with `--checkpoint-dir` checkpoints its sessions, and a push
 //! repeated after a server crash (or SIGTERM) resumes where the
 //! checkpoint left off — the server tells the client how many events to
-//! skip in its `HelloAck`.
+//! skip in its `HelloAck`. `push` survives flaky networks on its own:
+//! on a mid-stream disconnect it reconnects with bounded jittered
+//! backoff (`--retries`, `--retry-delay-ms`), re-`Hello`s the same
+//! session, and resumes from the server's watermark — positional frames
+//! make the overlap land exactly once. A server past `--max-sessions`
+//! answers with a typed `Busy{retry_after_ms}` hint (`--busy-retry-ms`)
+//! the client honors; `--hibernate-after MS` evicts idle durable
+//! sessions to the checkpoint store so the cap bounds live engines, not
+//! named sessions. `--chaos SPEC` (both sides) injects deterministic
+//! network faults — `seed=N,reset-bytes=N,reset-frames=N,short-io,`
+//! `stall=EVERYxMS,dup=N` — for drills and tests.
 //!
 //! Exit codes are distinct so scripts and CI can react to each failure
 //! class: `2` usage errors (bad flag, unknown engine), `3` missing or
@@ -67,7 +81,9 @@
 //! profile that completed *degraded* (worker failures or dropped events —
 //! the report is still printed, with a `WARNING:` banner on stderr), `6`
 //! the run watchdog gave up on a stalled pipeline, `7` terminated by
-//! SIGINT/SIGTERM after a final emergency checkpoint (`replay`, `serve`).
+//! SIGINT/SIGTERM after a final emergency checkpoint (`replay`, `serve`),
+//! `8` the server refused a `push` with typed backpressure and the retry
+//! budget ran out (nothing was profiled; retry after the hinted delay).
 
 use depprof::analysis::{degradation, Framework, LoopMeta};
 use depprof::core::{
@@ -76,7 +92,8 @@ use depprof::core::{
     WorkerFault,
 };
 use depprof::server::{
-    install_signal_handlers, push_events, shutdown_flag, PushOptions, Server, ServerConfig,
+    install_signal_handlers, push_with_retry, shutdown_flag, ChaosStream, ClientError,
+    NetFaultPlan, PushOptions, RetryPolicy, Server, ServerConfig,
 };
 use depprof::trace::workloads::{nas_suite, splash, starbench_suite, synth, Scale, Workload};
 use depprof::trace::TraceReader;
@@ -99,6 +116,10 @@ const EXIT_WATCHDOG: i32 = 6;
 /// The run was terminated by SIGINT/SIGTERM after writing a final
 /// emergency checkpoint (`serve` and `replay`).
 const EXIT_SIGNAL: i32 = depprof::server::SIGTERM_EXIT;
+/// `push`: the server refused the session with typed backpressure
+/// (`Busy`/`AT_CAPACITY`) and every retry budgeted for it was spent.
+/// The session was *not* profiled; rerun the push once load drops.
+const EXIT_BUSY: i32 = 8;
 
 #[derive(Default)]
 struct Args {
@@ -148,6 +169,18 @@ struct Args {
     chunk_events: usize,
     /// Push: sleep between chunk frames (ms).
     throttle_ms: u64,
+    /// Push: total connection attempts before giving up.
+    retries: u32,
+    /// Push: base reconnect backoff delay (ms).
+    retry_delay_ms: u64,
+    /// Push: send a Sync watermark probe every N chunks (0 = never).
+    sync_every: u64,
+    /// Serve: Busy retry hint handed to refused clients (ms).
+    busy_retry_ms: u64,
+    /// Serve: hibernate idle durable sessions after this long (ms, 0 = never).
+    hibernate_after_ms: u64,
+    /// Serve/push: network fault-injection plan (`--chaos SPEC`).
+    chaos_plan: Option<NetFaultPlan>,
     /// Fuzz: programs to generate and check.
     seeds: u64,
     /// Fuzz: first seed (shards campaigns across CI jobs).
@@ -168,6 +201,9 @@ fn base_args() -> Args {
         replay_engine: "serial".into(),
         max_sessions: 16,
         chunk_events: 512,
+        retries: 5,
+        retry_delay_ms: 100,
+        busy_retry_ms: 200,
         ..Args::default()
     }
 }
@@ -342,6 +378,26 @@ fn parse() -> Result<Args, String> {
                         .filter(|&n: &u64| n > 0)
                         .ok_or("--checkpoint-every: positive event count")?;
                 }
+                "--busy-retry-ms" => {
+                    i += 1;
+                    a.busy_retry_ms = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--busy-retry-ms: milliseconds")?;
+                }
+                "--hibernate-after" => {
+                    i += 1;
+                    a.hibernate_after_ms = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--hibernate-after: positive milliseconds")?;
+                }
+                "--chaos" => {
+                    i += 1;
+                    let spec = argv.get(i).ok_or("--chaos needs a fault spec")?;
+                    a.chaos_plan = Some(NetFaultPlan::parse(spec)?);
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
             i += 1;
@@ -422,6 +478,29 @@ fn parse() -> Result<Args, String> {
                     i += 1;
                     a.throttle_ms =
                         argv.get(i).and_then(|s| s.parse().ok()).ok_or("--throttle-ms: int")?;
+                }
+                "--retries" => {
+                    i += 1;
+                    a.retries = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u32| n > 0)
+                        .ok_or("--retries: positive attempt count")?;
+                }
+                "--retry-delay-ms" => {
+                    i += 1;
+                    a.retry_delay_ms =
+                        argv.get(i).and_then(|s| s.parse().ok()).ok_or("--retry-delay-ms: int")?;
+                }
+                "--sync-every" => {
+                    i += 1;
+                    a.sync_every =
+                        argv.get(i).and_then(|s| s.parse().ok()).ok_or("--sync-every: int")?;
+                }
+                "--chaos" => {
+                    i += 1;
+                    let spec = argv.get(i).ok_or("--chaos needs a fault spec")?;
+                    a.chaos_plan = Some(NetFaultPlan::parse(spec)?);
                 }
                 "--no-redistribution" => a.no_redistribution = true,
                 "--stats" => {
@@ -969,8 +1048,14 @@ fn run_serve(args: &Args) {
         max_sessions: args.max_sessions,
         checkpoint_dir: args.checkpoint_dir.as_ref().map(PathBuf::from),
         checkpoint_every: args.checkpoint_every,
+        busy_retry_ms: args.busy_retry_ms,
+        hibernate_after_ms: args.hibernate_after_ms,
+        fault_plan: args.chaos_plan.clone().unwrap_or_default(),
         ..ServerConfig::default()
     };
+    if let Some(plan) = &args.chaos_plan {
+        eprintln!("chaos: injecting network faults on every accepted connection: {plan:?}");
+    }
     #[cfg(unix)]
     let server = if let Some(path) = &args.unix_sock {
         match Server::bind_unix(path, cfg) {
@@ -1050,7 +1135,7 @@ fn run_fuzz_cmd(args: &Args) {
     let start = Instant::now();
     let report = depprof::fuzz::run_fuzz(&opts, &mut |line| eprintln!("{line}"));
     eprintln!(
-        "fuzz: {} seeds ({} sequential x 8 legs, {} multi-threaded), {} accesses, \
+        "fuzz: {} seeds ({} sequential x 10 legs, {} multi-threaded), {} accesses, \
          {} webscale streams, {:.1}s",
         report.seeds,
         report.sequential,
@@ -1090,42 +1175,12 @@ fn run_fuzz_cmd(args: &Args) {
     }
 }
 
-/// Connects with bounded, jittered exponential backoff: the server may
-/// still be binding its socket when `push` starts (scripts launch both
-/// at once), so transient refusals get 3 attempts at ~100ms/~200ms
-/// before the error is fatal. The jitter is derived from the process id
-/// so a fleet of pushers does not retry in lockstep.
-fn connect_with_backoff<T>(
-    what: &str,
-    mut connect: impl FnMut() -> std::io::Result<T>,
-) -> std::io::Result<T> {
-    const ATTEMPTS: u32 = 3;
-    let mut delay_ms = 100u64;
-    let mut last = None;
-    for attempt in 1..=ATTEMPTS {
-        match connect() {
-            Ok(c) => return Ok(c),
-            Err(e) => {
-                if attempt < ATTEMPTS {
-                    let jitter = (std::process::id() as u64 ^ (attempt as u64 * 7919)) % 50;
-                    eprintln!(
-                        "cannot connect to {what} (attempt {attempt}/{ATTEMPTS}): {e}; \
-                         retrying in {}ms",
-                        delay_ms + jitter
-                    );
-                    std::thread::sleep(Duration::from_millis(delay_ms + jitter));
-                    delay_ms *= 2;
-                }
-                last = Some(e);
-            }
-        }
-    }
-    Err(last.expect("at least one attempt"))
-}
-
 /// `depprof push` — stream a recorded trace to a running `serve` and
 /// print the report it sends back. If the server resumed the session
 /// from a checkpoint, the already-profiled prefix is skipped client-side.
+/// Connection refusals and mid-stream disconnects are retried with
+/// bounded, jittered backoff ([`push_with_retry`]); the jitter seed is
+/// the process id so a fleet of pushers does not reconnect in lockstep.
 fn run_push(args: &Args) {
     let path = &args.workload;
     let file = match std::fs::File::open(path) {
@@ -1166,44 +1221,61 @@ fn run_push(args: &Args) {
         chunk_events: args.chunk_events,
         throttle_ms: args.throttle_ms,
         request_stats: args.stats.as_deref() == Some("json"),
+        sync_every_chunks: args.sync_every,
     };
 
-    // The reader surfaces corruption through the iterator; a corrupt
-    // record must abort the whole push, not truncate it silently.
-    let events = std::iter::from_fn(|| match reader.next() {
-        Some(Ok(ev)) => Some(ev),
-        Some(Err(e)) => {
-            eprintln!("'{path}': {e}");
-            std::process::exit(EXIT_CORRUPT);
+    // The whole trace is loaded up front: a retry must be able to
+    // replay the stream from the server's resume watermark, which an
+    // already-consumed reader cannot. A corrupt record aborts the push
+    // before the first connection attempt, not mid-session.
+    let mut events = Vec::new();
+    for ev in reader.by_ref() {
+        match ev {
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                eprintln!("'{path}': {e}");
+                std::process::exit(EXIT_CORRUPT);
+            }
         }
-        None => None,
-    });
+    }
+
+    let policy = RetryPolicy {
+        max_attempts: args.retries,
+        base_delay_ms: args.retry_delay_ms,
+        max_delay_ms: args.retry_delay_ms.saturating_mul(20).max(1_000),
+        seed: std::process::id() as u64,
+    };
+    // The chaos wrapper is always in the path; an empty plan is a
+    // transparent passthrough, so the clean case pays only the frame
+    // accounting.
+    let plan = args.chaos_plan.clone().unwrap_or_default();
 
     let outcome = if let Some(addr) = &args.connect {
-        let mut conn =
-            match connect_with_backoff(&format!("'{addr}'"), || std::net::TcpStream::connect(addr))
-            {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("cannot connect to '{addr}': {e}");
-                    std::process::exit(EXIT_INPUT);
-                }
-            };
-        push_events(&mut conn, names, events, &opts)
+        push_with_retry(
+            || {
+                let c = std::net::TcpStream::connect(addr)?;
+                c.set_nodelay(true).ok();
+                Ok(ChaosStream::new(c, plan.clone()))
+            },
+            &names,
+            &events,
+            &opts,
+            &policy,
+        )
     } else {
         #[cfg(unix)]
         {
             let sock = args.unix_sock.as_ref().expect("parse() requires --connect or --unix");
-            let mut conn = match connect_with_backoff(&format!("unix socket '{sock}'"), || {
-                std::os::unix::net::UnixStream::connect(sock)
-            }) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("cannot connect to unix socket '{sock}': {e}");
-                    std::process::exit(EXIT_INPUT);
-                }
-            };
-            push_events(&mut conn, names, events, &opts)
+            push_with_retry(
+                || {
+                    std::os::unix::net::UnixStream::connect(sock)
+                        .map(|c| ChaosStream::new(c, plan.clone()))
+                },
+                &names,
+                &events,
+                &opts,
+                &policy,
+            )
         }
         #[cfg(not(unix))]
         {
@@ -1213,7 +1285,8 @@ fn run_push(args: &Args) {
     };
 
     match outcome {
-        Ok(out) => {
+        Ok(r) => {
+            let out = &r.outcome;
             if out.resumed_from > 0 {
                 eprintln!(
                     "server resumed session '{}' from event {}; sent {} remaining events",
@@ -1222,6 +1295,13 @@ fn run_push(args: &Args) {
             } else {
                 eprintln!("sent {} events to session '{}'", out.events_sent, opts.session);
             }
+            if r.reconnects > 0 || r.busy_waits > 0 {
+                eprintln!(
+                    "push survived {} reconnect(s) and {} busy wait(s) \
+                     ({} events resent, {}ms recovering)",
+                    r.reconnects, r.busy_waits, r.events_resent, r.recovery_ms_total
+                );
+            }
             let content = match (&out.stats_json, args.stats.as_deref()) {
                 (Some(json), Some("json")) => json.clone(),
                 _ => out.report.clone(),
@@ -1229,6 +1309,26 @@ fn run_push(args: &Args) {
             emit(args.out.as_deref(), &content);
         }
         Err(e) => {
+            // Backpressure is not a failure of the push, it is the server
+            // asking us to come back later — give scripts a distinct code
+            // and a concrete retry hint.
+            let busy_hint = match &e {
+                ClientError::Busy { retry_after_ms } => Some(*retry_after_ms),
+                ClientError::Server { code, .. }
+                    if *code == depprof::types::protocol::error_code::AT_CAPACITY =>
+                {
+                    Some(args.busy_retry_ms)
+                }
+                _ => None,
+            };
+            if let Some(after_ms) = busy_hint {
+                eprintln!("push refused: {e}");
+                eprintln!(
+                    "server is at capacity; retry in ~{after_ms}ms or raise its \
+                     --max-sessions (exit code {EXIT_BUSY})"
+                );
+                std::process::exit(EXIT_BUSY);
+            }
             eprintln!("push failed: {e}");
             std::process::exit(1);
         }
@@ -1258,18 +1358,20 @@ fn main() {
                  depprof replay --resume <dir> [--watchdog-deadline MS] \
                  [--stats json|text] [--report-out PATH]\n  \
                  depprof serve [--listen HOST:PORT] [--unix PATH] \
-                 [--max-sessions N] [--checkpoint-dir DIR] [--checkpoint-every N]\n  \
+                 [--max-sessions N] [--checkpoint-dir DIR] [--checkpoint-every N] \
+                 [--busy-retry-ms MS] [--hibernate-after MS] [--chaos SPEC]\n  \
                  depprof push <trace.dptr> (--connect HOST:PORT | --unix PATH) \
                  [--session NAME] [--engine serial|parallel] \
                  [--transport spsc|mpmc|lock] [--overflow block|drop] \
                  [--workers N] [--slots N] [--checkpoint-every N] \
-                 [--chunk-events N] [--throttle-ms MS] [--no-redistribution] \
-                 [--stats json] [--report-out PATH]\n  \
+                 [--chunk-events N] [--throttle-ms MS] [--retries N] \
+                 [--retry-delay-ms MS] [--sync-every N] [--chaos SPEC] \
+                 [--no-redistribution] [--stats json] [--report-out PATH]\n  \
                  depprof fuzz [--seeds N] [--start-seed N] [--quick] \
                  [--corpus DIR] [--no-webscale] [--workers N]\n\n\
                  exit codes: 0 ok, 2 usage, 3 missing input, 4 corrupt trace or \
                  checkpoint, 5 degraded profile, 6 watchdog gave up, \
-                 7 terminated by signal"
+                 7 terminated by signal, 8 server busy (retry later)"
             );
             std::process::exit(EXIT_USAGE);
         }

@@ -196,6 +196,116 @@ fn conservation_holds_under_chaotic_transport_seeds() {
     }
 }
 
+/// The service layer obeys the same discipline as the pipeline: every
+/// event *delivered* to a session engine — including resend overlap and
+/// duplicated frames — is accounted exactly once, as profiled or as
+/// `events_skipped_on_resume`, across interrupt, hibernation and
+/// rehydration. The per-incarnation ledger is
+///
+/// ```text
+/// delivered == profiled + skipped_on_resume
+/// ```
+///
+/// and the profiled totals across incarnations must sum to the stream.
+#[test]
+fn service_counters_balance_the_resume_ledger() {
+    use depprof::server::SessionEngine;
+    use depprof::trace::FrameChunker;
+    use depprof::types::protocol::{Frame, Hello};
+
+    let evs: Vec<TraceEvent> = (0..150u64)
+        .map(|i| {
+            TraceEvent::Access(MemAccess::write(
+                0x1000 + (i % 48) * 8,
+                i + 1,
+                loc(1, 1 + (i % 30) as u32),
+                1,
+                0,
+            ))
+        })
+        .collect();
+    let frames: Vec<Frame> = {
+        let mut chunker = FrameChunker::new(16);
+        let mut out: Vec<Frame> = evs.iter().flat_map(|e| chunker.push(*e)).collect();
+        out.extend(chunker.flush());
+        out
+    };
+    let delivered = |f: &Frame| match f {
+        Frame::Chunk { accesses, .. } => accesses.len() as u64,
+        Frame::LoopEvent { .. } => 1,
+        _ => 0,
+    };
+    let hello = |names: Vec<String>| Hello {
+        session: "ledger".into(),
+        spec: depprof::core::SessionSpec::default().encode(),
+        // Non-zero so the engine builds its checkpoint store up front
+        // (the interval itself is too large to fire periodically).
+        checkpoint_every: 1_000_000,
+        names,
+    };
+    let base = std::env::temp_dir().join(format!("dp-metrics-ledger-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    // Incarnation 1: every frame of the first half is delivered twice
+    // (duplicate delivery); the engine must profile each event once and
+    // ledger the copies as skipped. An emergency checkpoint ends it.
+    let (mut one, ack) = SessionEngine::open(&hello(Vec::new()), 1, Some(&base), 0).unwrap();
+    assert!(matches!(ack, Frame::HelloAck { resume_from: 0, .. }));
+    let cut = frames.len() / 2;
+    let mut delivered_1 = 0u64;
+    for f in &frames[..cut] {
+        for _ in 0..2 {
+            delivered_1 += delivered(f);
+            one.handle(f.clone()).unwrap();
+        }
+    }
+    let m1 = *one.metrics();
+    assert_eq!(m1.rehydrated, 0);
+    assert_eq!(delivered_1, m1.events + m1.events_skipped_on_resume, "incarnation 1 ledger");
+    assert_eq!(m1.events_skipped_on_resume, m1.events, "every frame was delivered twice");
+    let watermark = one.position();
+    one.write_checkpoint().unwrap();
+    drop(one);
+
+    // Incarnation 2: rehydrates from the checkpoint, is told the exact
+    // watermark, receives a full resend from position 0, then hibernates.
+    let (mut two, ack) = SessionEngine::open(&hello(Vec::new()), 2, Some(&base), 0).unwrap();
+    assert!(matches!(ack, Frame::HelloAck { resume_from, .. } if resume_from == watermark));
+    let mut delivered_2 = 0u64;
+    for f in &frames {
+        delivered_2 += delivered(f);
+        two.handle(f.clone()).unwrap();
+    }
+    let m2 = *two.metrics();
+    assert_eq!(m2.rehydrated, 1, "incarnation 2 must count its rehydration");
+    assert_eq!(delivered_2, m2.events + m2.events_skipped_on_resume, "incarnation 2 ledger");
+    assert_eq!(m2.events_skipped_on_resume, watermark, "resent prefix is skipped exactly");
+    assert_eq!(two.position(), evs.len() as u64);
+    two.hibernate().unwrap();
+    assert_eq!(two.metrics().hibernated, 1, "hibernation must be counted");
+
+    // Incarnation 3: rehydrates from the hibernation checkpoint with
+    // nothing left to feed; profiled totals across incarnations must
+    // cover the stream exactly once.
+    let (mut three, ack) = SessionEngine::open(&hello(Vec::new()), 3, Some(&base), 0).unwrap();
+    assert!(matches!(ack, Frame::HelloAck { resume_from, .. } if resume_from == evs.len() as u64));
+    let m3 = *three.metrics();
+    assert_eq!(m3.rehydrated, 1, "incarnation 3 must count its rehydration");
+    assert_eq!(
+        m1.events + m2.events + m3.events,
+        evs.len() as u64,
+        "incarnations together profile the stream exactly once"
+    );
+    // The counters are stamped into the profile snapshot on finish.
+    three.set_reconnects(2);
+    let result = three.finish_result().expect("live engine finishes");
+    assert_eq!(result.metrics.service.reconnects, 2);
+    assert_eq!(result.metrics.service.rehydrated, 1);
+    assert_eq!(result.metrics.service.events_skipped_on_resume, 0);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// The panic path attributes losses per worker: the dead worker's queue
 /// residue shows up as `dropped` + `in_flight_at_shutdown`, never as a
 /// silent imbalance, and the surviving workers' ledgers stay clean.

@@ -190,10 +190,10 @@ fn at_capacity_is_a_typed_refusal() {
     let mut conn = std::net::TcpStream::connect(addr).unwrap();
     let err = push_events(&mut conn, names, events, &PushOptions::default()).unwrap_err();
     match err {
-        depprof::server::ClientError::Server { code, .. } => {
-            assert_eq!(code, depprof::types::protocol::error_code::AT_CAPACITY);
+        depprof::server::ClientError::Busy { retry_after_ms } => {
+            assert!(retry_after_ms > 0, "Busy must carry a concrete retry hint");
         }
-        other => panic!("wanted Error{{AT_CAPACITY}}, got {other:?}"),
+        other => panic!("wanted Busy{{retry_after_ms}}, got {other:?}"),
     }
 
     STOP.store(true, Ordering::SeqCst);

@@ -54,16 +54,23 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         ),
         (any::<u64>(), any::<u64>())
             .prop_map(|(session_id, resume_from)| Frame::HelloAck { session_id, resume_from }),
-        prop::collection::vec(arb_access(), 0..32).prop_map(Frame::Chunk),
-        (1u32..1 << 16, 0u64..1 << 10, 0u16..8).prop_map(|(loop_id, ts, thread)| {
-            Frame::LoopEvent(TraceEvent::LoopBegin { loop_id, loc: loc(1, 1), thread, ts })
-        }),
+        (0u64..1 << 40, prop::collection::vec(arb_access(), 0..32))
+            .prop_map(|(base, accesses)| Frame::Chunk { base, accesses }),
+        (0u64..1 << 40, 1u32..1 << 16, 0u64..1 << 10, 0u16..8).prop_map(
+            |(seq, loop_id, ts, thread)| Frame::LoopEvent {
+                seq,
+                ev: TraceEvent::LoopBegin { loop_id, loc: loc(1, 1), thread, ts },
+            }
+        ),
         any::<u64>().prop_map(|nonce| Frame::Sync { nonce }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(nonce, position)| Frame::SyncAck { nonce, position }),
+        any::<u64>().prop_map(|retry_after_ms| Frame::Busy { retry_after_ms }),
         Just(Frame::Finish),
         Just(Frame::StatsRequest),
         arb_string(40).prop_map(|json| Frame::Stats { json }),
         arb_string(60).prop_map(|text| Frame::Report { text }),
-        (1u16..5, arb_string(30)).prop_map(|(code, message)| Frame::Error { code, message }),
+        (1u16..6, arb_string(30)).prop_map(|(code, message)| Frame::Error { code, message }),
     ]
 }
 
@@ -180,7 +187,7 @@ proptest! {
 
     /// Unknown frame tags are a typed protocol error, not a desync.
     #[test]
-    fn unknown_tags_are_typed((tag, payload) in (11u8..=255, prop::collection::vec(any::<u8>(), 0..64))) {
+    fn unknown_tags_are_typed((tag, payload) in (13u8..=255, prop::collection::vec(any::<u8>(), 0..64))) {
         let mut w = depprof::types::ByteWriter::new();
         depprof::types::write_section(&mut w, tag, &payload);
         let buf = w.into_bytes();

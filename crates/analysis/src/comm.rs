@@ -22,6 +22,22 @@ pub struct CommMatrix {
 }
 
 impl CommMatrix {
+    /// Empty matrix of dimension `n` — the starting point for
+    /// incremental construction (see `dp_analysis::incremental`).
+    pub fn zero(n: usize) -> Self {
+        CommMatrix { n, counts: vec![0; n * n] }
+    }
+
+    /// Adds `count` occurrences to the `producer -> consumer` cell.
+    /// Out-of-range or self-communication contributions are ignored,
+    /// mirroring [`communication_matrix`]'s filter.
+    pub fn add(&mut self, producer: ThreadId, consumer: ThreadId, count: u64) {
+        let (p, c) = (producer as usize, consumer as usize);
+        if p != c && p < self.n && c < self.n {
+            self.counts[p * self.n + c] += count;
+        }
+    }
+
     /// Matrix dimension (threads).
     pub fn dim(&self) -> usize {
         self.n

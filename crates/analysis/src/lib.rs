@@ -15,6 +15,10 @@
 //!   program-analysis framework announced in the paper's conclusion:
 //!   dependence-graph and loop-table representations plus a plugin API
 //!   for downstream analyses.
+//! - [`incremental`] — the online twin of the above: live
+//!   loop-parallelism, communication and race state folded from
+//!   [`AnalysisDelta`](dp_core::AnalysisDelta)s while the profile is
+//!   still running, equal to the post-hoc passes once the stream ends.
 
 #![warn(missing_docs)]
 
@@ -22,6 +26,7 @@ pub mod accuracy;
 pub mod comm;
 pub mod framework;
 pub mod graph;
+pub mod incremental;
 pub mod looptable;
 pub mod parallelism;
 pub mod races;
@@ -30,8 +35,12 @@ pub mod unions;
 
 pub use accuracy::{compare, degradation, Accuracy, Degradation};
 pub use comm::{communication_matrix, CommMatrix};
-pub use framework::{Analysis, AnalysisContext, Framework};
+pub use framework::{Analysis, AnalysisContext, Framework, IncrementalAnalysis};
 pub use graph::DepGraph;
+pub use incremental::{
+    observed_comm_dim, observed_loop_metas, posthoc_report, OnlineAnalysis, OnlineLoopRow,
+    OnlineReport,
+};
 pub use looptable::LoopTable;
 pub use parallelism::{
     classify_loops, privatization_candidates, LoopClass, LoopMeta, LoopVerdict,

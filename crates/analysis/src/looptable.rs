@@ -75,8 +75,10 @@ impl LoopTable {
         self.rows.iter().filter(|r| r.verdict.class == LoopClass::Reduction)
     }
 
-    /// Plain-text rendering.
-    pub fn render(&self, _interner: &Interner) -> String {
+    /// Plain-text rendering. Blocker variables are resolved through the
+    /// interner so the table names them like the report does
+    /// (`{RAW 1:59|temp1}`); a foreign id falls back to `var<N>`.
+    pub fn render(&self, interner: &Interner) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "{:<24} {:>5} {:>11} {:>10} {:>10}  blocker\n",
@@ -93,7 +95,11 @@ impl LoopTable {
                 .verdict
                 .blockers
                 .first()
-                .map(|(sink, src)| format!("{src} -> {sink}"))
+                .map(|&(sink, src, var)| {
+                    let name =
+                        interner.get(var).map(str::to_owned).unwrap_or_else(|| format!("var{var}"));
+                    format!("{name}: {src} -> {sink}")
+                })
                 .unwrap_or_default();
             out.push_str(&format!(
                 "{:<24} {:>5} {:>11} {:>10} {:>10.1}  {}\n",
@@ -155,6 +161,28 @@ mod tests {
         assert!(s.contains("init"));
         assert!(s.contains("DOALL"));
         assert!(s.contains("not-run"));
+    }
+
+    #[test]
+    fn render_resolves_blocker_variable_names() {
+        let mut interner = Interner::new();
+        let acc = interner.intern("acc");
+        let mut p = SequentialProfiler::perfect();
+        p.event(TraceEvent::LoopBegin { loop_id: 1, loc: loc(1, 5), thread: 0, ts: 1 });
+        for it in 0..3u64 {
+            let t = 10 + it * 10;
+            p.event(TraceEvent::LoopIter { loop_id: 1, iter: it, thread: 0, ts: t });
+            p.event(TraceEvent::Access(MemAccess::read(0x900, t + 1, loc(1, 6), acc, 0)));
+            p.event(TraceEvent::Access(MemAccess::write(0x900, t + 2, loc(1, 6), acc, 0)));
+        }
+        p.event(TraceEvent::LoopEnd { loop_id: 1, loc: loc(1, 7), iters: 3, thread: 0, ts: 99 });
+        let r = p.finish();
+        let t = LoopTable::build(&r, &[LoopMeta { id: 1, name: "sum".into(), omp: true }]);
+        let s = t.render(&interner);
+        assert!(s.contains("acc: 1:6 -> 1:6"), "blocker must name the variable:\n{s}");
+        // A foreign id (not in this interner) falls back to var<N>.
+        let s2 = t.render(&Interner::new());
+        assert!(s2.contains(&format!("var{acc}: 1:6 -> 1:6")), "{s2}");
     }
 }
 

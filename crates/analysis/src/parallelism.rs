@@ -11,7 +11,7 @@
 //! reductions and data-dependent updates (IS, CG, FT).
 
 use dp_core::ProfileResult;
-use dp_types::{DepFlags, DepType, LoopId, SourceLoc};
+use dp_types::{DepFlags, DepType, LoopId, SourceLoc, VarId};
 
 /// Static loop metadata the analysis needs (decoupled from the trace
 /// substrate; build it from `Program::loops`).
@@ -46,8 +46,9 @@ pub struct LoopVerdict {
     pub meta: LoopMeta,
     /// Classification.
     pub class: LoopClass,
-    /// Carried RAW (sink, source) locations that block DOALL.
-    pub blockers: Vec<(SourceLoc, SourceLoc)>,
+    /// Carried RAW `(sink, source, variable)` records that block DOALL
+    /// (resolve the variable through the program's interner).
+    pub blockers: Vec<(SourceLoc, SourceLoc, VarId)>,
     /// Iterations observed (summed over instances).
     pub iterations: u64,
 }
@@ -73,7 +74,7 @@ pub fn classify_loops(result: &ProfileResult, loops: &[LoopMeta]) -> Vec<LoopVer
                 {
                     continue;
                 }
-                blockers.push((d.sink.loc, d.edge.source_loc));
+                blockers.push((d.sink.loc, d.edge.source_loc, d.edge.var));
                 if d.sink.loc != d.edge.source_loc {
                     all_self = false;
                 }

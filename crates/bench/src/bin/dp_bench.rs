@@ -235,6 +235,10 @@ fn cmd_gate(opts: &Opts) -> ExitCode {
         }
         Err(e) => return fail(format!("{baseline_path}: {e}")),
     };
+    // The recipe also carries the per-row budgets, so it is resolved
+    // even when `--current` skips the re-run; a missing recipe file is
+    // only fatal when a fresh run needs it.
+    let recipe = resolve_recipe(&baseline.recipe, &recipes_dir(&opts.recipes_dir));
     let current = match &opts.current {
         Some(path) => match BenchResult::load(Path::new(path)) {
             Ok(c) => c,
@@ -243,11 +247,11 @@ fn cmd_gate(opts: &Opts) -> ExitCode {
         None => {
             // Re-run the baseline's recipe in quick mode (the gate's
             // whole point: fresh numbers on this rev).
-            let recipe = match resolve_recipe(&baseline.recipe, &recipes_dir(&opts.recipes_dir)) {
+            let recipe = match &recipe {
                 Ok(r) => r,
                 Err(e) => return fail(e),
             };
-            match Runner::new(true).run(&recipe) {
+            match Runner::new(true).run(recipe) {
                 Ok(o) => o.result,
                 Err(e) => return fail(e),
             }
@@ -258,10 +262,22 @@ fn cmd_gate(opts: &Opts) -> ExitCode {
             return fail(e);
         }
     }
+    let row_reports = match &recipe {
+        Ok(r) => gate::check_rows(&r.row_gates(), &current),
+        Err(e) => {
+            eprintln!("dp-bench: note: row gates skipped ({e})");
+            Vec::new()
+        }
+    };
     match gate::compare(&baseline, &current, opts.threshold_pct) {
         Ok(report) => {
             println!("{report}");
-            if report.pass {
+            let mut rows_pass = true;
+            for rr in &row_reports {
+                println!("{rr}");
+                rows_pass &= rr.pass;
+            }
+            if report.pass && rows_pass {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)

@@ -1527,6 +1527,198 @@ pub fn chaos_goodput(ctx: &ScenarioCtx) -> ScenarioOutput {
     ScenarioOutput { text, rows, summary_events_per_sec: summary }
 }
 
+// ------------------------------------------ E19: online analysis
+
+/// One E19 client: streams the shared events into its own session and,
+/// at the requested rate, interleaves live `Query` frames (kind `ALL`)
+/// answered from the server's incremental analysis state. Returns the
+/// measured query round trips and the final snapshot JSON (one query is
+/// always issued after the last chunk when querying is enabled, so even
+/// a sub-second quick run samples the latency path).
+fn e19_client(
+    addr: std::net::SocketAddr,
+    label: &str,
+    events: &[TraceEvent],
+    names: Vec<String>,
+    query_interval: Option<Duration>,
+) -> (Vec<Duration>, Option<String>) {
+    use dp_types::protocol::{self, query_kind, Frame, Hello, MAX_FRAME_BYTES};
+    use std::io::Write as _;
+
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).ok();
+    protocol::write_preamble(&mut conn).unwrap();
+    protocol::read_preamble(&mut conn).unwrap();
+    protocol::write_frame(
+        &mut conn,
+        &Frame::Hello(Hello {
+            session: format!("e19-{label}"),
+            spec: dp_core::SessionSpec::default().encode(),
+            checkpoint_every: 0,
+            names,
+        }),
+    )
+    .unwrap();
+    conn.flush().unwrap();
+    assert!(matches!(
+        protocol::read_frame(&mut conn, MAX_FRAME_BYTES).unwrap(),
+        Some(Frame::HelloAck { .. })
+    ));
+
+    let query = |conn: &mut std::net::TcpStream, id: u64| -> (Duration, String) {
+        let t0 = std::time::Instant::now();
+        protocol::write_frame(conn, &Frame::Query { id, kind: query_kind::ALL }).unwrap();
+        conn.flush().unwrap();
+        match protocol::read_frame(conn, MAX_FRAME_BYTES).unwrap() {
+            Some(Frame::QueryResult { id: got, json, .. }) => {
+                assert_eq!(got, id);
+                (t0.elapsed(), json)
+            }
+            other => panic!("wanted QueryResult, got {other:?}"),
+        }
+    };
+
+    let mut chunker = dp_trace::FrameChunker::new(256);
+    let mut rtts = Vec::new();
+    let mut last_json = None;
+    let mut next_id = 0u64;
+    let mut last_query = std::time::Instant::now();
+    for ev in events {
+        for frame in chunker.push(*ev) {
+            let was_chunk = matches!(frame, Frame::Chunk { .. });
+            protocol::write_frame(&mut conn, &frame).unwrap();
+            if was_chunk {
+                if let Some(interval) = query_interval {
+                    if last_query.elapsed() >= interval {
+                        next_id += 1;
+                        let (rtt, json) = query(&mut conn, next_id);
+                        rtts.push(rtt);
+                        last_json = Some(json);
+                        last_query = std::time::Instant::now();
+                    }
+                }
+            }
+        }
+    }
+    if let Some(frame) = chunker.flush() {
+        protocol::write_frame(&mut conn, &frame).unwrap();
+    }
+    if query_interval.is_some() {
+        next_id += 1;
+        let (rtt, json) = query(&mut conn, next_id);
+        rtts.push(rtt);
+        last_json = Some(json);
+    }
+    protocol::write_frame(&mut conn, &Frame::Finish).unwrap();
+    conn.flush().unwrap();
+    match protocol::read_frame(&mut conn, MAX_FRAME_BYTES).unwrap() {
+        Some(Frame::Report { .. }) => {}
+        other => panic!("wanted Report, got {other:?}"),
+    }
+    (rtts, last_json)
+}
+
+/// E19: online-analysis cost — feed throughput and live-query latency
+/// as mid-session `Query` frames are interleaved at 0, 1 and 10 Hz.
+/// The 0 Hz row is the pure-ingest baseline; the per-row overhead check
+/// reports how much feed throughput each query rate costs (the paper's
+/// on-the-fly design goal: watching must not stall the feed). Query
+/// round trips include folding the pending deltas into the incremental
+/// state and serializing the Table-II/comm/race snapshot.
+pub fn online_analysis(ctx: &ScenarioCtx) -> ScenarioOutput {
+    use dp_server::{Server, ServerConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let cfg = ExpConfig::from(ctx);
+    let w = &starbench_suite(cfg.wl_scale())[0];
+    let mut collect = CollectTracer::new();
+    Interp::new(&w.program).run_seq(&mut collect);
+    let events = collect.events;
+    let names: Vec<String> = (0..w.program.interner.len())
+        .map(|i| w.program.interner.resolve(i as u32).to_owned())
+        .collect();
+
+    let rates: &[(&str, Option<u64>)] =
+        &[("q0hz", None), ("q1hz", Some(1000)), ("q10hz", Some(100))];
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    let mut t = Table::new(&[
+        "rate",
+        "events",
+        "queries",
+        "wall ms",
+        "Mev/s",
+        "overhead %",
+        "query p50 us",
+        "query p99 us",
+    ]);
+    let mut rows = Vec::new();
+    let mut baseline_evps = 0.0f64;
+    for (label, interval_ms) in rates {
+        STOP.store(false, Ordering::SeqCst);
+        let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let server_thread = std::thread::spawn(move || server.run(&STOP).unwrap());
+
+        let t0 = std::time::Instant::now();
+        let (mut rtts, last_json) =
+            e19_client(addr, label, &events, names.clone(), interval_ms.map(Duration::from_millis));
+        let wall = t0.elapsed();
+        STOP.store(true, Ordering::SeqCst);
+        server_thread.join().unwrap();
+
+        rtts.sort();
+        let evps = events.len() as f64 / wall.as_secs_f64();
+        if interval_ms.is_none() {
+            baseline_evps = evps;
+        }
+        // Positive = the query rate cost feed throughput vs the 0 Hz
+        // baseline measured in the same scenario invocation.
+        let overhead_pct =
+            if baseline_evps > 0.0 { (baseline_evps - evps) / baseline_evps * 100.0 } else { 0.0 };
+        let p50 = percentile_us(&rtts, 0.50);
+        let p99 = percentile_us(&rtts, 0.99);
+        let snapshot_ok = last_json
+            .as_deref()
+            .is_none_or(|j| j.contains("\"loops\":") && j.contains("\"position\":"));
+        t.row(&[
+            label.to_string(),
+            events.len().to_string(),
+            rtts.len().to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{:.2}", evps / 1e6),
+            format!("{overhead_pct:+.1}"),
+            format!("{p50:.1}"),
+            format!("{p99:.1}"),
+        ]);
+        let mut row = MetricRow::new(format!("watch/{label}"));
+        row.events = Some(events.len() as u64);
+        row.wall_ms = Some(wall.as_secs_f64() * 1e3);
+        row.events_per_sec = Some(evps);
+        if !rtts.is_empty() {
+            row.rtt_p50_us = Some(p50);
+            row.rtt_p99_us = Some(p99);
+        }
+        rows.push(
+            row.check("queries", rtts.len())
+                .check("overhead_pct_vs_idle", format!("{overhead_pct:.1}"))
+                .check("final_snapshot_well_formed", snapshot_ok),
+        );
+    }
+
+    let text = format!(
+        "Online analysis (E19): {} streamed into dp-server while live Query\n\
+         frames sample the incremental loop/comm/race state mid-session\n\
+         (0 Hz = pure-ingest baseline; overhead is the feed-throughput cost\n\
+         of answering queries from incremental state without a stall)\n\n{}",
+        w.meta.name,
+        t.render()
+    );
+    let summary = if baseline_evps > 0.0 { Some(baseline_evps) } else { None };
+    ScenarioOutput { text, rows, summary_events_per_sec: summary }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1578,6 +1770,21 @@ mod tests {
         let s = merge(&tiny());
         assert!(s.text.contains("BT"));
         assert!(s.rows.iter().all(|r| r.checks.contains_key("merge_factor")));
+    }
+
+    #[test]
+    fn online_analysis_rows_and_overhead() {
+        let s = online_analysis(&tiny());
+        assert_eq!(s.rows.len(), 3, "{}", s.text);
+        assert_eq!(s.rows[0].label, "watch/q0hz");
+        assert_eq!(s.rows[0].checks["queries"], "0");
+        assert!(s.rows[0].rtt_p99_us.is_none(), "0 Hz row must not report query latency");
+        for row in &s.rows[1..] {
+            assert!(row.checks["queries"].parse::<u64>().unwrap() >= 1, "{}", row.label);
+            assert!(row.rtt_p99_us.unwrap() > 0.0);
+            assert_eq!(row.checks["final_snapshot_well_formed"], "true");
+        }
+        assert!(s.summary_events_per_sec.unwrap() > 0.0);
     }
 
     #[test]

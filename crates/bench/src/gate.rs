@@ -7,7 +7,7 @@
 //! counts, changed checks) is reported but does not fail the gate; the
 //! deterministic fields are already pinned by unit tests.
 
-use crate::result::BenchResult;
+use crate::result::{BenchResult, MetricRow};
 use std::fmt;
 
 /// Typed gate failure (configuration/input errors — *not* a regression;
@@ -84,6 +84,136 @@ impl fmt::Display for GateReport {
     }
 }
 
+// ----------------------------------------------------------- row gates
+
+/// The comparison direction of a [`RowGate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOp {
+    /// Metric must be `<=` the bound (latency/time budgets).
+    Le,
+    /// Metric must be `>=` the bound (throughput floors).
+    Ge,
+}
+
+/// One declarative per-row budget from a recipe's `gates` array.
+///
+/// A recipe declares absolute budgets as `"<row> <metric> <op> <bound>"`
+/// specs — e.g. `"watch/q1hz rtt_p99_us <= 250000"` bounds E19's 1 Hz
+/// query latency, `"clients=1 rtt_p99_us <= 500000"` bounds E16's Sync
+/// round trip. Unlike the baseline comparison (relative, one summary
+/// number), row gates are absolute and per row, so a regression report
+/// names exactly which row blew which budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowGate {
+    /// Row label the gate applies to (must exist in the fresh result).
+    pub row: String,
+    /// Metric name: `wall_ms`, `events_per_sec`, `rtt_p50_us` or
+    /// `rtt_p99_us`.
+    pub metric: String,
+    /// Comparison direction.
+    pub op: GateOp,
+    /// The budget.
+    pub bound: f64,
+}
+
+/// Metric names a [`RowGate`] may reference.
+pub const GATE_METRICS: &[&str] = &["wall_ms", "events_per_sec", "rtt_p50_us", "rtt_p99_us"];
+
+impl RowGate {
+    /// Parses a `"<row> <metric> <op> <bound>"` spec. The row label is
+    /// everything before the last three whitespace-separated fields, so
+    /// labels may contain `=`, `/` or spaces.
+    pub fn parse(spec: &str) -> Result<RowGate, String> {
+        let fields: Vec<&str> = spec.split_whitespace().collect();
+        if fields.len() < 4 {
+            return Err(format!("gate spec '{spec}': want '<row> <metric> <=|>= <bound>'"));
+        }
+        let bound: f64 = fields[fields.len() - 1]
+            .parse()
+            .map_err(|_| format!("gate spec '{spec}': bad bound '{}'", fields[fields.len() - 1]))?;
+        if !bound.is_finite() || bound < 0.0 {
+            return Err(format!("gate spec '{spec}': bound must be finite and >= 0"));
+        }
+        let op = match fields[fields.len() - 2] {
+            "<=" => GateOp::Le,
+            ">=" => GateOp::Ge,
+            other => return Err(format!("gate spec '{spec}': unknown operator '{other}'")),
+        };
+        let metric = fields[fields.len() - 3];
+        if !GATE_METRICS.contains(&metric) {
+            return Err(format!(
+                "gate spec '{spec}': unknown metric '{metric}' (want one of {})",
+                GATE_METRICS.join(", ")
+            ));
+        }
+        let row = fields[..fields.len() - 3].join(" ");
+        Ok(RowGate { row, metric: metric.to_string(), op, bound })
+    }
+
+    fn metric_of(&self, row: &MetricRow) -> Option<f64> {
+        match self.metric.as_str() {
+            "wall_ms" => row.wall_ms,
+            "events_per_sec" => row.events_per_sec,
+            "rtt_p50_us" => row.rtt_p50_us,
+            "rtt_p99_us" => row.rtt_p99_us,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RowGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            GateOp::Le => "<=",
+            GateOp::Ge => ">=",
+        };
+        write!(f, "{} {} {op} {}", self.row, self.metric, self.bound)
+    }
+}
+
+/// The verdict of one [`RowGate`] against a fresh result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowGateReport {
+    /// The gate that was evaluated.
+    pub gate: RowGate,
+    /// The measured value (`None` when the row or metric is missing —
+    /// which fails the gate, so typos surface loudly).
+    pub measured: Option<f64>,
+    /// Whether the budget holds.
+    pub pass: bool,
+}
+
+impl fmt::Display for RowGateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.measured {
+            Some(v) => write!(
+                f,
+                "row gate [{}]: measured {v:.1} -> {}",
+                self.gate,
+                if self.pass { "PASS" } else { "FAIL" }
+            ),
+            None => write!(f, "row gate [{}]: row or metric missing in result -> FAIL", self.gate),
+        }
+    }
+}
+
+/// Evaluates every row gate against the fresh result. A gate whose row
+/// or metric is absent is reported as failed rather than skipped.
+pub fn check_rows(gates: &[RowGate], current: &BenchResult) -> Vec<RowGateReport> {
+    gates
+        .iter()
+        .map(|g| {
+            let measured =
+                current.rows.iter().find(|r| r.label == g.row).and_then(|r| g.metric_of(r));
+            let pass = measured.is_some_and(|v| match g.op {
+                GateOp::Le => v <= g.bound,
+                GateOp::Ge => v >= g.bound,
+            });
+            RowGateReport { gate: g.clone(), measured, pass }
+        })
+        .collect()
+}
+
 /// Compares a fresh result against a baseline: fails when throughput
 /// dropped by more than `threshold_pct` percent. Improvements and
 /// within-threshold noise pass.
@@ -152,6 +282,49 @@ mod tests {
         // Improvements always pass.
         let fast = compare(&base, &result("spsc-quick", Some(5_000_000.0)), 50.0).unwrap();
         assert!(fast.pass);
+    }
+
+    #[test]
+    fn row_gate_spec_roundtrip_and_errors() {
+        let g = RowGate::parse("watch/q1hz rtt_p99_us <= 250000").unwrap();
+        assert_eq!(g.row, "watch/q1hz");
+        assert_eq!(g.metric, "rtt_p99_us");
+        assert_eq!(g.op, GateOp::Le);
+        assert_eq!(RowGate::parse(&g.to_string()).unwrap(), g);
+        // Row labels may contain '=' and spaces.
+        let g = RowGate::parse("clients=16 events_per_sec >= 1000").unwrap();
+        assert_eq!(g.row, "clients=16");
+        assert_eq!(g.op, GateOp::Ge);
+        for bad in [
+            "too short",
+            "row nonsense_metric <= 5",
+            "row wall_ms == 5",
+            "row wall_ms <= banana",
+            "row wall_ms <= -1",
+        ] {
+            assert!(RowGate::parse(bad).is_err(), "'{bad}' must be rejected");
+        }
+    }
+
+    #[test]
+    fn row_gates_report_each_violation() {
+        let mut r = result("online", Some(1.0));
+        let mut row = MetricRow::new("watch/q1hz");
+        row.rtt_p99_us = Some(300_000.0);
+        row.events_per_sec = Some(2_000_000.0);
+        r.rows.push(row);
+        let gates = vec![
+            RowGate::parse("watch/q1hz rtt_p99_us <= 250000").unwrap(),
+            RowGate::parse("watch/q1hz events_per_sec >= 1000000").unwrap(),
+            RowGate::parse("watch/q99hz rtt_p99_us <= 250000").unwrap(),
+        ];
+        let reports = check_rows(&gates, &r);
+        assert_eq!(reports.len(), 3);
+        assert!(!reports[0].pass, "blown latency budget must fail: {}", reports[0]);
+        assert_eq!(reports[0].measured, Some(300_000.0));
+        assert!(reports[1].pass, "{}", reports[1]);
+        assert!(!reports[2].pass, "missing row must fail loudly: {}", reports[2]);
+        assert_eq!(reports[2].measured, None);
     }
 
     #[test]

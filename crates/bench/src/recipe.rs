@@ -44,6 +44,9 @@ pub struct Recipe {
     pub matrix: Matrix,
     /// Overrides applied when running with `--quick`.
     pub quick: QuickOverride,
+    /// Per-row absolute budgets, as `"<row> <metric> <=|>= <bound>"`
+    /// specs — parsed/evaluated by [`crate::gate::RowGate`].
+    pub gates: Vec<String>,
 }
 
 /// The execution matrix of a recipe.
@@ -97,6 +100,8 @@ pub enum RecipeError {
     MissingField(&'static str),
     /// The matrix names an unknown engine/transport or an empty/zero axis.
     InvalidMatrix(String),
+    /// A `gates` entry does not parse as a row-gate spec.
+    InvalidGate(String),
     /// The top-level `scenario`/`workload` value is not recognized.
     InvalidValue {
         /// Offending field.
@@ -115,6 +120,7 @@ impl fmt::Display for RecipeError {
             RecipeError::UnknownField(k) => write!(f, "unknown recipe field '{k}'"),
             RecipeError::MissingField(k) => write!(f, "missing required recipe field '{k}'"),
             RecipeError::InvalidMatrix(m) => write!(f, "invalid matrix: {m}"),
+            RecipeError::InvalidGate(g) => write!(f, "invalid {g}"),
             RecipeError::InvalidValue { field, value } => {
                 write!(f, "invalid value '{value}' for recipe field '{field}'")
             }
@@ -331,9 +337,11 @@ impl Recipe {
         let mut seed = 42u64;
         let mut matrix = Matrix::default();
         let mut quick = QuickOverride::default();
+        let mut gates = Vec::new();
         for (table, key, value) in &doc {
             match (table.as_str(), key.as_str()) {
                 ("", "name") => name = Some(want_str(value, "name")?),
+                ("", "gates") => gates = want_str_arr(value, "gates")?,
                 ("", "scenario") => scenario = Some(want_str(value, "scenario")?),
                 ("", "workload") => workload = Some(want_str(value, "workload")?),
                 ("", "scale") => scale = want_f64(value, "scale")?,
@@ -367,6 +375,7 @@ impl Recipe {
             seed,
             matrix,
             quick,
+            gates,
         };
         r.validate()?;
         Ok(r)
@@ -445,7 +454,16 @@ impl Recipe {
                 "clients must be non-empty and non-zero".into(),
             ));
         }
+        for spec in &self.gates {
+            crate::gate::RowGate::parse(spec).map_err(RecipeError::InvalidGate)?;
+        }
         Ok(())
+    }
+
+    /// The parsed per-row budgets (validation already guaranteed every
+    /// spec parses).
+    pub fn row_gates(&self) -> Vec<crate::gate::RowGate> {
+        self.gates.iter().map(|s| crate::gate::RowGate::parse(s).expect("validated gate")).collect()
     }
 
     /// Effective scale under quick/full mode.
@@ -486,6 +504,9 @@ impl Recipe {
         s.push_str(&format!("repetitions = {}\n", self.repetitions));
         s.push_str(&format!("warmup = {}\n", self.warmup));
         s.push_str(&format!("seed = {}\n", self.seed));
+        if !self.gates.is_empty() {
+            s.push_str(&format!("gates = [{}]\n", quote_list(&self.gates)));
+        }
         s.push_str("\n[matrix]\n");
         s.push_str(&format!("engines = [{}]\n", quote_list(&self.matrix.engines)));
         s.push_str(&format!("transports = [{}]\n", quote_list(&self.matrix.transports)));
@@ -538,6 +559,7 @@ scale = 0.25
 repetitions = 3
 warmup = 1
 seed = 7
+gates = ["kmeans/spsc events_per_sec >= 1000", "kmeans/spsc wall_ms <= 60000"]
 
 [matrix]
 engines = ["parallel"]
@@ -605,6 +627,21 @@ repetitions = 1
                 }
                 other => panic!("wanted InvalidMatrix for {to}, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn gates_parse_and_invalid_specs_rejected() {
+        let r = Recipe::from_toml_str(GOOD).unwrap();
+        let gates = r.row_gates();
+        assert_eq!(gates.len(), 2);
+        assert_eq!(gates[0].row, "kmeans/spsc");
+        assert_eq!(gates[0].metric, "events_per_sec");
+        let src = GOOD
+            .replace("\"kmeans/spsc wall_ms <= 60000\"", "\"kmeans/spsc made_up_metric <= 60000\"");
+        match Recipe::from_toml_str(&src) {
+            Err(RecipeError::InvalidGate(g)) => assert!(g.contains("made_up_metric"), "{g}"),
+            other => panic!("wanted InvalidGate, got {other:?}"),
         }
     }
 

@@ -132,6 +132,7 @@ scenarios! {
     Server { id: "server", exp: "E16", title: "Server throughput and Sync RTT vs client count", run: exp::server_throughput },
     FuzzCampaign { id: "fuzz", exp: "E17", title: "Differential fuzzing: all engine legs agree on seeded MiniVM programs", run: exp::fuzz_campaign },
     ChaosGoodput { id: "chaos", exp: "E18", title: "Chaos goodput: retry/resume client vs seeded network faults", run: exp::chaos_goodput },
+    OnlineAnalysis { id: "online-analysis", exp: "E19", title: "Online analysis: live query latency and feed-throughput overhead", run: exp::online_analysis },
 }
 
 /// Looks up a scenario by id.

@@ -66,7 +66,7 @@ pub use dp_metrics::{
 };
 pub use seq::{offload_sequential, SequentialProfiler};
 pub use session::{ProfileSession, SessionSpec};
-pub use store::{DepStore, EdgeVal, LoopRecord};
+pub use store::{AnalysisDelta, DeltaEdge, DeltaLoop, DepStore, EdgeVal, LoopRecord};
 
 /// Convenience alias: the default signature store (extended slots: source
 /// location + thread + timestamp).

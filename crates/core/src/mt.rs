@@ -55,7 +55,7 @@ type WorkerResult =
 
 /// How a supervised MT worker thread ended.
 enum MtExit {
-    Finished(WorkerResult),
+    Finished(Box<WorkerResult>),
     Panicked { payload: String },
 }
 
@@ -401,7 +401,8 @@ impl MtProfiler {
                 Err(p) => MtExit::Panicked { payload: panic_message(&*p) },
             };
             match exit {
-                MtExit::Finished((store, tree, counters, mem, g)) => {
+                MtExit::Finished(res) => {
+                    let (store, tree, counters, mem, g) = *res;
                     if !shutdown_ok[wid] {
                         failures.push(WorkerFailure {
                             worker: wid,
@@ -577,7 +578,7 @@ fn mt_worker<S: AccessStore>(
         run_mt_worker(sh, wid, algo, plan)
     }));
     match out {
-        Ok(res) => MtExit::Finished(res),
+        Ok(res) => MtExit::Finished(Box::new(res)),
         Err(payload) => {
             // Flag death before the thread exits so producers fail fast.
             shared.dead[wid].store(true, Ordering::Release);
@@ -617,7 +618,9 @@ fn run_mt_worker<S: AccessStore>(
                 backoff.reset();
             }
             Some(WorkerMsg::Inject { addr, read, write }) => algo.inject(addr, read, write),
-            Some(WorkerMsg::Extract { .. }) => { /* not used in MT mode */ }
+            Some(WorkerMsg::Extract { .. })
+            | Some(WorkerMsg::EnableDelta)
+            | Some(WorkerMsg::DeltaFlush) => { /* not used in MT mode */ }
             Some(WorkerMsg::Checkpoint) => {
                 // Queue FIFO order guarantees everything flushed before
                 // the barrier is already folded into `algo`.

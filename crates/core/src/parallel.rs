@@ -105,6 +105,13 @@ pub enum WorkerMsg {
     /// this message when it replies, so the blob captures a consistent
     /// cut of the run.
     Checkpoint,
+    /// Online analysis: start tracking dependence-map movement
+    /// ([`DepStore::enable_delta`]) in this worker's store.
+    EnableDelta,
+    /// Online analysis: drain the worker's dirty set and reply with an
+    /// [`AnalysisDelta`] on the response queue. FIFO order makes the
+    /// delta cover exactly the events routed before this message.
+    DeltaFlush,
     /// Drain and exit.
     Shutdown,
 }
@@ -123,6 +130,14 @@ enum RouterMsg {
         worker: usize,
         state: Option<Vec<u8>>,
     },
+    /// Reply to [`WorkerMsg::DeltaFlush`]. A reply that misses its
+    /// collect window is parked in `pending_deltas` rather than dropped:
+    /// the worker already drained its dirty set, so losing the reply
+    /// would lose the movement for good.
+    Delta {
+        worker: usize,
+        delta: crate::store::AnalysisDelta,
+    },
 }
 
 struct WorkerOutput {
@@ -136,7 +151,7 @@ struct WorkerOutput {
 /// How a supervised worker thread ended.
 enum WorkerExit {
     /// Clean exit (or an abandoned stall that woke up): results salvaged.
-    Finished(WorkerOutput),
+    Finished(Box<WorkerOutput>),
     /// The worker panicked; `catch_unwind` contained it and the payload
     /// is preserved for the [`WorkerFailure`] record.
     Panicked { payload: String },
@@ -329,6 +344,11 @@ pub struct ParallelProfiler<S: AccessStore + 'static, X: Transport<WorkerMsg>> {
     spurious_replies: u64,
     in_rebalance: bool,
     in_poll: bool,
+    /// Online analysis enabled (workers track dependence-map movement).
+    online: bool,
+    /// Delta replies that arrived outside a collect window; handed to
+    /// the next [`ParallelProfiler::collect_deltas`] caller.
+    pending_deltas: Vec<crate::store::AnalysisDelta>,
     cfg: ProfilerConfig,
     _store: std::marker::PhantomData<S>,
 }
@@ -477,6 +497,8 @@ where
             spurious_replies: 0,
             in_rebalance: false,
             in_poll: false,
+            online: false,
+            pending_deltas: Vec::new(),
             cfg,
             _store: std::marker::PhantomData,
         })
@@ -677,12 +699,25 @@ where
         self.in_poll = true;
         self.resolve_dead_migrations();
         while let Some(msg) = self.resp.pop() {
-            let RouterMsg::Extracted { addr, read, write } = msg else {
+            let (addr, read, write) = match msg {
+                RouterMsg::Extracted { addr, read, write } => (addr, read, write),
+                // A delta reply outside `collect_deltas`' window (a
+                // worker that answered after the deadline): the worker
+                // already drained its dirty set, so park the movement
+                // for the next collection instead of losing it.
+                RouterMsg::Delta { delta, .. } => {
+                    if !delta.is_empty() {
+                        self.pending_deltas.push(delta);
+                    }
+                    continue;
+                }
                 // A checkpoint reply outside `checkpoint_data`'s collect
                 // loop (e.g. from a worker that answered after the
                 // deadline): counted and dropped, never fatal.
-                self.spurious_replies += 1;
-                continue;
+                RouterMsg::CheckpointState { .. } => {
+                    self.spurious_replies += 1;
+                    continue;
+                }
             };
             // A reply with no pending migration (its migration was
             // cancelled after the source was presumed dead, and the reply
@@ -869,6 +904,12 @@ where
                 // definition spurious (a cancelled migration's late
                 // answer).
                 Some(RouterMsg::Extracted { .. }) => self.spurious_replies += 1,
+                // A late delta reply: park the movement, never drop it.
+                Some(RouterMsg::Delta { delta, .. }) => {
+                    if !delta.is_empty() {
+                        self.pending_deltas.push(delta);
+                    }
+                }
                 None => {
                     if let Some(wid) = (0..w).find(|&wid| !replied[wid] && self.is_dead(wid)) {
                         return Err(CheckpointError::WorkerUnavailable(wid));
@@ -963,6 +1004,99 @@ where
             return Err(WireError::Invalid("trailing bytes after router state"));
         }
         Ok(())
+    }
+
+    /// Turns on online analysis: every live worker starts tracking
+    /// dependence-map movement ([`DepStore::enable_delta`]). The
+    /// worker-side enable seeds its full current state at a zero
+    /// baseline, so the first [`ParallelProfiler::collect_deltas`] ships
+    /// complete history no matter how late this is called. Idempotent.
+    pub fn enable_online(&mut self) {
+        if self.online {
+            return;
+        }
+        self.online = true;
+        for wid in 0..self.senders.len() {
+            if !self.is_dead(wid) {
+                // A dead or stalled worker just misses the enable; its
+                // dependences surface when its store merges at finish.
+                let _ = self.deliver(wid, WorkerMsg::EnableDelta, self.event_drop_after());
+            }
+        }
+    }
+
+    /// True once [`ParallelProfiler::enable_online`] has run.
+    pub fn online_enabled(&self) -> bool {
+        self.online
+    }
+
+    /// Flushes pending chunks and drains every live worker's dirty set
+    /// into [`AnalysisDelta`]s (plus any parked late replies). Best
+    /// effort under chaos: a worker that stays silent past the drain
+    /// deadline is skipped — its movement is parked by `poll_responses`
+    /// when the reply finally lands, so nothing is lost, merely late.
+    /// With a quiet pipeline (every fed event consumed, as at the final
+    /// query of a session) the folded deltas reproduce the workers'
+    /// stores exactly.
+    pub fn collect_deltas(&mut self) -> Vec<crate::store::AnalysisDelta> {
+        let mut out = std::mem::take(&mut self.pending_deltas);
+        if !self.online {
+            return out;
+        }
+        let drain = Duration::from_millis(self.cfg.drain_deadline_ms.max(1));
+        // Complete in-flight migrations first so buffered accesses reach
+        // their worker before the flush barrier.
+        let deadline = Instant::now() + drain;
+        while !self.inflight.is_empty() && Instant::now() < deadline {
+            self.poll_responses();
+            if self.inflight.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        self.flush_all();
+        let w = self.senders.len();
+        let mut expect = vec![false; w];
+        let mut waiting = 0usize;
+        for (wid, e) in expect.iter_mut().enumerate() {
+            if !self.is_dead(wid) && self.deliver(wid, WorkerMsg::DeltaFlush, Some(drain)).is_ok() {
+                *e = true;
+                waiting += 1;
+            }
+        }
+        let deadline = Instant::now() + drain;
+        while waiting > 0 {
+            match self.resp.pop() {
+                Some(RouterMsg::Delta { worker, delta }) => {
+                    if worker < w && expect[worker] {
+                        expect[worker] = false;
+                        waiting -= 1;
+                    }
+                    // Replies from an earlier window count too: deltas
+                    // compose in any order (counts add, flags OR,
+                    // carriers union).
+                    if !delta.is_empty() {
+                        out.push(delta);
+                    }
+                }
+                Some(RouterMsg::Extracted { .. }) | Some(RouterMsg::CheckpointState { .. }) => {
+                    self.spurious_replies += 1;
+                }
+                None => {
+                    for (wid, e) in expect.iter_mut().enumerate() {
+                        if *e && self.sup.dead[wid].load(Ordering::Acquire) {
+                            *e = false;
+                            waiting -= 1;
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        break; // slow worker: answer goes stale, not lost
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        out
     }
 
     /// Monotone progress heartbeat for the run watchdog, piggybacked on
@@ -1364,7 +1498,7 @@ fn worker_loop<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
         run_worker(wid, q, algo, &ctx)
     }));
     match out {
-        Ok(out) => WorkerExit::Finished(out),
+        Ok(out) => WorkerExit::Finished(Box::new(out)),
         Err(payload) => {
             sup.dead[wid].store(true, Ordering::Release);
             WorkerExit::Panicked { payload: panic_message(&*payload) }
@@ -1420,6 +1554,21 @@ fn run_worker<S: AccessStore, R: TransportReceiver<WorkerMsg>>(
                 let mut out = ByteWriter::new();
                 let state = algo.save_state(&mut out).then(|| out.into_bytes());
                 let mut msg = RouterMsg::CheckpointState { worker: wid, state };
+                loop {
+                    match ctx.resp.push(msg) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            msg = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            Some(WorkerMsg::EnableDelta) => {
+                algo.store.enable_delta();
+            }
+            Some(WorkerMsg::DeltaFlush) => {
+                let mut msg = RouterMsg::Delta { worker: wid, delta: algo.store.take_delta() };
                 loop {
                     match ctx.resp.push(msg) {
                         Ok(()) => break,
@@ -1498,6 +1647,35 @@ impl<S: AccessStore + 'static> AnyParallelProfiler<S> {
             Self::Spsc(p) => p.checkpoint_data(generation, records_read, config),
             Self::Mpmc(p) => p.checkpoint_data(generation, records_read, config),
             Self::Lock(p) => p.checkpoint_data(generation, records_read, config),
+        }
+    }
+
+    /// Turns on online analysis in every live worker (see
+    /// [`ParallelProfiler::enable_online`]).
+    pub fn enable_online(&mut self) {
+        match self {
+            Self::Spsc(p) => p.enable_online(),
+            Self::Mpmc(p) => p.enable_online(),
+            Self::Lock(p) => p.enable_online(),
+        }
+    }
+
+    /// True once online analysis has been enabled.
+    pub fn online_enabled(&self) -> bool {
+        match self {
+            Self::Spsc(p) => p.online_enabled(),
+            Self::Mpmc(p) => p.online_enabled(),
+            Self::Lock(p) => p.online_enabled(),
+        }
+    }
+
+    /// Drains the workers' dependence-map movement (see
+    /// [`ParallelProfiler::collect_deltas`]).
+    pub fn collect_deltas(&mut self) -> Vec<crate::store::AnalysisDelta> {
+        match self {
+            Self::Spsc(p) => p.collect_deltas(),
+            Self::Mpmc(p) => p.collect_deltas(),
+            Self::Lock(p) => p.collect_deltas(),
         }
     }
 
@@ -1594,6 +1772,82 @@ mod tests {
         assert_eq!(raw.1.count, 64);
         assert_eq!(raw.0.sink.loc.line, 11);
         assert_eq!(raw.0.edge.source_loc.line, 10);
+    }
+
+    #[test]
+    fn online_deltas_reconstruct_final_store() {
+        use crate::store::AnalysisDelta;
+        use dp_types::{DepFlags, LoopId, SinkKey, SourceLoc};
+        use std::collections::{BTreeMap, BTreeSet};
+        type Mirror = BTreeMap<(SinkKey, crate::store::EdgeKey), (u64, DepFlags, BTreeSet<LoopId>)>;
+        type LoopMirror = BTreeMap<LoopId, (SourceLoc, SourceLoc, u64, u64)>;
+        let fold = |edges: &mut Mirror, loops: &mut LoopMirror, deltas: Vec<AnalysisDelta>| {
+            for d in deltas {
+                for e in d.edges {
+                    let v = edges.entry((e.sink, e.key)).or_insert((
+                        0,
+                        DepFlags::empty(),
+                        BTreeSet::new(),
+                    ));
+                    v.0 += e.count_delta;
+                    v.1 |= e.flags;
+                    v.2.extend(e.carriers);
+                }
+                for l in d.loops {
+                    let r = loops.entry(l.id).or_insert((l.begin, l.end, 0, 0));
+                    r.2 += l.instances_delta;
+                    r.3 += l.iters_delta;
+                }
+            }
+        };
+        let mut p: LockFreeProfiler<PerfectSignature> =
+            ParallelProfiler::new(cfg(4), PerfectSignature::new);
+        let mut ts = 0u64;
+        let mut next = || {
+            ts += 1;
+            ts
+        };
+        let mut edges = Mirror::new();
+        let mut loops = LoopMirror::new();
+        p.event(TraceEvent::LoopBegin { loop_id: 3, loc: loc(1, 5), thread: 0, ts: next() });
+        for i in 0..40u64 {
+            p.event(TraceEvent::LoopIter { loop_id: 3, iter: i, thread: 0, ts: next() });
+            p.event(acc(AccessKind::Write, 0x1000 + (i % 9) * 8, next(), 10));
+            p.event(acc(AccessKind::Read, 0x1000 + (i % 9) * 8, next(), 11));
+        }
+        // Enable mid-run: the first collection must catch up on history.
+        p.enable_online();
+        fold(&mut edges, &mut loops, p.collect_deltas());
+        for i in 0..40u64 {
+            p.event(TraceEvent::LoopIter { loop_id: 3, iter: 40 + i, thread: 0, ts: next() });
+            p.event(acc(AccessKind::Read, 0x1000 + (i % 9) * 8, next(), 12));
+        }
+        p.event(TraceEvent::LoopEnd {
+            loop_id: 3,
+            loc: loc(1, 9),
+            iters: 80,
+            thread: 0,
+            ts: next(),
+        });
+        fold(&mut edges, &mut loops, p.collect_deltas());
+        // Idle pipeline: another collection ships nothing.
+        assert!(p.collect_deltas().iter().all(AnalysisDelta::is_empty));
+        let r = p.finish();
+        assert!(!r.degraded());
+        let want_edges: Mirror = r
+            .deps
+            .sinks()
+            .flat_map(|(sink, m)| {
+                m.iter().map(|(k, v)| ((*sink, *k), (v.count, v.flags, v.carriers.clone())))
+            })
+            .collect();
+        let want_loops: LoopMirror = r
+            .deps
+            .loops()
+            .map(|(id, rec)| (*id, (rec.begin, rec.end, rec.instances, rec.total_iters)))
+            .collect();
+        assert_eq!(edges, want_edges, "folded deltas must equal the final merged store");
+        assert_eq!(loops, want_loops);
     }
 
     #[test]

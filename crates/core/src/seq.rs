@@ -86,6 +86,25 @@ impl<S: AccessStore> SequentialProfiler<S> {
         self.algo.on_event(ev);
     }
 
+    /// Turns on online analysis: the in-line store starts tracking
+    /// dependence-map movement (see
+    /// [`DepStore::enable_delta`](crate::store::DepStore::enable_delta)).
+    /// Idempotent; a late enable catches up by seeding full history.
+    pub fn enable_online(&mut self) {
+        self.algo.store.enable_delta();
+    }
+
+    /// True once [`SequentialProfiler::enable_online`] has run.
+    pub fn online_enabled(&self) -> bool {
+        self.algo.store.delta_enabled()
+    }
+
+    /// Drains the movement since the previous drain (empty when online
+    /// analysis is off or nothing moved).
+    pub fn take_delta(&mut self) -> crate::store::AnalysisDelta {
+        self.algo.store.take_delta()
+    }
+
     /// Captures the full profiler state as a checkpoint: one worker blob
     /// (the in-line engine *is* its single worker), no router, no queue
     /// ledger. Returns `Unsupported` for access stores that cannot

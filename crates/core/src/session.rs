@@ -169,6 +169,41 @@ impl ProfileSession {
         }
     }
 
+    /// Turns on online analysis: the engine's dependence stores start
+    /// tracking movement so [`ProfileSession::collect_deltas`] can feed
+    /// the live analysis state. Idempotent; a late enable catches up by
+    /// shipping full history on the first collection.
+    pub fn enable_online(&mut self) {
+        match self {
+            ProfileSession::Serial(p) => p.enable_online(),
+            ProfileSession::Parallel(p) => p.enable_online(),
+        }
+    }
+
+    /// True once [`ProfileSession::enable_online`] has run.
+    pub fn online_enabled(&self) -> bool {
+        match self {
+            ProfileSession::Serial(p) => p.online_enabled(),
+            ProfileSession::Parallel(p) => p.online_enabled(),
+        }
+    }
+
+    /// Drains the dependence-map movement since the previous drain (one
+    /// delta per store that moved; empty when online analysis is off).
+    pub fn collect_deltas(&mut self) -> Vec<crate::store::AnalysisDelta> {
+        match self {
+            ProfileSession::Serial(p) => {
+                let d = p.take_delta();
+                if d.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![d]
+                }
+            }
+            ProfileSession::Parallel(p) => p.collect_deltas(),
+        }
+    }
+
     /// Quiesces the engine and captures a checkpoint at the current
     /// stream position.
     pub fn checkpoint_data(

@@ -40,6 +40,72 @@ fn dtype_from(code: u8) -> Result<DepType, WireError> {
 /// Merge key of an edge under one sink.
 pub type EdgeKey = (DepType, SourceLoc, ThreadId, VarId);
 
+/// One touched edge inside an [`AnalysisDelta`]: the edge's identity, the
+/// occurrences added since the last drain, and the edge's *cumulative*
+/// flag union and carrier set (shipping the full sets makes applying a
+/// delta idempotent — OR-ing and union-ing them again changes nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaEdge {
+    /// Sink of the dependence.
+    pub sink: SinkKey,
+    /// Merge key under the sink.
+    pub key: EdgeKey,
+    /// Occurrences merged into the edge since the previous drain.
+    pub count_delta: u64,
+    /// Union of qualifier flags over *all* occurrences so far.
+    pub flags: DepFlags,
+    /// Full set of loops the edge has been observed carried for.
+    pub carriers: BTreeSet<LoopId>,
+}
+
+/// Loop-record movement inside an [`AnalysisDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaLoop {
+    /// The loop.
+    pub id: LoopId,
+    /// Loop header location.
+    pub begin: SourceLoc,
+    /// Loop exit location.
+    pub end: SourceLoc,
+    /// Instances finished since the previous drain.
+    pub instances_delta: u64,
+    /// Iterations summed since the previous drain.
+    pub iters_delta: u64,
+}
+
+/// What changed in a [`DepStore`] since the last drain — the unit the
+/// online-analysis subsystem folds into its live loop/communication/race
+/// state. Deltas from different stores (the parallel engine's per-worker
+/// maps) compose by applying each in turn: counts add, flags OR, carrier
+/// sets union — exactly the [`DepStore::merge`] rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisDelta {
+    /// Edges touched since the last drain, in deterministic
+    /// `(sink, key)` order.
+    pub edges: Vec<DeltaEdge>,
+    /// Loop records touched since the last drain, in id order.
+    pub loops: Vec<DeltaLoop>,
+}
+
+impl AnalysisDelta {
+    /// True when the delta carries no movement.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty() && self.loops.is_empty()
+    }
+}
+
+/// Dirty-set bookkeeping for delta tracking: for every edge (or loop)
+/// touched since the last drain, the pre-touch counters, so the drain can
+/// ship exact movement without cloning the whole store.
+#[derive(Debug, Clone, Default)]
+struct DeltaTrack {
+    /// `(sink, key) -> count` before the first touch of this interval
+    /// (0 for edges born inside the interval).
+    edges: BTreeMap<(SinkKey, EdgeKey), u64>,
+    /// `loop -> (instances, total_iters)` before the first touch.
+    loops: BTreeMap<LoopId, (u64, u64)>,
+}
+
 /// Merged payload of one distinct dependence edge.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EdgeVal {
@@ -73,6 +139,8 @@ pub struct DepStore {
     loops: BTreeMap<LoopId, LoopRecord>,
     deps_built: u64,
     distinct: u64,
+    /// `Some` once delta tracking is enabled ([`DepStore::enable_delta`]).
+    delta: Option<DeltaTrack>,
 }
 
 impl DepStore {
@@ -94,15 +162,14 @@ impl DepStore {
         carrier: Option<LoopId>,
     ) {
         self.deps_built += 1;
-        let entry = self
-            .deps
-            .entry(sink)
-            .or_default()
-            .entry((dtype, source_loc, source_thread, var))
-            .or_insert_with(|| {
-                self.distinct += 1;
-                EdgeVal::default()
-            });
+        let key = (dtype, source_loc, source_thread, var);
+        let entry = self.deps.entry(sink).or_default().entry(key).or_insert_with(|| {
+            self.distinct += 1;
+            EdgeVal::default()
+        });
+        if let Some(track) = self.delta.as_mut() {
+            track.edges.entry((sink, key)).or_insert(entry.count);
+        }
         entry.count += 1;
         entry.flags |= flags;
         if let Some(l) = carrier {
@@ -118,8 +185,74 @@ impl DepStore {
             instances: 0,
             total_iters: 0,
         });
+        if let Some(track) = self.delta.as_mut() {
+            track.loops.entry(id).or_insert((r.instances, r.total_iters));
+        }
         r.instances += 1;
         r.total_iters += iters;
+    }
+
+    /// Turns on delta tracking. Everything already in the store is seeded
+    /// into the dirty set at a zero baseline, so the first
+    /// [`DepStore::take_delta`] ships the *full* current state — the
+    /// catch-up that lets online analysis be enabled lazily mid-session
+    /// (or after a checkpoint rehydration) without missing history.
+    /// Idempotent: enabling twice does not reset in-flight baselines.
+    pub fn enable_delta(&mut self) {
+        if self.delta.is_some() {
+            return;
+        }
+        let mut track = DeltaTrack::default();
+        for (sink, edges) in &self.deps {
+            for key in edges.keys() {
+                track.edges.insert((*sink, *key), 0);
+            }
+        }
+        for id in self.loops.keys() {
+            track.loops.insert(*id, (0, 0));
+        }
+        self.delta = Some(track);
+    }
+
+    /// True once [`DepStore::enable_delta`] has run.
+    pub fn delta_enabled(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Drains the dirty set into an [`AnalysisDelta`] describing every
+    /// edge and loop touched since the previous drain (or since
+    /// [`DepStore::enable_delta`]). Returns an empty delta when tracking
+    /// is off or nothing moved.
+    pub fn take_delta(&mut self) -> AnalysisDelta {
+        let Some(track) = self.delta.as_mut() else {
+            return AnalysisDelta::default();
+        };
+        let dirty_edges = std::mem::take(&mut track.edges);
+        let dirty_loops = std::mem::take(&mut track.loops);
+        let mut out = AnalysisDelta::default();
+        for ((sink, key), baseline) in dirty_edges {
+            let Some(val) = self.deps.get(&sink).and_then(|m| m.get(&key)) else {
+                continue;
+            };
+            out.edges.push(DeltaEdge {
+                sink,
+                key,
+                count_delta: val.count - baseline,
+                flags: val.flags,
+                carriers: val.carriers.clone(),
+            });
+        }
+        for (id, (base_inst, base_iters)) in dirty_loops {
+            let Some(r) = self.loops.get(&id) else { continue };
+            out.loops.push(DeltaLoop {
+                id,
+                begin: r.begin,
+                end: r.end,
+                instances_delta: r.instances - base_inst,
+                iters_delta: r.total_iters - base_iters,
+            });
+        }
+        out
     }
 
     /// Total dynamic dependences recorded (pre-merge) — the numerator of
@@ -183,6 +316,9 @@ impl DepStore {
                     self.distinct += 1;
                     EdgeVal::default()
                 });
+                if let Some(track) = self.delta.as_mut() {
+                    track.edges.entry((sink, k)).or_insert(e.count);
+                }
                 e.count += v.count;
                 e.flags |= v.flags;
                 e.carriers.extend(v.carriers);
@@ -195,10 +331,49 @@ impl DepStore {
                 instances: 0,
                 total_iters: 0,
             });
+            if let Some(track) = self.delta.as_mut() {
+                track.loops.entry(id).or_insert((dst.instances, dst.total_iters));
+            }
             dst.instances += r.instances;
             dst.total_iters += r.total_iters;
         }
         self.deps_built += other.deps_built;
+    }
+
+    /// Applies an [`AnalysisDelta`] drained from another store: counts
+    /// add, flags OR, carriers union — the [`merge`](DepStore::merge)
+    /// rules, so replaying every delta of a session reconstructs the
+    /// merged store. This is the post-hoc fallback path of the online
+    /// analysis subsystem: a mirror store fed only by deltas is a valid
+    /// input for any non-incremental pass.
+    pub fn apply_delta(&mut self, delta: &AnalysisDelta) {
+        for e in &delta.edges {
+            let dst = self.deps.entry(e.sink).or_default();
+            let entry = dst.entry(e.key).or_insert_with(|| {
+                self.distinct += 1;
+                EdgeVal::default()
+            });
+            if let Some(track) = self.delta.as_mut() {
+                track.edges.entry((e.sink, e.key)).or_insert(entry.count);
+            }
+            entry.count += e.count_delta;
+            entry.flags |= e.flags;
+            entry.carriers.extend(e.carriers.iter().copied());
+            self.deps_built += e.count_delta;
+        }
+        for l in &delta.loops {
+            let dst = self.loops.entry(l.id).or_insert_with(|| LoopRecord {
+                begin: l.begin,
+                end: l.end,
+                instances: 0,
+                total_iters: 0,
+            });
+            if let Some(track) = self.delta.as_mut() {
+                track.loops.entry(l.id).or_insert((dst.instances, dst.total_iters));
+            }
+            dst.instances += l.instances_delta;
+            dst.total_iters += l.iters_delta;
+        }
     }
 
     /// Serializes the complete store — merged dependences, loop records
@@ -283,7 +458,7 @@ impl DepStore {
         if !r.is_done() {
             return Err(WireError::Invalid("trailing bytes after dependence store"));
         }
-        Ok(DepStore { deps, loops, deps_built, distinct })
+        Ok(DepStore { deps, loops, deps_built, distinct, delta: None })
     }
 
     /// Approximate heap footprint for the memory accounting.
@@ -397,6 +572,96 @@ mod tests {
         let mut bytes = out.into_bytes();
         bytes.push(0); // trailing byte
         assert!(DepStore::load(&bytes).is_err());
+    }
+
+    /// Folds a delta into a plain store using the merge rules (counts
+    /// add, flags OR, carriers union) — the reference consumer the
+    /// online-analysis subsystem mirrors.
+    fn fold(target: &mut DepStore, delta: &AnalysisDelta) {
+        target.apply_delta(delta);
+    }
+
+    fn snapshot(s: &DepStore) -> (Vec<(Dependence, EdgeVal)>, Vec<(LoopId, LoopRecord)>) {
+        (
+            s.dependences().map(|(d, v)| (d, v.clone())).collect(),
+            s.loops().map(|(id, r)| (*id, r.clone())).collect(),
+        )
+    }
+
+    #[test]
+    fn delta_tracks_exact_movement() {
+        let mut s = DepStore::new();
+        s.enable_delta();
+        assert!(s.delta_enabled());
+        s.add(sink(1), DepType::Raw, loc(1, 1), 0, 7, DepFlags::INTRA_ITERATION, None);
+        s.add(sink(1), DepType::Raw, loc(1, 1), 0, 7, DepFlags::LOOP_CARRIED, Some(3));
+        s.record_loop(3, loc(1, 1), loc(1, 9), 10);
+        let d = s.take_delta();
+        assert_eq!(d.edges.len(), 1);
+        assert_eq!(d.edges[0].count_delta, 2);
+        assert!(d.edges[0].flags.contains(DepFlags::LOOP_CARRIED | DepFlags::INTRA_ITERATION));
+        assert_eq!(d.loops.len(), 1);
+        assert_eq!(d.loops[0].instances_delta, 1);
+        assert_eq!(d.loops[0].iters_delta, 10);
+        // Nothing moved since the drain.
+        assert!(s.take_delta().is_empty());
+        // Second interval ships only the new movement, but full flag/carrier sets.
+        s.add(sink(1), DepType::Raw, loc(1, 1), 0, 7, DepFlags::empty(), Some(5));
+        let d2 = s.take_delta();
+        assert_eq!(d2.edges[0].count_delta, 1);
+        assert!(d2.edges[0].flags.contains(DepFlags::LOOP_CARRIED));
+        assert_eq!(d2.edges[0].carriers.iter().copied().collect::<Vec<_>>(), vec![3, 5]);
+        assert!(d2.loops.is_empty());
+    }
+
+    #[test]
+    fn enable_delta_mid_session_ships_full_catchup() {
+        let mut s = DepStore::new();
+        s.add(sink(1), DepType::Raw, loc(1, 1), 0, 7, DepFlags::LOOP_CARRIED, Some(2));
+        s.add(sink(1), DepType::Raw, loc(1, 1), 0, 7, DepFlags::empty(), None);
+        s.record_loop(2, loc(1, 1), loc(1, 9), 4);
+        s.enable_delta(); // late enable: history must still be shipped
+        s.add(sink(2), DepType::War, loc(1, 5), 1, 8, DepFlags::empty(), None);
+        let mut mirror = DepStore::new();
+        fold(&mut mirror, &s.take_delta());
+        assert_eq!(snapshot(&mirror), snapshot(&s));
+        // enable_delta is idempotent: re-enabling keeps pending baselines.
+        s.add(sink(2), DepType::War, loc(1, 5), 1, 8, DepFlags::empty(), None);
+        s.enable_delta();
+        let d = s.take_delta();
+        assert_eq!(d.edges.len(), 1);
+        assert_eq!(d.edges[0].count_delta, 1);
+        fold(&mut mirror, &d);
+        assert_eq!(snapshot(&mirror), snapshot(&s));
+    }
+
+    #[test]
+    fn folded_deltas_reconstruct_merged_stores() {
+        // Deltas taken across merges of other stores (the parallel
+        // engine's final merge) still fold into an identical mirror.
+        let mut s = DepStore::new();
+        s.enable_delta();
+        s.add(sink(1), DepType::Raw, loc(1, 1), 0, 7, DepFlags::empty(), None);
+        let mut mirror = DepStore::new();
+        fold(&mut mirror, &s.take_delta());
+        let mut other = DepStore::new();
+        other.add(sink(1), DepType::Raw, loc(1, 1), 0, 7, DepFlags::LOOP_CARRIED, Some(9));
+        other.add(sink(3), DepType::Waw, loc(2, 2), 1, 4, DepFlags::REVERSED, None);
+        other.record_loop(9, loc(1, 1), loc(1, 3), 6);
+        s.merge(other);
+        fold(&mut mirror, &s.take_delta());
+        assert_eq!(snapshot(&mirror), snapshot(&s));
+    }
+
+    #[test]
+    fn delta_is_not_persisted_by_save() {
+        let mut s = DepStore::new();
+        s.enable_delta();
+        s.add(sink(1), DepType::Raw, loc(1, 1), 0, 7, DepFlags::empty(), None);
+        let mut out = ByteWriter::new();
+        s.save(&mut out);
+        let t = DepStore::load(&out.into_bytes()).unwrap();
+        assert!(!t.delta_enabled(), "tracking restarts from enable_delta after rehydration");
     }
 
     #[test]

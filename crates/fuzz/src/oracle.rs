@@ -14,9 +14,14 @@
 //!    delivered twice) wrapping the serial engine,
 //! 8. the same flaky transport wrapping the parallel pipeline,
 //! 9. serial engine checkpointed mid-stream and resumed,
-//! 10. parallel pipeline checkpointed mid-stream and resumed.
+//! 10. parallel pipeline checkpointed mid-stream and resumed,
+//! 11. the service engine answering live `Query` frames mid-stream from
+//!     its incremental analysis state (serial engine) — the *final*
+//!     snapshot must equal the post-hoc loop/comm/race passes over the
+//!     finished profile,
+//! 12. the same online-analysis equivalence over the parallel pipeline.
 //!
-//! All ten must produce the same dependence multiset, and the serial
+//! All legs must produce the same dependence multiset, and the serial
 //! result must additionally show zero false positives and zero false
 //! negatives against the perfect-signature baseline. Both comparisons
 //! are exact, not statistical: [`injective_slots`] grows the signature
@@ -219,6 +224,79 @@ pub fn served(spec: &SessionSpec, events: &[TraceEvent], names: Vec<String>) -> 
         engine.handle(frame).expect("flush frame");
     }
     engine.finish_result().expect("engine still live before Finish")
+}
+
+/// Replays events through the service engine while issuing live
+/// `Query` frames every few chunks, and checks the analysis-equivalence
+/// bar: the final query's snapshot — serialized from the engine's
+/// incremental loop/comm/race state — must equal the post-hoc
+/// [`dp_analysis::posthoc_report`] over the finished profile,
+/// dependence for dependence (same loop verdicts, same communication
+/// matrix, same race hints, serialized identically).
+pub fn online_equivalence(
+    leg: &'static str,
+    spec: &SessionSpec,
+    events: &[TraceEvent],
+    names: Vec<String>,
+) -> Result<(), Box<Divergence>> {
+    use dp_types::protocol::query_kind;
+
+    let hello = Hello {
+        session: "online".into(),
+        spec: spec.encode(),
+        checkpoint_every: 0,
+        names: names.clone(),
+    };
+    let (mut engine, ack) = SessionEngine::open(&hello, 1, None, 0).expect("hello");
+    assert!(matches!(ack, Frame::HelloAck { resume_from: 0, .. }));
+    let mut chunker = FrameChunker::new(64);
+    let mut chunks = 0u64;
+    let mut id = 0u64;
+    for ev in events {
+        for frame in chunker.push(*ev) {
+            let is_chunk = matches!(frame, Frame::Chunk { .. });
+            engine.handle(frame).expect("event frame");
+            // Mid-stream queries make the incremental state fold from
+            // many partial deltas, not one big catch-up — the verdict
+            // below proves interval boundaries don't change the answer.
+            if is_chunk {
+                chunks += 1;
+                if chunks.is_multiple_of(5) {
+                    id += 1;
+                    engine.handle(Frame::Query { id, kind: query_kind::ALL }).expect("query");
+                }
+            }
+        }
+    }
+    if let Some(frame) = chunker.flush() {
+        engine.handle(frame).expect("flush frame");
+    }
+    id += 1;
+    let replies = engine.handle(Frame::Query { id, kind: query_kind::ALL }).expect("final query");
+    let json = match &replies[..] {
+        [Frame::QueryResult { json, .. }] => json.clone(),
+        other => panic!("wanted one QueryResult, got {other:?}"),
+    };
+    let result = engine.finish_result().expect("engine still live before Finish");
+
+    let mut interner = Interner::default();
+    for n in &names {
+        interner.intern(n);
+    }
+    let expected = dp_analysis::posthoc_report(&result).to_json(&interner, true, true, true);
+    // The live snapshot wraps the report body in session/position/deltas
+    // metadata; the report itself must match byte for byte.
+    if json.ends_with(&expected[1..]) {
+        Ok(())
+    } else {
+        Err(Box::new(Divergence {
+            leg,
+            detail: format!(
+                "incremental snapshot diverged from post-hoc analysis\n live: {json}\n post: \
+                 {expected}"
+            ),
+        }))
+    }
 }
 
 /// Replays events through the service engine over a simulated flaky
@@ -434,6 +512,13 @@ pub fn check_program(prog: &Program, cfg: &OracleConfig) -> Result<OracleOutcome
     )?;
     legs += 1;
 
+    // Online analysis: live mid-stream queries; the final incremental
+    // snapshot must equal the post-hoc passes over the same profile.
+    online_equivalence("online-serial", &serial_spec, &events, names.clone())?;
+    legs += 1;
+    online_equivalence("online-par", &par_spec(TransportKind::Spsc), &events, names.clone())?;
+    legs += 1;
+
     // Flaky transport: seeded mid-stream disconnect + reconnect with
     // resend overlap, every frame delivered twice. The seed varies per
     // program so the cut lands at different frame offsets across a
@@ -564,7 +649,7 @@ mod tests {
             let out = check_program(&prog, &cfg).unwrap_or_else(|d| {
                 panic!("seed {seed}: {d}\n{}", dp_trace::fuzz::print_program(&prog))
             });
-            assert!(out.legs >= 10, "seed {seed} ran only {} legs", out.legs);
+            assert!(out.legs >= 12, "seed {seed} ran only {} legs", out.legs);
         }
     }
 

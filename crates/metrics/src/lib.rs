@@ -570,6 +570,8 @@ pub struct SessionMetrics {
     pub events: u64,
     /// `Sync` round-trips served.
     pub syncs: u64,
+    /// Live-analysis `Query` frames answered.
+    pub queries: u64,
     /// Payload bytes received across all frames.
     pub bytes_in: u64,
     /// Events the session skipped because a checkpoint already covered
@@ -594,6 +596,7 @@ impl SessionMetrics {
     pub fn to_json(&self) -> String {
         format!(
             "{{ \"frames\": {}, \"chunks\": {}, \"events\": {}, \"syncs\": {}, \
+             \"queries\": {}, \
              \"bytes_in\": {}, \"resumed_from\": {}, \"checkpoint_generations\": {}, \
              \"reconnects\": {}, \"hibernated\": {}, \"rehydrated\": {}, \
              \"events_skipped_on_resume\": {} }}",
@@ -601,6 +604,7 @@ impl SessionMetrics {
             self.chunks,
             self.events,
             self.syncs,
+            self.queries,
             self.bytes_in,
             self.resumed_from,
             self.checkpoint_generations,

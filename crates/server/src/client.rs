@@ -36,6 +36,11 @@ pub struct PushOptions {
     /// `SyncAck` (0 = never) — applicative backpressure plus a durable
     /// high-water mark for duplicated-work accounting.
     pub sync_every_chunks: u64,
+    /// Watch mode: issue a live-analysis `Query` whenever this many
+    /// milliseconds have elapsed since the last one (0 = after every
+    /// chunk), print each snapshot to stderr, and always issue one
+    /// final query after the last event. `None` disables watching.
+    pub watch_ms: Option<u64>,
 }
 
 impl Default for PushOptions {
@@ -48,6 +53,7 @@ impl Default for PushOptions {
             throttle_ms: 0,
             request_stats: false,
             sync_every_chunks: 0,
+            watch_ms: None,
         }
     }
 }
@@ -63,6 +69,11 @@ pub struct PushOutcome {
     pub events_sent: u64,
     /// `Stats` payload, when requested.
     pub stats_json: Option<String>,
+    /// Live-analysis queries answered this connection (watch mode).
+    pub queries: u64,
+    /// The last `QueryResult` JSON — in watch mode, the query issued
+    /// after the final event, i.e. the complete live report.
+    pub last_query_json: Option<String>,
 }
 
 /// Client-side failures.
@@ -159,6 +170,27 @@ struct PushProgress {
     resumed_from: Option<u64>,
 }
 
+/// Issues one `Query(ALL)` round-trip, skipping stray `SyncAck`s, and
+/// prints the snapshot to stderr (the watch stream).
+fn watch_query(
+    conn: &mut (impl Read + Write),
+    session: &str,
+    id: u64,
+) -> Result<String, ClientError> {
+    protocol::write_frame(conn, &Frame::Query { id, kind: protocol::query_kind::ALL })?;
+    conn.flush().map_err(ProtocolError::Io)?;
+    loop {
+        match read_reply(conn)? {
+            Frame::QueryResult { json, .. } => {
+                eprintln!("[watch {session}] {json}");
+                return Ok(json);
+            }
+            Frame::SyncAck { .. } => continue,
+            _ => return Err(ClientError::Unexpected("wanted QueryResult")),
+        }
+    }
+}
+
 /// Runs one full push session over `conn`: preamble, `Hello` carrying
 /// `names` (the trace's variable table, in id order), the event stream
 /// (skipping whatever the server already profiled), `Finish`, report.
@@ -209,6 +241,9 @@ fn push_once(
     let mut skipped: u64 = 0;
     let mut chunks_since_sync: u64 = 0;
     let mut sync_nonce: u64 = 0;
+    let mut queries: u64 = 0;
+    let mut last_query_json: Option<String> = None;
+    let mut last_watch = Instant::now();
     for ev in events {
         if skipped < resumed_from {
             skipped += 1;
@@ -219,6 +254,14 @@ fn push_once(
             protocol::write_frame(conn, &frame)?;
             if is_chunk {
                 chunks_since_sync += 1;
+                if let Some(ms) = opts.watch_ms {
+                    if last_watch.elapsed().as_millis() as u64 >= ms {
+                        conn.flush().map_err(ProtocolError::Io)?;
+                        queries += 1;
+                        last_query_json = Some(watch_query(conn, &opts.session, queries)?);
+                        last_watch = Instant::now();
+                    }
+                }
                 if opts.throttle_ms > 0 {
                     conn.flush().map_err(ProtocolError::Io)?;
                     std::thread::sleep(std::time::Duration::from_millis(opts.throttle_ms));
@@ -251,6 +294,13 @@ fn push_once(
     }
     conn.flush().map_err(ProtocolError::Io)?;
 
+    // Watch mode always ends with one query after the last event: the
+    // complete live report, which must equal the post-hoc passes.
+    if opts.watch_ms.is_some() {
+        queries += 1;
+        last_query_json = Some(watch_query(conn, &opts.session, queries)?);
+    }
+
     let stats_json = if opts.request_stats {
         protocol::write_frame(conn, &Frame::StatsRequest)?;
         conn.flush().map_err(ProtocolError::Io)?;
@@ -268,7 +318,14 @@ fn push_once(
         Frame::Report { text } => text,
         _ => return Err(ClientError::Unexpected("wanted Report")),
     };
-    Ok(PushOutcome { report, resumed_from, events_sent: progress.events_sent, stats_json })
+    Ok(PushOutcome {
+        report,
+        resumed_from,
+        events_sent: progress.events_sent,
+        stats_json,
+        queries,
+        last_query_json,
+    })
 }
 
 /// Reconnect policy for [`push_with_retry`].
@@ -310,6 +367,11 @@ pub struct RetryOutcome {
     pub events_resent: u64,
     /// Wall-clock spent between the first failure and final success.
     pub recovery_ms_total: u64,
+    /// Watch-mode reconnects that landed in a *fresh* session (the
+    /// server held no checkpoint for this name): the live analysis
+    /// state restarted from zero. Each occurrence is warned on stderr
+    /// rather than silently producing reset counters.
+    pub watch_resets: u32,
 }
 
 /// Bounded exponential backoff with deterministic downward jitter:
@@ -345,6 +407,27 @@ pub fn push_with_retry<C: Read + Write>(
     let mut consecutive_failures = 0u32;
     let mut stalled_attempts = 0u32;
     let mut last_watermark = 0u64;
+    let mut watch_resets = 0u32;
+    // A reconnect in watch mode that is handed `resume_from: 0` after
+    // events were already delivered landed in a FRESH session: the
+    // server was not keeping this session durable (no checkpoint dir,
+    // or the name's checkpoints were lost), so the incremental analysis
+    // state behind the watch stream restarted from zero. Warn instead
+    // of letting the watcher silently see counters jump backwards.
+    let note_watch_reset = |progress: &PushProgress, attempts: u32, delivered: bool| -> u32 {
+        if opts.watch_ms.is_some() && attempts > 1 && delivered && progress.resumed_from == Some(0)
+        {
+            eprintln!(
+                "depprof: warning: session '{}' was not durable on the server; the live \
+                 analysis behind --watch restarted from zero after reconnect (serve with \
+                 --checkpoint-dir to keep watch state across drops)",
+                opts.session
+            );
+            1
+        } else {
+            0
+        }
+    };
     loop {
         attempts += 1;
         let mut progress = PushProgress::default();
@@ -358,6 +441,7 @@ pub fn push_with_retry<C: Read + Write>(
                     &mut progress,
                 ) {
                     Ok(outcome) => {
+                        watch_resets += note_watch_reset(&progress, attempts, sent_total > 0);
                         sent_total += progress.events_sent;
                         let unique =
                             (events.len() as u64).saturating_sub(first_resume.unwrap_or(0));
@@ -370,6 +454,7 @@ pub fn push_with_retry<C: Read + Write>(
                             recovery_ms_total: first_failure
                                 .map(|t| t.elapsed().as_millis() as u64)
                                 .unwrap_or(0),
+                            watch_resets,
                         });
                     }
                     Err(e) => e,
@@ -377,6 +462,7 @@ pub fn push_with_retry<C: Read + Write>(
             }
             Err(e) => ClientError::Protocol(ProtocolError::Io(e)),
         };
+        watch_resets += note_watch_reset(&progress, attempts, sent_total > 0);
         sent_total += progress.events_sent;
         if first_resume.is_none() {
             first_resume = progress.resumed_from;

@@ -6,9 +6,11 @@
 //! tests drive it the same way: [`SessionEngine::open`] on the `Hello`
 //! frame, [`SessionEngine::handle`] for everything after.
 
+use dp_analysis::incremental::json_string;
+use dp_analysis::OnlineAnalysis;
 use dp_core::{report, CheckpointStore, ProfileResult, ProfileSession, SessionSpec};
 use dp_metrics::SessionMetrics;
-use dp_types::protocol::{error_code, Frame, Hello};
+use dp_types::protocol::{error_code, query_kind, Frame, Hello};
 use dp_types::{Interner, TraceEvent};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -74,6 +76,10 @@ pub struct SessionEngine {
     /// of this session (restored + fed).
     events_fed: u64,
     metrics: SessionMetrics,
+    /// Live analysis state, folded from engine deltas. `None` until the
+    /// first `Query` frame — sessions that never query carry no delta
+    /// tracking and pay nothing for the subsystem.
+    online: Option<OnlineAnalysis>,
     finished: bool,
 }
 
@@ -140,6 +146,7 @@ impl SessionEngine {
                 rehydrated: rehydrated as u64,
                 ..SessionMetrics::default()
             },
+            online: None,
             finished: false,
         };
         let ack = Frame::HelloAck { session_id, resume_from: engine.events_fed };
@@ -159,7 +166,8 @@ impl SessionEngine {
             | Frame::Stats { .. }
             | Frame::Report { .. }
             | Frame::SyncAck { .. }
-            | Frame::Busy { .. } => {
+            | Frame::Busy { .. }
+            | Frame::QueryResult { .. } => {
                 Err(SessionError::OutOfOrder("server-to-client frame sent by client"))
             }
             Frame::Error { .. } => Err(SessionError::OutOfOrder("Error frame sent by client")),
@@ -199,6 +207,11 @@ impl SessionEngine {
                 Ok(vec![Frame::SyncAck { nonce, position: self.events_fed }])
             }
             Frame::StatsRequest => Ok(vec![Frame::Stats { json: self.metrics.to_json() }]),
+            Frame::Query { id, kind } => {
+                self.metrics.queries += 1;
+                let json = self.answer_query(kind);
+                Ok(vec![Frame::QueryResult { id, kind, json }])
+            }
             Frame::Finish => {
                 self.finished = true;
                 let session = self.session.take().expect("unfinished session has an engine");
@@ -223,6 +236,39 @@ impl SessionEngine {
             self.write_checkpoint()?;
         }
         Ok(())
+    }
+
+    /// Answers a `Query` frame from incremental state. The first query
+    /// of a session (or of a rehydrated incarnation — delta tracking is
+    /// not persisted) enables delta tracking on the engine; the
+    /// catch-up delta then ships the full history, so late enabling
+    /// loses nothing. Unknown selector values answer like
+    /// [`query_kind::ALL`], echoing the kind byte.
+    fn answer_query(&mut self, kind: u8) -> String {
+        let session = self.session.as_mut().expect("unfinished session has an engine");
+        if !session.online_enabled() {
+            session.enable_online();
+            self.online = Some(OnlineAnalysis::new());
+        }
+        let online = self.online.get_or_insert_with(OnlineAnalysis::new);
+        for delta in session.collect_deltas() {
+            online.fold(&delta);
+        }
+        let report = online.report();
+        let (loops, comm, races) = match kind {
+            query_kind::LOOPS => (true, false, false),
+            query_kind::COMM => (false, true, false),
+            query_kind::RACES => (false, false, true),
+            _ => (true, true, true),
+        };
+        let body = report.to_json(&self.interner, loops, comm, races);
+        format!(
+            "{{\"session\":{},\"position\":{},\"deltas\":{},{}",
+            json_string(&self.name),
+            self.events_fed,
+            online.deltas_folded(),
+            &body[1..]
+        )
     }
 
     /// Writes a checkpoint at the current stream position (periodic or
@@ -469,6 +515,62 @@ mod tests {
         let (mut ephemeral, _) = SessionEngine::open(&hello("e", 0), 4, None, 0).unwrap();
         assert!(!ephemeral.durable());
         assert!(ephemeral.hibernate().is_err());
+    }
+
+    #[test]
+    fn queries_answer_from_incremental_state() {
+        // The live-analysis bar: a Query after the last chunk must match
+        // the post-hoc passes over the finished result — for the serial
+        // engine and the parallel pipeline alike.
+        let specs = [
+            SessionSpec { slots: 1 << 12, ..SessionSpec::default() },
+            SessionSpec { parallel: true, workers: 2, slots: 1 << 12, ..SessionSpec::default() },
+        ];
+        for spec in specs {
+            let h = Hello {
+                session: "live".into(),
+                spec: spec.encode(),
+                checkpoint_every: 0,
+                names: vec!["*".into(), "x".into()],
+            };
+            let (mut s, _) = SessionEngine::open(&h, 1, None, 0).unwrap();
+            s.handle(Frame::Chunk { base: 0, accesses: accesses(0..30) }).unwrap();
+            // Mid-stream query: answered without stalling or finishing.
+            let replies =
+                s.handle(Frame::Query { id: 5, kind: dp_types::protocol::query_kind::ALL });
+            let [Frame::QueryResult { id: 5, json, .. }] = &replies.unwrap()[..] else {
+                panic!("expected QueryResult")
+            };
+            assert!(json.contains("\"position\":30"), "{json}");
+            assert!(json.contains("\"loops\":"), "{json}");
+            s.handle(Frame::Chunk { base: 30, accesses: accesses(30..60) }).unwrap();
+            // Section-selected query.
+            let replies =
+                s.handle(Frame::Query { id: 6, kind: dp_types::protocol::query_kind::COMM });
+            let [Frame::QueryResult { kind, json, .. }] = &replies.unwrap()[..] else {
+                panic!("expected QueryResult")
+            };
+            assert_eq!(*kind, dp_types::protocol::query_kind::COMM);
+            assert!(json.contains("\"comm\":") && !json.contains("\"loops\":"), "{json}");
+            // Final query after the last chunk: full report.
+            let replies =
+                s.handle(Frame::Query { id: 7, kind: dp_types::protocol::query_kind::ALL });
+            let [Frame::QueryResult { json: final_json, .. }] = &replies.unwrap()[..] else {
+                panic!("expected QueryResult")
+            };
+            assert_eq!(s.metrics().queries, 3);
+            let result = s.finish_result().unwrap();
+            let mut interner = Interner::new();
+            interner.intern("*");
+            interner.intern("x");
+            let expected =
+                dp_analysis::posthoc_report(&result).to_json(&interner, true, true, true);
+            assert!(
+                final_json.ends_with(&expected[1..]),
+                "incremental answer diverged from post-hoc passes:\n got {final_json}\nwant \
+                 ...{expected}"
+            );
+        }
     }
 
     #[test]

@@ -349,7 +349,10 @@ fn serve_conn<S: Conn>(mut s: S, shared: &Shared, stop: &AtomicBool) {
                     &mut s,
                     &[Frame::Error {
                         code: error_code::BAD_FRAME,
-                        message: "bad preamble (expected DPSV v1)".into(),
+                        message: format!(
+                            "bad preamble (expected DPSV v{})",
+                            dp_types::protocol::PROTOCOL_VERSION
+                        ),
                     }],
                 );
                 return;

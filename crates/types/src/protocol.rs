@@ -1,4 +1,4 @@
-//! `DPSV` version 1 — the length-prefixed, checksummed frame protocol the
+//! `DPSV` version 2 — the length-prefixed, checksummed frame protocol the
 //! networked profiling service speaks.
 //!
 //! The paper's pipeline decouples event production from dependence
@@ -40,6 +40,14 @@
 //! | 10  | `Error`      | S → C     | numeric code + message; the connection closes after it |
 //! | 11  | `SyncAck`    | S → C     | the `Sync` nonce plus the server's durable stream position (watermark) |
 //! | 12  | `Busy`       | S → C     | typed backpressure: retry the `Hello` after `retry_after_ms` |
+//! | 13  | `Query`      | C → S     | ask for a live analysis snapshot: correlation id + [`query_kind`] selector |
+//! | 14  | `QueryResult`| S → C     | the snapshot: echoed id + kind, JSON report answered from incremental state |
+//!
+//! `Query` (new in v2) may arrive at any point between `HelloAck` and
+//! `Finish`; the server answers from the online analysis state it folds
+//! as chunks merge, so a query never stalls the feed behind a full
+//! re-analysis. The first `Query` of a session lazily enables delta
+//! tracking — sessions that never query pay nothing.
 //!
 //! `Chunk` and `LoopEvent` frames are *positional*: they carry the
 //! absolute index of their first event in the session's logical event
@@ -62,8 +70,10 @@ use std::io::{self, Read, Write};
 
 /// Connection preamble magic.
 pub const PROTOCOL_MAGIC: [u8; 4] = *b"DPSV";
-/// Current protocol version.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Current protocol version. v2 added the `Query`/`QueryResult` frames
+/// (live analysis snapshots); everything a v1 peer could say is
+/// unchanged.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Default upper bound on a frame's payload length. A frame header
 /// announcing more than this is rejected before any allocation — the
@@ -83,6 +93,21 @@ const TAG_REPORT: u8 = 9;
 const TAG_ERROR: u8 = 10;
 const TAG_SYNC_ACK: u8 = 11;
 const TAG_BUSY: u8 = 12;
+const TAG_QUERY: u8 = 13;
+const TAG_QUERY_RESULT: u8 = 14;
+
+/// Selectors carried by [`Frame::Query`]: which live-analysis sections
+/// the client wants in the [`Frame::QueryResult`] JSON.
+pub mod query_kind {
+    /// Loop classification, communication matrix and race hints.
+    pub const ALL: u8 = 0;
+    /// Table-II loop classification only.
+    pub const LOOPS: u8 = 1;
+    /// Communication matrix only.
+    pub const COMM: u8 = 2;
+    /// Race hints only.
+    pub const RACES: u8 = 3;
+}
 
 /// Error codes carried by [`Frame::Error`].
 pub mod error_code {
@@ -254,6 +279,24 @@ pub enum Frame {
         /// Suggested delay before reconnecting, in milliseconds.
         retry_after_ms: u64,
     },
+    /// Mid-session analysis snapshot request (client → server, v2).
+    /// Answered from the server's incremental analysis state with a
+    /// [`Frame::QueryResult`]; never stalls the event feed.
+    Query {
+        /// Caller-chosen correlation value, echoed in the result.
+        id: u64,
+        /// One of [`query_kind`]'s selectors.
+        kind: u8,
+    },
+    /// Live analysis snapshot (server → client, v2).
+    QueryResult {
+        /// The `Query` frame's correlation id.
+        id: u64,
+        /// The selector the snapshot answers (echoed).
+        kind: u8,
+        /// The requested report sections as a JSON object.
+        json: String,
+    },
 }
 
 fn put_access(w: &mut ByteWriter, a: &MemAccess) {
@@ -389,6 +432,8 @@ impl Frame {
             Frame::Error { .. } => TAG_ERROR,
             Frame::SyncAck { .. } => TAG_SYNC_ACK,
             Frame::Busy { .. } => TAG_BUSY,
+            Frame::Query { .. } => TAG_QUERY,
+            Frame::QueryResult { .. } => TAG_QUERY_RESULT,
         }
     }
 
@@ -434,6 +479,15 @@ impl Frame {
                 w.u64(*position);
             }
             Frame::Busy { retry_after_ms } => w.u64(*retry_after_ms),
+            Frame::Query { id, kind } => {
+                w.u64(*id);
+                w.u8(*kind);
+            }
+            Frame::QueryResult { id, kind, json } => {
+                w.u64(*id);
+                w.u8(*kind);
+                w.blob(json.as_bytes());
+            }
         }
         Ok(w.into_bytes())
     }
@@ -483,6 +537,10 @@ impl Frame {
             TAG_ERROR => Frame::Error { code: r.u16()?, message: get_string(&mut r)? },
             TAG_SYNC_ACK => Frame::SyncAck { nonce: r.u64()?, position: r.u64()? },
             TAG_BUSY => Frame::Busy { retry_after_ms: r.u64()? },
+            TAG_QUERY => Frame::Query { id: r.u64()?, kind: r.u8()? },
+            TAG_QUERY_RESULT => {
+                Frame::QueryResult { id: r.u64()?, kind: r.u8()?, json: get_string(&mut r)? }
+            }
             tag => return Err(ProtocolError::UnknownFrame { tag }),
         };
         if !r.is_done() {
@@ -640,6 +698,8 @@ mod tests {
             Frame::Error { code: error_code::AT_CAPACITY, message: "server full".into() },
             Frame::SyncAck { nonce: 7, position: 1_000_002 },
             Frame::Busy { retry_after_ms: 250 },
+            Frame::Query { id: 9, kind: query_kind::ALL },
+            Frame::QueryResult { id: 9, kind: query_kind::LOOPS, json: "{\"loops\":[]}".into() },
         ]
     }
 

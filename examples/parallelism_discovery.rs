@@ -57,7 +57,8 @@ fn main() {
         let blockers = if v.blockers.is_empty() {
             String::new()
         } else {
-            format!("{} -> {}", v.blockers[0].1, v.blockers[0].0)
+            let (sink, src, var) = v.blockers[0];
+            format!("{}: {} -> {}", w.program.interner.resolve(var), src, sink)
         };
         println!(
             "{:<22} {:>6} {:>12} {:>10}  {}",

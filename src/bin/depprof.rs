@@ -30,6 +30,7 @@
 //!                            [--chunk-events N] [--throttle-ms MS]
 //!                            [--retries N] [--retry-delay-ms MS]
 //!                            [--sync-every N] [--chaos SPEC]
+//!                            [--watch[=MS]] [--watch-dump PATH]
 //!                            [--stats json] [--report-out PATH]
 //! ```
 //!
@@ -175,6 +176,10 @@ struct Args {
     retry_delay_ms: u64,
     /// Push: send a Sync watermark probe every N chunks (0 = never).
     sync_every: u64,
+    /// Push: query live analysis every N ms while streaming (`--watch[=MS]`).
+    watch: Option<u64>,
+    /// Push: write the final QueryResult JSON to this path.
+    watch_dump: Option<String>,
     /// Serve: Busy retry hint handed to refused clients (ms).
     busy_retry_ms: u64,
     /// Serve: hibernate idle durable sessions after this long (ms, 0 = never).
@@ -501,6 +506,18 @@ fn parse() -> Result<Args, String> {
                     i += 1;
                     let spec = argv.get(i).ok_or("--chaos needs a fault spec")?;
                     a.chaos_plan = Some(NetFaultPlan::parse(spec)?);
+                }
+                "--watch" => a.watch = Some(1000),
+                w if w.starts_with("--watch=") => {
+                    a.watch = Some(
+                        w["--watch=".len()..]
+                            .parse()
+                            .map_err(|_| "--watch=MS: interval in milliseconds")?,
+                    );
+                }
+                "--watch-dump" => {
+                    i += 1;
+                    a.watch_dump = Some(argv.get(i).cloned().ok_or("--watch-dump needs a path")?);
                 }
                 "--no-redistribution" => a.no_redistribution = true,
                 "--stats" => {
@@ -1135,7 +1152,7 @@ fn run_fuzz_cmd(args: &Args) {
     let start = Instant::now();
     let report = depprof::fuzz::run_fuzz(&opts, &mut |line| eprintln!("{line}"));
     eprintln!(
-        "fuzz: {} seeds ({} sequential x 10 legs, {} multi-threaded), {} accesses, \
+        "fuzz: {} seeds ({} sequential x 12 legs, {} multi-threaded), {} accesses, \
          {} webscale streams, {:.1}s",
         report.seeds,
         report.sequential,
@@ -1222,6 +1239,7 @@ fn run_push(args: &Args) {
         throttle_ms: args.throttle_ms,
         request_stats: args.stats.as_deref() == Some("json"),
         sync_every_chunks: args.sync_every,
+        watch_ms: args.watch,
     };
 
     // The whole trace is loaded up front: a retry must be able to
@@ -1302,6 +1320,20 @@ fn run_push(args: &Args) {
                     r.reconnects, r.busy_waits, r.events_resent, r.recovery_ms_total
                 );
             }
+            if let Some(dump) = args.watch_dump.as_deref() {
+                match &out.last_query_json {
+                    Some(json) => {
+                        if let Err(e) = std::fs::write(dump, json) {
+                            eprintln!("cannot write --watch-dump '{dump}': {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                    None => eprintln!(
+                        "--watch-dump '{dump}': no QueryResult captured (pass --watch to enable \
+                         live analysis queries)"
+                    ),
+                }
+            }
             let content = match (&out.stats_json, args.stats.as_deref()) {
                 (Some(json), Some("json")) => json.clone(),
                 _ => out.report.clone(),
@@ -1366,6 +1398,7 @@ fn main() {
                  [--workers N] [--slots N] [--checkpoint-every N] \
                  [--chunk-events N] [--throttle-ms MS] [--retries N] \
                  [--retry-delay-ms MS] [--sync-every N] [--chaos SPEC] \
+                 [--watch[=MS]] [--watch-dump PATH] \
                  [--no-redistribution] [--stats json] [--report-out PATH]\n  \
                  depprof fuzz [--seeds N] [--start-seed N] [--quick] \
                  [--corpus DIR] [--no-webscale] [--workers N]\n\n\

@@ -208,6 +208,100 @@ fn kill_at_every_frame(tag: &str, spec: &SessionSpec, stop: &'static AtomicBool)
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Watch mode across a chaos reconnect: a server that is not keeping
+/// the session durable (no checkpoint dir) hands the retry a fresh
+/// session, and the client must surface that as a counted warning
+/// (`watch_resets`) instead of silently restarting the live counters.
+/// A durable server recovering via its emergency checkpoint must not
+/// trip the warning, and neither must a watch-less push.
+#[test]
+fn watch_reset_warns_on_non_durable_session() {
+    static STOP: AtomicBool = AtomicBool::new(false);
+    let (events, names) = record();
+    let spec = SessionSpec { slots: 1 << 14, ..SessionSpec::default() };
+    let watch_opts = |session: &str| PushOptions {
+        // Query after every chunk so the watch path is active on both
+        // sides of the cut.
+        watch_ms: Some(0),
+        ..opts(session, &spec)
+    };
+    // One reset mid-stream, well after the first chunks have landed.
+    let cut_connect = |addr: SocketAddr, attempts: &Cell<u32>| {
+        let c = TcpStream::connect(addr)?;
+        c.set_nodelay(true).ok();
+        let n = attempts.get();
+        attempts.set(n + 1);
+        let plan = if n == 0 {
+            NetFaultPlan::new().with_seed(11).with_reset_at_frames(25)
+        } else {
+            NetFaultPlan::new()
+        };
+        Ok(ChaosStream::new(c, plan))
+    };
+
+    // Non-durable server: reconnect lands in a fresh session => warn.
+    let dir = tmpdir("watch-volatile");
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig { max_sessions: 8, poll_interval_ms: 1, ..ServerConfig::default() },
+    )
+    .expect("bind volatile server");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run(&STOP).unwrap());
+
+    let attempts = Cell::new(0u32);
+    let r = push_with_retry(
+        || cut_connect(addr, &attempts),
+        &names,
+        &events,
+        &watch_opts("watch-volatile"),
+        &policy(),
+    )
+    .expect("watched push recovers on the volatile server");
+    assert!(r.reconnects >= 1, "the injected reset must force a retry");
+    assert_eq!(r.outcome.resumed_from, 0, "volatile server cannot resume");
+    assert_eq!(r.watch_resets, 1, "fresh-session reconnect must be counted as a watch reset");
+    assert!(r.outcome.queries >= 1, "watch mode must issue live queries");
+    let json = r.outcome.last_query_json.as_deref().expect("final watch snapshot");
+    assert!(
+        json.contains(&format!("\"position\":{}", events.len())),
+        "final snapshot must cover the whole stream:\n{json}"
+    );
+
+    // Same cut without --watch: no watch state, no warning.
+    let attempts = Cell::new(0u32);
+    let quiet = push_with_retry(
+        || cut_connect(addr, &attempts),
+        &names,
+        &events,
+        &opts("watch-off", &spec),
+        &policy(),
+    )
+    .expect("watch-less push recovers");
+    assert!(quiet.reconnects >= 1);
+    assert_eq!(quiet.watch_resets, 0, "watch_resets must stay 0 without --watch");
+    assert!(quiet.outcome.last_query_json.is_none());
+    stop_server(&STOP, addr, handle);
+
+    // Durable server: the emergency checkpoint preserves the session,
+    // so the same watched cut resumes mid-stream without a reset.
+    let (addr, handle) = start_server(dir.clone(), &STOP);
+    let attempts = Cell::new(0u32);
+    let r = push_with_retry(
+        || cut_connect(addr, &attempts),
+        &names,
+        &events,
+        &watch_opts("watch-durable"),
+        &policy(),
+    )
+    .expect("watched push recovers on the durable server");
+    assert!(r.reconnects >= 1);
+    assert!(r.outcome.resumed_from > 0, "durable server must resume from its checkpoint");
+    assert_eq!(r.watch_resets, 0, "a checkpointed resume is not a watch reset");
+    stop_server(&STOP, addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn kill_at_every_frame_serial() {
     static STOP: AtomicBool = AtomicBool::new(false);

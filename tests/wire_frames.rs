@@ -71,6 +71,12 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         arb_string(40).prop_map(|json| Frame::Stats { json }),
         arb_string(60).prop_map(|text| Frame::Report { text }),
         (1u16..6, arb_string(30)).prop_map(|(code, message)| Frame::Error { code, message }),
+        (any::<u64>(), 0u8..8).prop_map(|(id, kind)| Frame::Query { id, kind }),
+        (any::<u64>(), 0u8..8, arb_string(60)).prop_map(|(id, kind, json)| Frame::QueryResult {
+            id,
+            kind,
+            json
+        }),
     ]
 }
 
@@ -185,9 +191,10 @@ proptest! {
         );
     }
 
-    /// Unknown frame tags are a typed protocol error, not a desync.
+    /// Unknown frame tags (15+ — v2 tops out at QueryResult = 14) are a
+    /// typed protocol error, not a desync.
     #[test]
-    fn unknown_tags_are_typed((tag, payload) in (13u8..=255, prop::collection::vec(any::<u8>(), 0..64))) {
+    fn unknown_tags_are_typed((tag, payload) in (15u8..=255, prop::collection::vec(any::<u8>(), 0..64))) {
         let mut w = depprof::types::ByteWriter::new();
         depprof::types::write_section(&mut w, tag, &payload);
         let buf = w.into_bytes();
